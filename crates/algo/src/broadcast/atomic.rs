@@ -1,0 +1,252 @@
+//! Atomic broadcast by a sequence of consensus instances.
+//!
+//! The Chandra–Toueg transformation that makes atomic broadcast
+//! equivalent to consensus (§1.1 of the paper): gossip messages
+//! reliably, then agree — instance by instance — on the next *batch* to
+//! deliver; deliver each decided batch in a deterministic order. Running
+//! it over the `P`-based flood-set consensus gives an atomic broadcast
+//! that tolerates any number of crashes, as the paper's collapse
+//! predicts.
+
+use crate::consensus::{ConsensusCore, FloodSetConsensus, FloodSetMsg, Outbox};
+use rfd_core::ProcessId;
+use rfd_sim::{Automaton, Envelope, StepContext};
+use std::collections::BTreeSet;
+
+/// An atomically-broadcast message: origin index, per-origin sequence,
+/// payload.
+pub type Item<V> = (u16, u64, V);
+
+/// A consensus batch: a sorted set of items. Ordering is customized so
+/// that **non-empty batches sort before the empty one** — the flood-set
+/// decision rule picks the minimum proposal, and an empty proposal must
+/// never win over real work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Batch<V>(pub Vec<Item<V>>);
+
+impl<V: Ord> PartialOrd for Batch<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<V: Ord> Ord for Batch<V> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        match (self.0.is_empty(), other.0.is_empty()) {
+            (true, true) => core::cmp::Ordering::Equal,
+            (true, false) => core::cmp::Ordering::Greater,
+            (false, true) => core::cmp::Ordering::Less,
+            (false, false) => self.0.cmp(&other.0),
+        }
+    }
+}
+
+/// Messages of the atomic broadcast protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbMsg<V> {
+    /// Reliable diffusion of one item.
+    Gossip(Item<V>),
+    /// Embedded consensus traffic for the numbered instance.
+    Consensus {
+        /// Instance number.
+        k: u64,
+        /// Flood-set message over batches.
+        inner: FloodSetMsg<Batch<V>>,
+    },
+}
+
+/// A total-order delivery event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbDelivery<V> {
+    /// Consensus instance that ordered the item.
+    pub instance: u64,
+    /// Originating process.
+    pub origin: ProcessId,
+    /// Per-origin sequence number.
+    pub seq: u64,
+    /// Payload.
+    pub value: V,
+}
+
+/// Atomic broadcast automaton over flood-set (`P`-based) consensus.
+#[derive(Clone, Debug)]
+pub struct AtomicBroadcast<V> {
+    me: ProcessId,
+    n: usize,
+    to_send: Vec<V>,
+    sent: bool,
+    /// Items seen (gossiped) but not yet delivered.
+    pending: BTreeSet<Item<V>>,
+    /// Keys of delivered items.
+    delivered: BTreeSet<(u16, u64)>,
+    /// Gossip keys already forwarded.
+    forwarded: BTreeSet<(u16, u64)>,
+    /// Current consensus instance number.
+    k: u64,
+    inner: Option<FloodSetConsensus<Batch<V>>>,
+    /// Consensus messages for instances ahead of us.
+    buffered: Vec<(u64, ProcessId, FloodSetMsg<Batch<V>>)>,
+}
+
+impl<V: Clone + Eq + Ord> AtomicBroadcast<V> {
+    /// Creates a process that A-broadcasts `to_send`.
+    #[must_use]
+    pub fn new(me: ProcessId, n: usize, to_send: Vec<V>) -> Self {
+        Self {
+            me,
+            n,
+            to_send,
+            sent: false,
+            pending: BTreeSet::new(),
+            delivered: BTreeSet::new(),
+            forwarded: BTreeSet::new(),
+            k: 0,
+            inner: None,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Builds a fleet from per-process payload lists.
+    #[must_use]
+    pub fn fleet(payloads: Vec<Vec<V>>) -> Vec<Self> {
+        let n = payloads.len();
+        payloads
+            .into_iter()
+            .enumerate()
+            .map(|(ix, msgs)| Self::new(ProcessId::new(ix), n, msgs))
+            .collect()
+    }
+
+    fn proposal(&self) -> Batch<V> {
+        Batch(self.pending.iter().cloned().collect())
+    }
+
+    fn ensure_instance(&mut self) {
+        if self.inner.is_none() {
+            self.inner = Some(FloodSetConsensus::new(self.me, self.n, self.proposal()));
+        }
+    }
+
+    fn replay_buffered(&mut self, ctx: &mut StepContext<AbMsg<V>, AbDelivery<V>>) {
+        let k = self.k;
+        let buffered = std::mem::take(&mut self.buffered);
+        for (bk, from, msg) in buffered {
+            if bk == k {
+                self.ensure_instance();
+                self.drive_inner(Some((from, &msg)), ctx);
+            } else if bk > k {
+                self.buffered.push((bk, from, msg));
+            }
+        }
+    }
+
+    fn drive_inner(
+        &mut self,
+        input: Option<(ProcessId, &FloodSetMsg<Batch<V>>)>,
+        ctx: &mut StepContext<AbMsg<V>, AbDelivery<V>>,
+    ) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        let mut out = Outbox::new(self.me, self.n);
+        let decided = inner.step(input, ctx.suspects(), &mut out);
+        let k = self.k;
+        for (to, msg) in out.drain() {
+            ctx.send(to, AbMsg::Consensus { k, inner: msg });
+        }
+        if let Some(Batch(items)) = decided {
+            for item in items {
+                let key = (item.0, item.1);
+                if self.delivered.insert(key) {
+                    self.pending.remove(&item);
+                    ctx.output(AbDelivery {
+                        instance: k,
+                        origin: ProcessId::new(item.0 as usize),
+                        seq: item.1,
+                        value: item.2,
+                    });
+                }
+            }
+            self.k += 1;
+            self.inner = None;
+            self.replay_buffered(ctx);
+        }
+    }
+}
+
+impl<V: Clone + Eq + Ord> Automaton for AtomicBroadcast<V> {
+    type Msg = AbMsg<V>;
+    type Output = AbDelivery<V>;
+
+    fn on_step(
+        &mut self,
+        input: Option<&Envelope<Self::Msg>>,
+        ctx: &mut StepContext<Self::Msg, Self::Output>,
+    ) {
+        // A-broadcast own payloads once, via gossip diffusion.
+        if !self.sent {
+            self.sent = true;
+            let me = self.me.index() as u16;
+            for (seq, value) in self.to_send.clone().into_iter().enumerate() {
+                let item: Item<V> = (me, seq as u64, value);
+                self.pending.insert(item.clone());
+                self.forwarded.insert((item.0, item.1));
+                ctx.broadcast_others(AbMsg::Gossip(item));
+            }
+        }
+        // Handle the input.
+        let mut inner_input: Option<(ProcessId, FloodSetMsg<Batch<V>>)> = None;
+        match input {
+            Some(env) => match &env.payload {
+                AbMsg::Gossip(item) => {
+                    let key = (item.0, item.1);
+                    if self.forwarded.insert(key) {
+                        ctx.broadcast_others(AbMsg::Gossip(item.clone()));
+                    }
+                    if !self.delivered.contains(&key) {
+                        self.pending.insert(item.clone());
+                    }
+                }
+                AbMsg::Consensus { k, inner } => {
+                    if *k == self.k {
+                        self.ensure_instance();
+                        inner_input = Some((env.from, inner.clone()));
+                    } else if *k > self.k {
+                        self.buffered.push((*k, env.from, inner.clone()));
+                    }
+                }
+            },
+            None => {}
+        }
+        // Start an instance when there is work to order.
+        if self.inner.is_none() && !self.pending.is_empty() {
+            self.ensure_instance();
+        }
+        if self.inner.is_some() {
+            self.drive_inner(inner_input.as_ref().map(|(f, m)| (*f, m)), ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_ordering_prefers_nonempty() {
+        let empty: Batch<u64> = Batch(Vec::new());
+        let one = Batch(vec![(0, 0, 5u64)]);
+        assert!(one < empty);
+        assert_eq!(empty.cmp(&Batch(Vec::new())), core::cmp::Ordering::Equal);
+        let two = Batch(vec![(0, 0, 5u64), (1, 0, 6)]);
+        assert!(one < two, "lexicographic on contents otherwise");
+    }
+
+    #[test]
+    fn proposal_reflects_pending() {
+        let mut ab: AtomicBroadcast<u64> = AtomicBroadcast::new(ProcessId::new(0), 2, vec![]);
+        assert!(ab.proposal().0.is_empty());
+        ab.pending.insert((1, 0, 9));
+        assert_eq!(ab.proposal().0, vec![(1, 0, 9)]);
+    }
+}

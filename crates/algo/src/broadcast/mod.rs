@@ -1,0 +1,17 @@
+//! Broadcast primitives: reliable broadcast and atomic broadcast.
+//!
+//! Atomic broadcast is the paper's second headline problem: solving it is
+//! equivalent to consensus in systems with reliable channels (§1.1, after
+//! Chandra–Toueg), so `P` is also its weakest realistic class when
+//! failures are unbounded. [`AtomicBroadcast`] implements the classic
+//! consensus-sequence transformation; [`ConsensusViaAbcast`] closes the
+//! equivalence in the other direction (decide the first A-delivered
+//! value); [`ReliableBroadcast`] is the dissemination substrate.
+
+mod atomic;
+mod reliable;
+mod via_abcast;
+
+pub use atomic::{AbDelivery, AbMsg, AtomicBroadcast, Batch, Item};
+pub use reliable::{RbDelivery, RbMsg, ReliableBroadcast};
+pub use via_abcast::ConsensusViaAbcast;

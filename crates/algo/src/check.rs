@@ -1,0 +1,312 @@
+//! Trace verdicts: consensus, correct-restricted consensus, TRB.
+//!
+//! Every experiment judges runs with these checkers; all of them return
+//! structured witnesses rather than booleans so failures are debuggable
+//! and reportable in the experiment tables.
+
+use core::fmt;
+use rfd_core::{FailurePattern, ProcessId, ProcessSet};
+use rfd_sim::Trace;
+
+/// Two processes decided differently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Disagreement<V> {
+    /// First decider and its value.
+    pub a: (ProcessId, V),
+    /// Second decider and its conflicting value.
+    pub b: (ProcessId, V),
+}
+
+impl<V: fmt::Debug> fmt::Display for Disagreement<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} decided {:?} but {} decided {:?}",
+            self.a.0, self.a.1, self.b.0, self.b.1
+        )
+    }
+}
+
+/// A decision that was never proposed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidDecision<V> {
+    /// The deciding process.
+    pub process: ProcessId,
+    /// The unproposed value it decided.
+    pub value: V,
+}
+
+/// The verdict of a consensus run.
+#[derive(Clone, Debug)]
+pub struct ConsensusVerdict<V> {
+    /// `Ok` iff every correct process decided; `Err` carries the correct
+    /// processes that did not.
+    pub termination: Result<(), ProcessSet>,
+    /// Uniform agreement: no two processes (correct or not) decided
+    /// differently.
+    pub uniform_agreement: Result<(), Disagreement<V>>,
+    /// Correct-restricted agreement: no two *correct* processes decided
+    /// differently.
+    pub correct_agreement: Result<(), Disagreement<V>>,
+    /// Every decided value was proposed.
+    pub validity: Result<(), InvalidDecision<V>>,
+}
+
+impl<V> ConsensusVerdict<V> {
+    /// `true` iff the run satisfies **uniform** consensus.
+    #[must_use]
+    pub fn is_uniform_consensus(&self) -> bool {
+        self.termination.is_ok() && self.uniform_agreement.is_ok() && self.validity.is_ok()
+    }
+
+    /// `true` iff the run satisfies **correct-restricted** consensus.
+    #[must_use]
+    pub fn is_correct_restricted_consensus(&self) -> bool {
+        self.termination.is_ok() && self.correct_agreement.is_ok() && self.validity.is_ok()
+    }
+}
+
+/// Judges a consensus trace: `proposals[i]` is `pᵢ`'s proposal; the
+/// decision of a process is its **first** output event.
+#[must_use]
+pub fn check_consensus<V: Clone + Eq>(
+    pattern: &FailurePattern,
+    trace: &Trace<V>,
+    proposals: &[V],
+) -> ConsensusVerdict<V> {
+    let n = pattern.num_processes();
+    assert_eq!(proposals.len(), n, "one proposal per process");
+    let firsts = trace.first_outputs(n);
+    let decisions: Vec<Option<(ProcessId, V)>> = firsts
+        .iter()
+        .map(|ev| ev.map(|e| (e.process, e.value.clone())))
+        .collect();
+
+    let mut missing = ProcessSet::empty();
+    for pid in pattern.correct().iter() {
+        if decisions[pid.index()].is_none() {
+            missing.insert(pid);
+        }
+    }
+    let termination = if missing.is_empty() { Ok(()) } else { Err(missing) };
+
+    let disagreement_among = |filter: &dyn Fn(ProcessId) -> bool| {
+        let mut seen: Option<(ProcessId, V)> = None;
+        for d in decisions.iter().flatten() {
+            if !filter(d.0) {
+                continue;
+            }
+            match &seen {
+                None => seen = Some(d.clone()),
+                Some(first) if first.1 != d.1 => {
+                    return Err(Disagreement {
+                        a: first.clone(),
+                        b: d.clone(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    };
+    let uniform_agreement = disagreement_among(&|_| true);
+    let correct = pattern.correct();
+    let correct_agreement = disagreement_among(&|p| correct.contains(p));
+
+    let mut validity = Ok(());
+    for d in decisions.iter().flatten() {
+        if !proposals.contains(&d.1) {
+            validity = Err(InvalidDecision {
+                process: d.0,
+                value: d.1.clone(),
+            });
+            break;
+        }
+    }
+    ConsensusVerdict {
+        termination,
+        uniform_agreement,
+        correct_agreement,
+        validity,
+    }
+}
+
+/// The verdict of a terminating-reliable-broadcast run (§5 properties).
+#[derive(Clone, Debug)]
+pub struct TrbVerdict<V> {
+    /// Every correct process delivered something.
+    pub termination: Result<(), ProcessSet>,
+    /// All correct processes delivered the same value.
+    pub agreement: Result<(), Disagreement<V>>,
+    /// If the initiator is correct, everyone delivered its message (the
+    /// §5 validity property).
+    pub validity: Result<(), InvalidDecision<V>>,
+}
+
+impl<V> TrbVerdict<V> {
+    /// `true` iff the run satisfies TRB.
+    #[must_use]
+    pub fn is_trb(&self) -> bool {
+        self.termination.is_ok() && self.agreement.is_ok() && self.validity.is_ok()
+    }
+}
+
+/// Judges a TRB trace where delivery events carry `Option<V>`
+/// (`None` = the paper's `nil`). `initiator` broadcast `message`.
+#[must_use]
+pub fn check_trb<V: Clone + Eq>(
+    pattern: &FailurePattern,
+    trace: &Trace<Option<V>>,
+    initiator: ProcessId,
+    message: &V,
+) -> TrbVerdict<Option<V>> {
+    let n = pattern.num_processes();
+    let firsts = trace.first_outputs(n);
+    let mut missing = ProcessSet::empty();
+    for pid in pattern.correct().iter() {
+        if firsts[pid.index()].is_none() {
+            missing.insert(pid);
+        }
+    }
+    let termination = if missing.is_empty() { Ok(()) } else { Err(missing) };
+
+    let correct = pattern.correct();
+    let mut agreement = Ok(());
+    let mut seen: Option<(ProcessId, Option<V>)> = None;
+    for ev in firsts.iter().flatten() {
+        if !correct.contains(ev.process) {
+            continue;
+        }
+        match &seen {
+            None => seen = Some((ev.process, ev.value.clone())),
+            Some(first) if first.1 != ev.value => {
+                agreement = Err(Disagreement {
+                    a: first.clone(),
+                    b: (ev.process, ev.value.clone()),
+                });
+                break;
+            }
+            Some(_) => {}
+        }
+    }
+
+    // Validity: a correct initiator's message must be delivered by every
+    // correct process; any delivered non-nil value must be the message.
+    let mut validity = Ok(());
+    for ev in firsts.iter().flatten() {
+        match &ev.value {
+            Some(v) if v != message => {
+                validity = Err(InvalidDecision {
+                    process: ev.process,
+                    value: ev.value.clone(),
+                });
+                break;
+            }
+            None if correct.contains(initiator) && correct.contains(ev.process) => {
+                validity = Err(InvalidDecision {
+                    process: ev.process,
+                    value: None,
+                });
+                break;
+            }
+            _ => {}
+        }
+    }
+    TrbVerdict {
+        termination,
+        agreement,
+        validity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfd_core::Time;
+    use rfd_sim::OutputEvent;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn trace_of<V: Clone>(events: Vec<(usize, V)>) -> Trace<V> {
+        Trace {
+            events: events
+                .into_iter()
+                .enumerate()
+                .map(|(k, (ix, value))| OutputEvent {
+                    process: p(ix),
+                    time: Time::new(k as u64),
+                    value,
+                    causal_past: ProcessSet::empty(),
+                })
+                .collect(),
+            messages_sent: 0,
+            messages_delivered: 0,
+            steps: 0,
+            end_time: Time::new(10),
+            rounds: 1,
+        }
+    }
+
+    #[test]
+    fn unanimous_run_is_uniform_consensus() {
+        let pattern = FailurePattern::new(3);
+        let trace = trace_of(vec![(0, 5u64), (1, 5), (2, 5)]);
+        let v = check_consensus(&pattern, &trace, &[5, 6, 7]);
+        assert!(v.is_uniform_consensus());
+        assert!(v.is_correct_restricted_consensus());
+    }
+
+    #[test]
+    fn faulty_disagreement_breaks_uniform_but_not_correct_restricted() {
+        let pattern = FailurePattern::new(3).with_crash(p(0), Time::new(1));
+        // Faulty p0 decided 1; correct p1, p2 decided 2.
+        let trace = trace_of(vec![(0, 1u64), (1, 2), (2, 2)]);
+        let v = check_consensus(&pattern, &trace, &[1, 2, 3]);
+        assert!(!v.is_uniform_consensus());
+        assert!(v.uniform_agreement.is_err());
+        assert!(v.is_correct_restricted_consensus());
+    }
+
+    #[test]
+    fn missing_correct_decider_fails_termination() {
+        let pattern = FailurePattern::new(3);
+        let trace = trace_of(vec![(0, 1u64), (1, 1)]);
+        let v = check_consensus(&pattern, &trace, &[1, 2, 3]);
+        assert_eq!(v.termination, Err(ProcessSet::singleton(p(2))));
+    }
+
+    #[test]
+    fn unproposed_value_fails_validity() {
+        let pattern = FailurePattern::new(2);
+        let trace = trace_of(vec![(0, 9u64), (1, 9)]);
+        let v = check_consensus(&pattern, &trace, &[1, 2]);
+        assert!(v.validity.is_err());
+    }
+
+    #[test]
+    fn trb_nil_with_correct_initiator_fails_validity() {
+        let pattern = FailurePattern::new(2);
+        let trace = trace_of(vec![(0, Some(7u64)), (1, None)]);
+        let v = check_trb(&pattern, &trace, p(0), &7);
+        assert!(v.validity.is_err());
+        assert!(v.agreement.is_err());
+    }
+
+    #[test]
+    fn trb_nil_with_crashed_initiator_is_fine() {
+        let pattern = FailurePattern::new(2).with_crash(p(0), Time::ZERO);
+        let trace = trace_of(vec![(1, None::<u64>)]);
+        let v = check_trb(&pattern, &trace, p(0), &7);
+        assert!(v.is_trb(), "{v:?}");
+    }
+
+    #[test]
+    fn trb_wrong_message_fails_validity() {
+        let pattern = FailurePattern::new(2);
+        let trace = trace_of(vec![(0, Some(7u64)), (1, Some(8))]);
+        let v = check_trb(&pattern, &trace, p(0), &7);
+        assert!(v.validity.is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! The Marabout-based consensus algorithm (§6.1).
+//!
+//! §6.1 notes that the paper's lower bound evaporates outside the
+//! realistic space: with the clairvoyant Marabout `M` — whose output is
+//! the constant set of *faulty* processes — there is an "obvious"
+//! algorithm solving consensus for any number of failures:
+//!
+//! > Every process `pᵢ` consults its failure detector and selects the
+//! > process `pⱼ` such that (a) `pⱼ` is not suspected and (b) there is no
+//! > non-suspected `pₖ` with `k < j`. If `i = j`, then `pⱼ` sends its
+//! > value to all and decides it. Otherwise, `pᵢ` waits for `pⱼ`'s value
+//! > and decides that value.
+//!
+//! The leader is the lowest-index **correct** process (that is what "not
+//! suspected by `M`" means), so it never crashes and everyone eventually
+//! receives its value. Run with any *realistic* detector instead, the
+//! same algorithm loses liveness or safety — which experiment E6 shows.
+
+use super::{ConsensusCore, Outbox};
+use rfd_core::{ProcessId, ProcessSet};
+
+/// Messages of the Marabout algorithm: the leader's value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaraboutMsg<V> {
+    /// The leader's proposal.
+    pub value: V,
+}
+
+/// Marabout-based consensus state machine (§6.1).
+#[derive(Clone, Debug)]
+pub struct MaraboutConsensus<V> {
+    me: ProcessId,
+    n: usize,
+    proposal: V,
+    leader: Option<ProcessId>,
+    sent: bool,
+    decision: Option<V>,
+}
+
+impl<V: Clone + Eq + Ord> ConsensusCore for MaraboutConsensus<V> {
+    type Msg = MaraboutMsg<V>;
+    type Val = V;
+
+    fn new(me: ProcessId, n: usize, proposal: V) -> Self {
+        assert!(n >= 1, "need at least one process");
+        Self {
+            me,
+            n,
+            proposal,
+            leader: None,
+            sent: false,
+            decision: None,
+        }
+    }
+
+    fn step(
+        &mut self,
+        input: Option<(ProcessId, &MaraboutMsg<V>)>,
+        suspects: ProcessSet,
+        out: &mut Outbox<MaraboutMsg<V>>,
+    ) -> Option<V> {
+        if self.decision.is_some() {
+            return None;
+        }
+        // Select the leader once: lowest-index non-suspected process.
+        // (With M the detector output is constant, so the choice is
+        // stable; with other detectors this is a best-effort read — E6
+        // demonstrates the consequences.)
+        let leader = *self
+            .leader
+            .get_or_insert_with(|| match suspects.complement_within(self.n).min() {
+                Some(l) => l,
+                // Everyone suspected (all faulty): degenerate — lead
+                // yourself; nobody correct exists to disagree with.
+                None => self.me,
+            });
+        if leader == self.me {
+            if !self.sent {
+                self.sent = true;
+                out.broadcast(MaraboutMsg {
+                    value: self.proposal.clone(),
+                });
+            }
+            self.decision = Some(self.proposal.clone());
+            return self.decision.clone();
+        }
+        if let Some((from, msg)) = input {
+            if from == leader {
+                self.decision = Some(msg.value.clone());
+                return self.decision.clone();
+            }
+        }
+        None
+    }
+
+    fn decision(&self) -> Option<&V> {
+        self.decision.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn leader_decides_its_own_value_and_broadcasts() {
+        // Suspect set {p0}: leader is p1.
+        let mut c: MaraboutConsensus<u64> = MaraboutConsensus::new(p(1), 3, 20);
+        let mut out = Outbox::new(p(1), 3);
+        let d = c.step(None, ProcessSet::singleton(p(0)), &mut out);
+        assert_eq!(d, Some(20));
+        assert_eq!(out.drain().len(), 3);
+    }
+
+    #[test]
+    fn follower_waits_for_leader_value() {
+        let mut c: MaraboutConsensus<u64> = MaraboutConsensus::new(p(2), 3, 30);
+        let mut out = Outbox::new(p(2), 3);
+        assert_eq!(c.step(None, ProcessSet::singleton(p(0)), &mut out), None);
+        // Value from a non-leader is ignored.
+        let mut out2 = Outbox::new(p(2), 3);
+        assert_eq!(
+            c.step(
+                Some((p(0), &MaraboutMsg { value: 10 })),
+                ProcessSet::singleton(p(0)),
+                &mut out2
+            ),
+            None
+        );
+        // Value from the leader (p1) decides.
+        let mut out3 = Outbox::new(p(2), 3);
+        assert_eq!(
+            c.step(
+                Some((p(1), &MaraboutMsg { value: 20 })),
+                ProcessSet::singleton(p(0)),
+                &mut out3
+            ),
+            Some(20)
+        );
+    }
+
+    #[test]
+    fn leader_choice_is_sticky() {
+        let mut c: MaraboutConsensus<u64> = MaraboutConsensus::new(p(2), 3, 30);
+        let mut out = Outbox::new(p(2), 3);
+        c.step(None, ProcessSet::empty(), &mut out);
+        assert_eq!(c.leader, Some(p(0)));
+        // Even if the detector output changes later, the leader stays.
+        let mut out2 = Outbox::new(p(2), 3);
+        c.step(None, ProcessSet::singleton(p(0)), &mut out2);
+        assert_eq!(c.leader, Some(p(0)));
+    }
+}

@@ -1,0 +1,360 @@
+//! The Chandra–Toueg `◇S` rotating-coordinator consensus algorithm.
+//!
+//! The paper's baseline (§1.2): `◇S` solves consensus **only** with a
+//! majority of correct processes, and the algorithm is **not total**
+//! (footnote 4: "only a majority needs to be consulted, even if all
+//! processes are correct") — which is why `◇S` escapes the `T_{D⇒P}`
+//! reduction, and why it stops terminating once `f ≥ ⌈n/2⌉` (experiment
+//! E9's crossover).
+//!
+//! Structure (Chandra & Toueg, JACM 1996, Fig. 6), per round `r` with
+//! coordinator `c = r mod n`:
+//!
+//! 1. everyone sends its timestamped estimate to `c`;
+//! 2. `c` collects `⌈(n+1)/2⌉` estimates and proposes the one with the
+//!    highest timestamp;
+//! 3. participants wait for `c`'s proposal **or** suspect `c`: adopt +
+//!    ack, or nack;
+//! 4. `c` collects `⌈(n+1)/2⌉` replies; if all are acks it reliably
+//!    broadcasts the decision.
+
+use super::{ConsensusCore, Outbox};
+use rfd_core::{ProcessId, ProcessSet};
+use std::collections::BTreeMap;
+
+/// Messages of the `◇S` rotating-coordinator algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RotatingMsg<V> {
+    /// Phase-1 estimate sent to the round's coordinator.
+    Estimate {
+        /// Round number.
+        r: u64,
+        /// Timestamp: the round in which the estimate was last adopted.
+        ts: u64,
+        /// The estimate.
+        v: V,
+    },
+    /// Phase-2 coordinator proposal.
+    Propose {
+        /// Round number.
+        r: u64,
+        /// Proposed value.
+        v: V,
+    },
+    /// Phase-3 positive reply.
+    Ack {
+        /// Round number.
+        r: u64,
+    },
+    /// Phase-3 negative reply (the coordinator was suspected).
+    Nack {
+        /// Round number.
+        r: u64,
+    },
+    /// Phase-4 decision announcement (reliably relayed).
+    Decide(V),
+}
+
+/// Per-round coordinator bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct CoordRound<V> {
+    estimates: Vec<(u64, V)>,
+    proposed: Option<V>,
+    acks: usize,
+    nacks: usize,
+    resolved: bool,
+}
+
+impl<V> CoordRound<V> {
+    fn empty() -> Self {
+        Self {
+            estimates: Vec::new(),
+            proposed: None,
+            acks: 0,
+            nacks: 0,
+            resolved: false,
+        }
+    }
+}
+
+/// Chandra–Toueg `◇S` rotating-coordinator consensus state machine.
+#[derive(Clone, Debug)]
+pub struct RotatingConsensus<V> {
+    me: ProcessId,
+    n: usize,
+    majority: usize,
+    round: u64,
+    estimate: V,
+    ts: u64,
+    sent_estimate: bool,
+    /// Buffered coordinator proposals for rounds ahead of us.
+    pending_proposals: BTreeMap<u64, V>,
+    /// Coordinator state for rounds this process coordinates.
+    coord: BTreeMap<u64, CoordRound<V>>,
+    decision: Option<V>,
+    announced: bool,
+    /// Hard cap on rounds to keep non-terminating runs (f ≥ n/2) bounded.
+    max_round: u64,
+}
+
+impl<V: Clone + Eq + Ord> RotatingConsensus<V> {
+    /// The coordinator of round `r`.
+    #[must_use]
+    pub fn coordinator(&self, r: u64) -> ProcessId {
+        ProcessId::new((r % self.n as u64) as usize)
+    }
+
+    /// The round this process is currently in (diagnostic).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn coordinate(&mut self, r: u64, out: &mut Outbox<RotatingMsg<V>>) {
+        let majority = self.majority;
+        let state = self.coord.entry(r).or_insert_with(CoordRound::empty);
+        if state.resolved {
+            return;
+        }
+        if state.proposed.is_none() && state.estimates.len() >= majority {
+            let (_, v) = state
+                .estimates
+                .iter()
+                .max_by_key(|(ts, _)| *ts)
+                .expect("nonempty")
+                .clone();
+            state.proposed = Some(v.clone());
+            out.broadcast(RotatingMsg::Propose { r, v });
+        }
+        if state.proposed.is_some() && state.acks + state.nacks >= majority {
+            state.resolved = true;
+            if state.nacks == 0 {
+                let v = state.proposed.clone().expect("proposed above");
+                if self.decision.is_none() && !self.announced {
+                    self.announced = true;
+                    out.broadcast(RotatingMsg::Decide(v));
+                }
+            }
+        }
+    }
+
+    fn advance_round(&mut self, out: &mut Outbox<RotatingMsg<V>>) {
+        self.round += 1;
+        self.sent_estimate = false;
+        self.participate(out);
+    }
+
+    fn participate(&mut self, out: &mut Outbox<RotatingMsg<V>>) {
+        if self.round > self.max_round || self.decision.is_some() {
+            return;
+        }
+        if !self.sent_estimate {
+            self.sent_estimate = true;
+            out.send(
+                self.coordinator(self.round),
+                RotatingMsg::Estimate {
+                    r: self.round,
+                    ts: self.ts,
+                    v: self.estimate.clone(),
+                },
+            );
+        }
+    }
+
+    fn handle_proposal(&mut self, r: u64, v: V, out: &mut Outbox<RotatingMsg<V>>) {
+        use core::cmp::Ordering;
+        match r.cmp(&self.round) {
+            Ordering::Equal => {
+                self.estimate = v;
+                self.ts = r;
+                out.send(self.coordinator(r), RotatingMsg::Ack { r });
+                self.advance_round(out);
+            }
+            Ordering::Greater => {
+                self.pending_proposals.insert(r, v);
+            }
+            Ordering::Less => {}
+        }
+    }
+}
+
+impl<V: Clone + Eq + Ord> ConsensusCore for RotatingConsensus<V> {
+    type Msg = RotatingMsg<V>;
+    type Val = V;
+
+    fn new(me: ProcessId, n: usize, proposal: V) -> Self {
+        assert!(n >= 1, "need at least one process");
+        Self {
+            me,
+            n,
+            majority: n / 2 + 1,
+            round: 0,
+            estimate: proposal,
+            ts: 0,
+            sent_estimate: false,
+            pending_proposals: BTreeMap::new(),
+            coord: BTreeMap::new(),
+            decision: None,
+            announced: false,
+            max_round: 1_000_000,
+        }
+    }
+
+    fn step(
+        &mut self,
+        input: Option<(ProcessId, &RotatingMsg<V>)>,
+        suspects: ProcessSet,
+        out: &mut Outbox<RotatingMsg<V>>,
+    ) -> Option<V> {
+        match input {
+            Some((_, RotatingMsg::Decide(v))) => {
+                if self.decision.is_none() {
+                    self.decision = Some(v.clone());
+                    if !self.announced {
+                        self.announced = true;
+                        out.broadcast(RotatingMsg::Decide(v.clone()));
+                    }
+                    return Some(v.clone());
+                }
+                return None;
+            }
+            Some((_, RotatingMsg::Estimate { r, ts, v })) => {
+                if self.coordinator(*r) == self.me {
+                    let state = self.coord.entry(*r).or_insert_with(CoordRound::empty);
+                    state.estimates.push((*ts, v.clone()));
+                    self.coordinate(*r, out);
+                }
+            }
+            Some((_, RotatingMsg::Propose { r, v })) => {
+                let (r, v) = (*r, v.clone());
+                self.handle_proposal(r, v, out);
+            }
+            Some((_, RotatingMsg::Ack { r })) => {
+                if self.coordinator(*r) == self.me {
+                    self.coord
+                        .entry(*r)
+                        .or_insert_with(CoordRound::empty)
+                        .acks += 1;
+                    self.coordinate(*r, out);
+                }
+            }
+            Some((_, RotatingMsg::Nack { r })) => {
+                if self.coordinator(*r) == self.me {
+                    self.coord
+                        .entry(*r)
+                        .or_insert_with(CoordRound::empty)
+                        .nacks += 1;
+                    self.coordinate(*r, out);
+                }
+            }
+            None => {}
+        }
+        if self.decision.is_some() {
+            return None;
+        }
+        self.participate(out);
+        // Apply a buffered proposal for the (new) current round, if any.
+        if let Some(v) = self.pending_proposals.remove(&self.round) {
+            self.handle_proposal(self.round, v, out);
+        } else {
+            // Phase 3 escape hatch: suspect the coordinator → nack and
+            // move on.
+            let c = self.coordinator(self.round);
+            if c != self.me && suspects.contains(c) && self.sent_estimate {
+                out.send(c, RotatingMsg::Nack { r: self.round });
+                self.advance_round(out);
+            }
+        }
+        None
+    }
+
+    fn decision(&self) -> Option<&V> {
+        self.decision.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn coordinator_rotates_modulo_n() {
+        let c: RotatingConsensus<u64> = RotatingConsensus::new(p(0), 3, 1);
+        assert_eq!(c.coordinator(0), p(0));
+        assert_eq!(c.coordinator(1), p(1));
+        assert_eq!(c.coordinator(3), p(0));
+    }
+
+    #[test]
+    fn solo_round_zero_coordinator_decides_with_majority_one() {
+        // n = 1: the single process is coordinator with majority 1.
+        let mut c: RotatingConsensus<u64> = RotatingConsensus::new(p(0), 1, 7);
+        let mut decided = None;
+        let mut queue: Vec<(ProcessId, RotatingMsg<u64>)> = Vec::new();
+        for _ in 0..50 {
+            let input = queue.pop();
+            let mut out = Outbox::new(p(0), 1);
+            if let Some(v) = c.step(
+                input.as_ref().map(|(f, m)| (*f, m)),
+                ProcessSet::empty(),
+                &mut out,
+            ) {
+                decided = Some(v);
+                break;
+            }
+            for (to, m) in out.drain() {
+                assert_eq!(to, p(0));
+                queue.insert(0, (p(0), m));
+            }
+        }
+        assert_eq!(decided, Some(7));
+    }
+
+    #[test]
+    fn decide_message_is_adopted_and_relayed_once() {
+        let mut c: RotatingConsensus<u64> = RotatingConsensus::new(p(2), 5, 9);
+        let mut out = Outbox::new(p(2), 5);
+        let d = c.step(
+            Some((p(0), &RotatingMsg::Decide(4))),
+            ProcessSet::empty(),
+            &mut out,
+        );
+        assert_eq!(d, Some(4));
+        assert_eq!(out.drain().len(), 5);
+        let mut out2 = Outbox::new(p(2), 5);
+        assert_eq!(
+            c.step(
+                Some((p(1), &RotatingMsg::Decide(4))),
+                ProcessSet::empty(),
+                &mut out2
+            ),
+            None
+        );
+        assert!(out2.drain().is_empty());
+    }
+
+    #[test]
+    fn suspecting_the_coordinator_triggers_nack_and_round_advance() {
+        let mut c: RotatingConsensus<u64> = RotatingConsensus::new(p(1), 3, 5);
+        let mut out = Outbox::new(p(1), 3);
+        // First step: sends estimate to coordinator p0.
+        c.step(None, ProcessSet::empty(), &mut out);
+        assert_eq!(c.round(), 0);
+        // Suspect p0: nack + advance to round 1 (coordinator p1 = self).
+        let mut out2 = Outbox::new(p(1), 3);
+        c.step(None, ProcessSet::singleton(p(0)), &mut out2);
+        assert_eq!(c.round(), 1);
+        let msgs = out2.drain();
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == p(0) && matches!(m, RotatingMsg::Nack { r: 0 })));
+        // The new estimate goes to round 1's coordinator (itself).
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == p(1) && matches!(m, RotatingMsg::Estimate { r: 1, .. })));
+    }
+}

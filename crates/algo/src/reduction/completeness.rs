@@ -1,0 +1,157 @@
+//! Boosting weak completeness to strong completeness by gossip
+//! (Chandra–Toueg, JACM 1996, Fig. 1).
+//!
+//! The paper's class definitions lean on CT's observation that weak and
+//! strong completeness are interchangeable: every process periodically
+//! broadcasts the set of processes its local module currently suspects;
+//! on receipt, a process adds the suspicions to its emulated output and
+//! removes the **sender** (a message from `q` proves `q` was alive when
+//! it sent — exactly the "accurate about the past" flavor of information
+//! that realistic detectors traffic in).
+//!
+//! Run over [`rfd_core::oracles::WeakWitnessOracle`] (weak completeness +
+//! strong accuracy), the boosted output satisfies **strong** completeness
+//! while preserving eventual accuracy of the sort the input had: a live
+//! sender keeps cleansing itself from everyone's emulated output.
+
+use rfd_core::{ProcessId, ProcessSet};
+use rfd_sim::{Automaton, Envelope, StepContext};
+
+/// Gossip message: the sender's currently suspected set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuspicionGossip {
+    /// The sender's local detector output at send time.
+    pub suspects: ProcessSet,
+}
+
+/// The completeness-boosting automaton.
+///
+/// Exposes the boosted set through
+/// [`rfd_sim::Automaton::emulated_suspects`], so the engine assembles an
+/// emulated history checkable against the class predicates.
+#[derive(Debug)]
+pub struct CompletenessBooster {
+    me: ProcessId,
+    /// Steps between gossip rounds.
+    gossip_every: u64,
+    steps: u64,
+    output: ProcessSet,
+}
+
+impl CompletenessBooster {
+    /// Creates the booster for process `me`, gossiping every
+    /// `gossip_every` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gossip_every` is zero.
+    #[must_use]
+    pub fn new(me: ProcessId, gossip_every: u64) -> Self {
+        assert!(gossip_every > 0, "gossip period must be positive");
+        Self {
+            me,
+            gossip_every,
+            steps: 0,
+            output: ProcessSet::empty(),
+        }
+    }
+
+    /// Builds the fleet.
+    #[must_use]
+    pub fn fleet(n: usize, gossip_every: u64) -> Vec<Self> {
+        (0..n)
+            .map(|ix| Self::new(ProcessId::new(ix), gossip_every))
+            .collect()
+    }
+
+    /// The boosted suspect set.
+    #[must_use]
+    pub fn output(&self) -> ProcessSet {
+        self.output
+    }
+}
+
+impl Automaton for CompletenessBooster {
+    type Msg = SuspicionGossip;
+    /// Outputs each boosted-set change.
+    type Output = ProcessSet;
+
+    fn on_step(
+        &mut self,
+        input: Option<&Envelope<Self::Msg>>,
+        ctx: &mut StepContext<Self::Msg, Self::Output>,
+    ) {
+        let before = self.output;
+        // Merge the local module's current view.
+        self.output |= ctx.suspects();
+        if let Some(env) = input {
+            // CT Fig. 1: output ← (output ∪ received) \ {sender}.
+            self.output |= env.payload.suspects;
+            self.output.remove(env.from);
+        }
+        self.output.remove(self.me);
+        if self.steps % self.gossip_every == 0 {
+            ctx.broadcast_others(SuspicionGossip {
+                suspects: self.output,
+            });
+        }
+        self.steps += 1;
+        if self.output != before {
+            ctx.output(self.output);
+        }
+    }
+
+    fn emulated_suspects(&self) -> Option<ProcessSet> {
+        Some(self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfd_core::oracles::{Oracle, WeakWitnessOracle};
+    use rfd_core::{FailurePattern, History, Time};
+    use rfd_sim::{run, ticks_for_rounds, SimConfig};
+
+    #[test]
+    fn fresh_booster_suspects_nobody() {
+        let b = CompletenessBooster::new(ProcessId::new(0), 4);
+        assert!(b.output().is_empty());
+        assert_eq!(b.emulated_suspects(), Some(ProcessSet::empty()));
+    }
+
+    #[test]
+    fn boosted_output_spreads_a_witnessed_crash_to_everyone() {
+        let n = 4;
+        let rounds = 300u64;
+        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(30));
+        let oracle = WeakWitnessOracle::new(5);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, rounds), 3);
+        let automata = CompletenessBooster::fleet(n, 4);
+        let result = run(&pattern, &history, automata, &SimConfig::new(3, rounds));
+        // Only one process's local module ever saw the crash, but every
+        // survivor's boosted output ends up containing p0.
+        for (ix, b) in result.automata.iter().enumerate() {
+            if ix != 0 {
+                assert!(
+                    b.output().contains(ProcessId::new(0)),
+                    "p{ix} missing the boosted suspicion"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_senders_cleanse_themselves() {
+        let n = 3;
+        let rounds = 200u64;
+        let pattern = FailurePattern::new(n); // everyone correct
+        // A silent (empty) oracle: no local suspicions at all.
+        let history = History::new(n, ProcessSet::empty());
+        let automata = CompletenessBooster::fleet(n, 4);
+        let result = run(&pattern, &history, automata, &SimConfig::new(5, rounds));
+        for b in &result.automata {
+            assert!(b.output().is_empty(), "no crash, no suspicion");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The paper's reductions: emulating a Perfect failure detector.
+//!
+//! * [`PerfectEmulation`] — `T_{D⇒P}` (§4.3): an infinite sequence of
+//!   *total* consensus instances with `[pᵢ is alive]` tags; at every
+//!   decision, processes whose tag is missing from the decision's causal
+//!   chain are added to `output(P)`, which is never retracted.
+//! * [`TrbEmulation`] — the §5 counterpart: run TRB instances `(i, k)`
+//!   round-robin over initiators; whenever `nil` is delivered for an
+//!   instance initiated by `pᵢ`, add `pᵢ` to `output(P)`.
+//!
+//! * [`CompletenessBooster`] — Chandra–Toueg's weak→strong completeness
+//!   gossip transformation, used by the class definitions the paper
+//!   builds on.
+//!
+//! All expose their emulated output through
+//! [`rfd_sim::Automaton::emulated_suspects`], so the engine assembles the
+//! emulated history and `rfd-core`'s class checker can verify it is
+//! Perfect (experiments E2 and E3).
+
+mod completeness;
+mod to_perfect;
+mod trb_to_perfect;
+
+pub use completeness::{CompletenessBooster, SuspicionGossip};
+pub use to_perfect::{InstanceMsg, PerfectEmulation};
+pub use trb_to_perfect::{TrbEmulation, TrbInstanceMsg};

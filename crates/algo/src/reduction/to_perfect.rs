@@ -1,0 +1,228 @@
+//! `T_{D⇒P}`: transforming a total-consensus-solving detector into `P`
+//! (§4.3, Lemma 4.2).
+//!
+//! The algorithm is an infinite sequence of executions of a total
+//! consensus algorithm `A`, with three additions:
+//!
+//! 1. every message carries the information `[pᵢ is alive]` for its
+//!    sender — and, transitively, for every process in the causal past of
+//!    the send (realized here as an instance-scoped `alive` set merged on
+//!    receipt and attached on send);
+//! 2. decision events inherit the alive-tags of their causal chain;
+//! 3. at a decision event, every process whose tag is **not** attached is
+//!    added to `output(P)` and never removed.
+//!
+//! Because `A` is total (Lemma 4.1 — with an unbounded number of possible
+//! failures, *every* consensus algorithm using a realistic detector is),
+//! a missing tag proves the process had crashed: strong accuracy. A
+//! crashed process sends nothing in later instances, whose decisions
+//! therefore lack its tag: strong completeness.
+
+use crate::consensus::{ConsensusCore, Outbox};
+use rfd_core::{ProcessId, ProcessSet};
+use rfd_sim::{Automaton, Envelope, StepContext};
+
+/// A consensus message wrapped with its instance number and alive-tags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceMsg<M> {
+    /// Consensus instance number (0-based).
+    pub instance: u64,
+    /// Alive-tags: the instance-scoped causal past of the send.
+    pub alive: ProcessSet,
+    /// The wrapped consensus message.
+    pub inner: M,
+}
+
+/// The `T_{D⇒P}` emulation automaton, generic over the total consensus
+/// core `C` (e.g. [`crate::consensus::StrongConsensus`] or
+/// [`crate::consensus::FloodSetConsensus`]).
+#[derive(Debug)]
+pub struct PerfectEmulation<C: ConsensusCore> {
+    me: ProcessId,
+    n: usize,
+    instance: u64,
+    core: C,
+    /// Alive-tags gathered for the current instance (always contains
+    /// `me`).
+    alive: ProcessSet,
+    /// The emulated Perfect detector output — grows monotonically.
+    output_p: ProcessSet,
+    /// Messages for future instances.
+    buffered: Vec<(u64, ProcessId, ProcessSet, C::Msg)>,
+    /// Decisions observed (instance, decided alive set) — diagnostics.
+    decisions: u64,
+}
+
+impl<C> PerfectEmulation<C>
+where
+    C: ConsensusCore,
+    C::Val: From<u64>,
+{
+    /// Creates the emulation process `me` of `n`.
+    #[must_use]
+    pub fn new(me: ProcessId, n: usize) -> Self {
+        Self {
+            me,
+            n,
+            instance: 0,
+            core: C::new(me, n, C::Val::from(me.index() as u64)),
+            alive: ProcessSet::singleton(me),
+            output_p: ProcessSet::empty(),
+            buffered: Vec::new(),
+            decisions: 0,
+        }
+    }
+
+    /// Builds the fleet.
+    #[must_use]
+    pub fn fleet(n: usize) -> Vec<Self> {
+        (0..n).map(|ix| Self::new(ProcessId::new(ix), n)).collect()
+    }
+
+    /// The current `output(P)` of this process.
+    #[must_use]
+    pub fn output_p(&self) -> ProcessSet {
+        self.output_p
+    }
+
+    /// Number of consensus instances this process has seen decide.
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    fn next_instance(&mut self) {
+        self.instance += 1;
+        self.core = C::new(self.me, self.n, C::Val::from(self.me.index() as u64));
+        self.alive = ProcessSet::singleton(self.me);
+    }
+
+    /// Runs one core step (with optional input), wrapping sends with the
+    /// current instance and alive-tags. Returns `true` if the instance
+    /// decided.
+    fn drive(
+        &mut self,
+        input: Option<(ProcessId, &C::Msg)>,
+        suspects: ProcessSet,
+        sends: &mut Vec<(ProcessId, InstanceMsg<C::Msg>)>,
+    ) -> bool {
+        let mut out = Outbox::new(self.me, self.n);
+        let decided = self.core.step(input, suspects, &mut out);
+        for (to, msg) in out.drain() {
+            sends.push((
+                to,
+                InstanceMsg {
+                    instance: self.instance,
+                    alive: self.alive,
+                    inner: msg,
+                },
+            ));
+        }
+        if decided.is_some() {
+            // §4.3 step 3: suspect exactly the processes whose alive-tag
+            // is missing from the decision event.
+            self.output_p |= self.alive.complement_within(self.n);
+            self.decisions += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<C> Automaton for PerfectEmulation<C>
+where
+    C: ConsensusCore,
+    C::Val: From<u64>,
+{
+    type Msg = InstanceMsg<C::Msg>;
+    /// Each decision event outputs the updated `output(P)` snapshot.
+    type Output = ProcessSet;
+
+    fn on_step(
+        &mut self,
+        input: Option<&Envelope<Self::Msg>>,
+        ctx: &mut StepContext<Self::Msg, Self::Output>,
+    ) {
+        let mut sends: Vec<(ProcessId, InstanceMsg<C::Msg>)> = Vec::new();
+        // Classify the input.
+        let mut inner_input: Option<(ProcessId, C::Msg)> = None;
+        if let Some(env) = input {
+            let msg = &env.payload;
+            if msg.instance == self.instance {
+                self.alive |= msg.alive;
+                inner_input = Some((env.from, msg.inner.clone()));
+            } else if msg.instance > self.instance {
+                self.buffered
+                    .push((msg.instance, env.from, msg.alive, msg.inner.clone()));
+            }
+            // Older instances: already decided here — tags are stale and
+            // suspicions are never retracted, so drop them.
+        }
+        // Drive the current instance; on decision, roll into the next and
+        // replay any buffered traffic (possibly cascading).
+        let mut decided = self.drive(
+            inner_input.as_ref().map(|(f, m)| (*f, m)),
+            ctx.suspects(),
+            &mut sends,
+        );
+        while decided {
+            ctx.output(self.output_p);
+            self.next_instance();
+            let instance = self.instance;
+            let buffered = std::mem::take(&mut self.buffered);
+            decided = false;
+            for (k, from, alive, msg) in buffered {
+                if k == instance && !decided {
+                    self.alive |= alive;
+                    decided |= self.drive(Some((from, &msg)), ctx.suspects(), &mut sends);
+                } else if k > instance || (k == instance && decided) {
+                    self.buffered.push((k, from, alive, msg));
+                }
+            }
+        }
+        for (to, msg) in sends {
+            ctx.send(to, msg);
+        }
+    }
+
+    fn emulated_suspects(&self) -> Option<ProcessSet> {
+        Some(self.output_p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::FloodSetConsensus;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    type Emu = PerfectEmulation<FloodSetConsensus<u64>>;
+
+    #[test]
+    fn fresh_emulation_suspects_nobody() {
+        let e = Emu::new(p(0), 3);
+        assert!(e.output_p().is_empty());
+        assert_eq!(e.emulated_suspects(), Some(ProcessSet::empty()));
+    }
+
+    #[test]
+    fn alive_tags_start_with_self() {
+        let e = Emu::new(p(2), 3);
+        assert_eq!(e.alive, ProcessSet::singleton(p(2)));
+    }
+
+    #[test]
+    fn instance_rollover_resets_alive_and_keeps_output() {
+        let mut e = Emu::new(p(0), 2);
+        e.alive.insert(p(1));
+        e.output_p.insert(p(1));
+        e.next_instance();
+        assert_eq!(e.instance, 1);
+        assert_eq!(e.alive, ProcessSet::singleton(p(0)));
+        assert!(e.output_p.contains(p(1)), "suspicions are never retracted");
+    }
+}

@@ -1,0 +1,160 @@
+//! Atomic broadcast properties (§1.1: equivalent to consensus, hence `P`
+//! suffices for any number of failures).
+
+use rfd_algo::broadcast::{AtomicBroadcast, ReliableBroadcast};
+use rfd_core::oracles::{Oracle, PerfectOracle};
+use rfd_core::{FailurePattern, ProcessId, Time};
+use rfd_sim::{run, ticks_for_rounds, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: u64 = 3_000;
+
+/// Collects each process's delivery sequence as `(origin, seq, value)`.
+fn delivery_sequences(
+    trace: &rfd_sim::Trace<rfd_algo::broadcast::AbDelivery<u64>>,
+    n: usize,
+) -> Vec<Vec<(usize, u64, u64)>> {
+    let mut seqs: Vec<Vec<(usize, u64, u64)>> = vec![Vec::new(); n];
+    for ev in &trace.events {
+        seqs[ev.process.index()].push((ev.value.origin.index(), ev.value.seq, ev.value.value));
+    }
+    seqs
+}
+
+fn is_prefix_of(a: &[(usize, u64, u64)], b: &[(usize, u64, u64)]) -> bool {
+    a.len() <= b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+#[test]
+fn atomic_broadcast_total_order_failure_free() {
+    let n = 4;
+    let pattern = FailurePattern::new(n);
+    let oracle = PerfectOracle::new(6, 3);
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), 0);
+    let payloads: Vec<Vec<u64>> = (0..n as u64).map(|i| vec![i * 10, i * 10 + 1]).collect();
+    let automata = AtomicBroadcast::fleet(payloads);
+    let result = run(&pattern, &history, automata, &SimConfig::new(4, ROUNDS));
+    let seqs = delivery_sequences(&result.trace, n);
+    // Everyone delivers all 8 messages in the same total order.
+    for ix in 0..n {
+        assert_eq!(seqs[ix].len(), 2 * n, "p{ix} delivered {:?}", seqs[ix]);
+        assert_eq!(seqs[ix], seqs[0], "total order violated at p{ix}");
+    }
+}
+
+#[test]
+fn atomic_broadcast_total_order_under_crashes() {
+    let mut rng = StdRng::seed_from_u64(0xAB);
+    let oracle = PerfectOracle::new(6, 3);
+    for seed in 0..8u64 {
+        let n = 4;
+        let pattern = FailurePattern::random(n, n - 1, Time::new(400), &mut rng);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+        let payloads: Vec<Vec<u64>> = (0..n as u64).map(|i| vec![i + 1]).collect();
+        let automata = AtomicBroadcast::fleet(payloads);
+        let result = run(&pattern, &history, automata, &SimConfig::new(seed, ROUNDS));
+        let seqs = delivery_sequences(&result.trace, n);
+        // Agreement on order: every pair of correct processes delivers
+        // identical sequences; faulty prefixes must be prefixes of them.
+        let correct: Vec<usize> = pattern.correct().iter().map(|p| p.index()).collect();
+        if let Some(&first) = correct.first() {
+            for &ix in &correct {
+                assert_eq!(
+                    seqs[ix], seqs[first],
+                    "seed={seed} pattern={pattern:?}: correct sequences differ"
+                );
+            }
+            for ix in 0..n {
+                if !correct.contains(&ix) {
+                    assert!(
+                        is_prefix_of(&seqs[ix], &seqs[first]),
+                        "seed={seed}: faulty p{ix}'s deliveries {:?} not a prefix of {:?}",
+                        seqs[ix],
+                        seqs[first]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn atomic_broadcast_validity_correct_senders_get_delivered() {
+    let n = 5;
+    // p2 and p4 crash late enough to matter but their messages may still
+    // make it; p0/p1/p3 are correct, so their messages MUST be delivered.
+    let pattern = FailurePattern::new(n)
+        .with_crash(ProcessId::new(2), Time::new(60))
+        .with_crash(ProcessId::new(4), Time::new(90));
+    let oracle = PerfectOracle::new(6, 3);
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), 1);
+    let payloads: Vec<Vec<u64>> = vec![vec![100], vec![200], vec![300], vec![400], vec![500]];
+    let automata = AtomicBroadcast::fleet(payloads);
+    let result = run(&pattern, &history, automata, &SimConfig::new(1, ROUNDS));
+    let seqs = delivery_sequences(&result.trace, n);
+    for correct_origin in [0usize, 1, 3] {
+        let expected = (correct_origin as u64 + 1) * 100;
+        for obs in pattern.correct().iter() {
+            assert!(
+                seqs[obs.index()].iter().any(|(_, _, v)| *v == expected),
+                "{obs} missing message {expected} from correct p{correct_origin}"
+            );
+        }
+    }
+}
+
+#[test]
+fn atomic_broadcast_no_duplication_no_creation() {
+    let n = 3;
+    let pattern = FailurePattern::new(n);
+    let oracle = PerfectOracle::new(6, 3);
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), 2);
+    let payloads: Vec<Vec<u64>> = vec![vec![7, 8], vec![9], vec![]];
+    let automata = AtomicBroadcast::fleet(payloads);
+    let result = run(&pattern, &history, automata, &SimConfig::new(2, ROUNDS));
+    let seqs = delivery_sequences(&result.trace, n);
+    let legal: Vec<(usize, u64, u64)> = vec![(0, 0, 7), (0, 1, 8), (1, 0, 9)];
+    for ix in 0..n {
+        // No creation...
+        for d in &seqs[ix] {
+            assert!(legal.contains(d), "p{ix} delivered fabricated {d:?}");
+        }
+        // ...no duplication.
+        let mut sorted = seqs[ix].clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seqs[ix].len(), "p{ix} duplicated a delivery");
+    }
+}
+
+#[test]
+fn reliable_broadcast_agreement_under_random_crashes() {
+    let mut rng = StdRng::seed_from_u64(0xB0);
+    let oracle = PerfectOracle::new(6, 3);
+    for seed in 0..10u64 {
+        let n = 5;
+        let pattern = FailurePattern::random(n, n - 1, Time::new(200), &mut rng);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, 500), seed);
+        let payloads: Vec<Vec<u64>> = (0..n as u64).map(|i| vec![i]).collect();
+        let automata = ReliableBroadcast::fleet(payloads);
+        let result = run(&pattern, &history, automata, &SimConfig::new(seed, 500));
+        // Agreement: if any correct process delivered m, all correct did.
+        let correct: Vec<usize> = pattern.correct().iter().map(|p| p.index()).collect();
+        let mut per_proc: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for ev in &result.trace.events {
+            per_proc[ev.process.index()].push(ev.value.value);
+        }
+        for v in 0..n as u64 {
+            let holders: Vec<usize> = correct
+                .iter()
+                .copied()
+                .filter(|&ix| per_proc[ix].contains(&v))
+                .collect();
+            assert!(
+                holders.is_empty() || holders.len() == correct.len(),
+                "seed={seed} message {v}: delivered by {holders:?} of {correct:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Randomized end-to-end consensus property tests (the paper's §4
+//! sufficiency claims), run through the full simulator.
+
+use rfd_algo::check::check_consensus;
+use rfd_algo::consensus::{
+    ConsensusAutomaton, ConsensusCore, FloodSetConsensus, MaraboutConsensus, RotatingConsensus,
+    StrongConsensus,
+};
+use rfd_core::oracles::{
+    EventuallyStrongOracle, MaraboutOracle, Oracle, PerfectOracle, StrongOracle,
+};
+use rfd_core::{FailurePattern, ProcessId, Time};
+use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROUNDS: u64 = 600;
+
+fn proposals(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 100 + i).collect()
+}
+
+fn random_pattern(n: usize, max_faulty: usize, rng: &mut StdRng) -> FailurePattern {
+    // Crashes happen early enough that detection completes within budget.
+    FailurePattern::random(n, max_faulty, Time::new(ROUNDS), rng)
+}
+
+/// Runs a consensus core over an oracle history and returns the verdict.
+fn consensus_run<C>(
+    pattern: &FailurePattern,
+    history: &rfd_core::History<rfd_core::ProcessSet>,
+    seed: u64,
+) -> rfd_algo::ConsensusVerdict<u64>
+where
+    C: ConsensusCore<Val = u64>,
+{
+    let n = pattern.num_processes();
+    let props = proposals(n);
+    let automata = ConsensusAutomaton::<C>::fleet(&props);
+    let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+    let result = run(pattern, history, automata, &config);
+    check_consensus(pattern, &result.trace, &props)
+}
+
+#[test]
+fn floodset_over_perfect_is_uniform_consensus_for_any_f() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let oracle = PerfectOracle::new(6, 3);
+    for n in [3usize, 5, 8] {
+        for seed in 0..10u64 {
+            // Unbounded failures: up to n-1 crashes.
+            let pattern = random_pattern(n, n - 1, &mut rng);
+            let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+            let v = consensus_run::<FloodSetConsensus<u64>>(&pattern, &history, seed);
+            assert!(
+                v.is_uniform_consensus(),
+                "n={n} seed={seed} pattern={pattern:?}: {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ct_strong_over_perfect_is_uniform_consensus_for_any_f() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    let oracle = PerfectOracle::new(6, 3);
+    for n in [3usize, 5, 8] {
+        for seed in 0..10u64 {
+            let pattern = random_pattern(n, n - 1, &mut rng);
+            let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+            let v = consensus_run::<StrongConsensus<u64>>(&pattern, &history, seed);
+            assert!(
+                v.is_uniform_consensus(),
+                "n={n} seed={seed} pattern={pattern:?}: {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ct_strong_over_clairvoyant_strong_oracle_stays_safe() {
+    // §1.2 / §6.3: S solves (uniform) consensus even with unbounded
+    // failures — also for the clairvoyant Strong oracle, which is S but
+    // not P (and not realistic).
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    let oracle = StrongOracle::new(5, Time::new(60));
+    for seed in 0..10u64 {
+        let n = 5;
+        let pattern = random_pattern(n, n - 1, &mut rng);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+        let v = consensus_run::<StrongConsensus<u64>>(&pattern, &history, seed);
+        assert!(
+            v.is_uniform_consensus(),
+            "n={n} seed={seed} pattern={pattern:?}: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn rotating_over_eventually_strong_decides_with_correct_majority() {
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    let oracle = EventuallyStrongOracle::new(8);
+    for n in [3usize, 5, 7] {
+        let max_f = (n - 1) / 2; // keep a correct majority
+        for seed in 0..8u64 {
+            let pattern = random_pattern(n, max_f, &mut rng);
+            let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+            let v = consensus_run::<RotatingConsensus<u64>>(&pattern, &history, seed);
+            assert!(
+                v.is_uniform_consensus(),
+                "n={n} seed={seed} pattern={pattern:?}: {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rotating_does_not_terminate_without_correct_majority() {
+    // The paper's point (§1.2): ◇S is insufficient when f can reach
+    // ⌈n/2⌉. Crash a majority at t=0; the coordinator can never gather
+    // majority estimates, so nobody ever decides. Safety is preserved.
+    let n = 4;
+    let mut pattern = FailurePattern::new(n);
+    pattern.set_crash(ProcessId::new(0), Time::ZERO);
+    pattern.set_crash(ProcessId::new(1), Time::ZERO);
+    let oracle = EventuallyStrongOracle::new(8);
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), 1);
+    let v = consensus_run::<RotatingConsensus<u64>>(&pattern, &history, 1);
+    assert!(v.termination.is_err(), "must block: {v:?}");
+    assert!(v.uniform_agreement.is_ok(), "but never disagree: {v:?}");
+}
+
+#[test]
+fn marabout_algorithm_works_with_marabout_for_any_f() {
+    // §6.1: with the clairvoyant M, the trivial algorithm solves
+    // consensus no matter how many processes crash.
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    let oracle = MaraboutOracle::new();
+    for seed in 0..10u64 {
+        let n = 5;
+        let pattern = random_pattern(n, n - 1, &mut rng);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+        let v = consensus_run::<MaraboutConsensus<u64>>(&pattern, &history, seed);
+        assert!(
+            v.is_uniform_consensus(),
+            "n={n} seed={seed} pattern={pattern:?}: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn marabout_algorithm_can_block_with_a_realistic_detector() {
+    // The same algorithm run with a realistic Perfect oracle loses
+    // liveness: the selected leader (lowest non-suspected at selection
+    // time) may crash before sending; followers then wait forever —
+    // the §6.1 trick only works because M sees the future.
+    let n = 3;
+    let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(2));
+    // Detection is slow enough that everyone picks p0 as leader first.
+    let oracle = PerfectOracle::new(40, 0);
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), 3);
+    let v = consensus_run::<MaraboutConsensus<u64>>(&pattern, &history, 3);
+    assert!(
+        v.termination.is_err(),
+        "leader crashed pre-send, followers must block: {v:?}"
+    );
+}
+
+#[test]
+fn agreement_holds_across_many_seeds_and_patterns() {
+    // A broader randomized sweep on the headline algorithm.
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let oracle = PerfectOracle::new(5, 4);
+    for seed in 0..30u64 {
+        let n = rng.gen_range(2..=8);
+        let pattern = random_pattern(n, n - 1, &mut rng);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+        let v = consensus_run::<FloodSetConsensus<u64>>(&pattern, &history, seed);
+        assert!(v.uniform_agreement.is_ok(), "seed={seed}: {v:?}");
+        assert!(v.validity.is_ok(), "seed={seed}: {v:?}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Safety stress: agreement must survive hostile detectors and hostile
+//! schedules. Liveness may be lost — safety, never.
+
+use rfd_algo::check::check_consensus;
+use rfd_algo::consensus::{
+    ConsensusAutomaton, ConsensusCore, EarlyFloodSetConsensus, FloodSetConsensus,
+    RotatingConsensus, StrongConsensus,
+};
+use rfd_core::oracles::{EventuallyPerfectOracle, Oracle, PerfectOracle};
+use rfd_core::{FailurePattern, History, ProcessId, ProcessSet, Time};
+use rfd_sim::{run, ticks_for_rounds, Adversary, DeliveryModel, SimConfig, StopCondition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROUNDS: u64 = 500;
+
+fn stress<C: ConsensusCore<Val = u64>>(
+    name: &str,
+    history_of: impl Fn(&FailurePattern, u64, Time) -> History<ProcessSet>,
+    seeds: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(0x57E5);
+    for seed in 0..seeds {
+        let n = rng.gen_range(2..=7);
+        let pattern = FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng);
+        let horizon = ticks_for_rounds(n, ROUNDS);
+        let history = history_of(&pattern, seed, horizon);
+        let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+        // Hostile schedule: slow, jittery delivery plus a random hold.
+        let adversary = match seed % 4 {
+            0 => Adversary::None,
+            1 => Adversary::HoldFrom(ProcessId::new(rng.gen_range(0..n)), Time::new(300)),
+            2 => Adversary::HoldTo(ProcessId::new(rng.gen_range(0..n)), Time::new(300)),
+            _ => Adversary::Isolate(ProcessId::new(rng.gen_range(0..n)), Time::new(250)),
+        };
+        let config = SimConfig::new(seed, ROUNDS)
+            .with_delivery(DeliveryModel::uniform(1, 25))
+            .with_adversary(adversary)
+            .with_stop(StopCondition::EachCorrectOutput(1));
+        let automata = ConsensusAutomaton::<C>::fleet(&props);
+        let result = run(&pattern, &history, automata, &config);
+        let v = check_consensus(&pattern, &result.trace, &props);
+        assert!(
+            v.uniform_agreement.is_ok(),
+            "{name}: agreement broke, seed={seed} pattern={pattern:?}: {v:?}"
+        );
+        assert!(
+            v.validity.is_ok(),
+            "{name}: validity broke, seed={seed} pattern={pattern:?}: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn floodset_safety_under_hostile_schedules() {
+    let oracle = PerfectOracle::new(6, 4);
+    stress::<FloodSetConsensus<u64>>("floodset", |p, s, h| oracle.generate(p, h, s), 40);
+}
+
+#[test]
+fn early_floodset_safety_under_hostile_schedules() {
+    let oracle = PerfectOracle::new(6, 4);
+    stress::<EarlyFloodSetConsensus<u64>>("early-floodset", |p, s, h| oracle.generate(p, h, s), 40);
+}
+
+#[test]
+fn ct_strong_safety_under_hostile_schedules() {
+    let oracle = PerfectOracle::new(6, 4);
+    stress::<StrongConsensus<u64>>("ct-strong", |p, s, h| oracle.generate(p, h, s), 40);
+}
+
+#[test]
+fn rotating_safety_with_wildly_inaccurate_detector() {
+    // ◇S safety must not depend on accuracy at all: feed the rotating
+    // coordinator a ◇P oracle with aggressive pre-GST mistakes (false
+    // suspicions of live coordinators → nacks, round churn). Liveness may
+    // suffer inside the noisy prefix; agreement must hold always.
+    let oracle = EventuallyPerfectOracle::new(Time::new(600), 6, 4).with_mistakes(12, 50);
+    stress::<RotatingConsensus<u64>>("rotating", |p, s, h| oracle.generate(p, h, s), 40);
+}
+
+#[test]
+fn rotating_decisions_remain_unique_across_rounds() {
+    // Even when several coordinators resolve rounds concurrently, all
+    // Decide messages must carry the same value (the CT locking
+    // argument). We inspect every decision event, not just the firsts.
+    let oracle = EventuallyPerfectOracle::new(Time::new(200), 6, 4).with_mistakes(8, 40);
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for seed in 0..25u64 {
+        let n = 5;
+        let max_f = (n - 1) / 2;
+        let pattern = FailurePattern::random(n, max_f, Time::new(ROUNDS), &mut rng);
+        let horizon = ticks_for_rounds(n, ROUNDS);
+        let history = oracle.generate(&pattern, horizon, seed);
+        let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+        let automata = ConsensusAutomaton::<RotatingConsensus<u64>>::fleet(&props);
+        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let mut values: Vec<u64> = result.trace.events.iter().map(|e| e.value).collect();
+        values.dedup();
+        assert!(
+            values.len() <= 1,
+            "seed={seed}: conflicting decisions {values:?} ({pattern:?})"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Proposition 5.1 (TRB ⟷ `P`) and the §6.2 separation between uniform
+//! and correct-restricted consensus, demonstrated end-to-end.
+
+use rfd_algo::check::{check_consensus, check_trb};
+use rfd_algo::consensus::{ConsensusAutomaton, RankedConsensus};
+use rfd_algo::reduction::TrbEmulation;
+use rfd_algo::trb::TrbProcess;
+use rfd_core::oracles::{Oracle, PerfectOracle, RankedOracle};
+use rfd_core::{class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time};
+use rfd_sim::{run, ticks_for_rounds, Adversary, SimConfig, StopCondition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: u64 = 600;
+
+#[test]
+fn trb_delivers_message_when_initiator_is_correct() {
+    let mut rng = StdRng::seed_from_u64(0x51);
+    let oracle = PerfectOracle::new(6, 3);
+    for seed in 0..10u64 {
+        let n = 5;
+        // The initiator p0 stays correct; others may crash freely.
+        let mut pattern = FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng);
+        pattern.clear_crash(ProcessId::new(0));
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+        let automata = TrbProcess::fleet(n, ProcessId::new(0), 777u64);
+        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let verdict = check_trb(&pattern, &result.trace, ProcessId::new(0), &777);
+        assert!(verdict.is_trb(), "seed={seed} pattern={pattern:?}: {verdict:?}");
+        // Everyone delivered the actual message, not nil.
+        for ev in &result.trace.events {
+            assert_eq!(ev.value, Some(777));
+        }
+    }
+}
+
+#[test]
+fn trb_delivers_nil_when_initiator_crashes_before_sending() {
+    let oracle = PerfectOracle::new(6, 3);
+    for seed in 0..10u64 {
+        let n = 4;
+        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::ZERO);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+        let automata = TrbProcess::fleet(n, ProcessId::new(0), 777u64);
+        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let verdict = check_trb(&pattern, &result.trace, ProcessId::new(0), &777);
+        assert!(verdict.is_trb(), "seed={seed}: {verdict:?}");
+        for ev in &result.trace.events {
+            assert_eq!(ev.value, None, "nil must be delivered");
+        }
+    }
+}
+
+#[test]
+fn trb_agreement_when_initiator_crashes_mid_broadcast() {
+    // The hard case: the initiator crashes after reaching only some
+    // processes. Consensus must still make everyone deliver the SAME
+    // outcome (either the message or nil).
+    let oracle = PerfectOracle::new(10, 5);
+    let mut nil_runs = 0usize;
+    let mut msg_runs = 0usize;
+    for seed in 0..20u64 {
+        let n = 5;
+        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(3));
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+        let automata = TrbProcess::fleet(n, ProcessId::new(0), 777u64);
+        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let verdict = check_trb(&pattern, &result.trace, ProcessId::new(0), &777);
+        assert!(verdict.is_trb(), "seed={seed}: {verdict:?}");
+        let first = result
+            .trace
+            .first_outputs(n)
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("someone delivered")
+            .value
+            .clone();
+        if first.is_none() {
+            nil_runs += 1;
+        } else {
+            msg_runs += 1;
+        }
+    }
+    // Both outcomes should be reachable across seeds (mid-broadcast crash
+    // races the suspicion).
+    assert!(nil_runs + msg_runs == 20);
+}
+
+#[test]
+fn trb_emulation_builds_a_perfect_history() {
+    // Prop. 5.1, necessary condition: nil deliveries reconstruct P.
+    let oracle = PerfectOracle::new(6, 3);
+    for (seed, pattern) in [
+        (1u64, FailurePattern::new(4)),
+        (
+            2,
+            FailurePattern::new(4).with_crash(ProcessId::new(1), Time::new(300)),
+        ),
+        (
+            3,
+            FailurePattern::new(4)
+                .with_crash(ProcessId::new(0), Time::new(200))
+                .with_crash(ProcessId::new(2), Time::new(500)),
+        ),
+    ] {
+        let rounds = 1_500;
+        let history = oracle.generate(&pattern, ticks_for_rounds(4, rounds), seed);
+        let automata = TrbEmulation::fleet(4);
+        let result = run(&pattern, &history, automata, &SimConfig::new(seed, rounds));
+        let emulated = result.emulated.expect("emulation exposes output(P)");
+        let end = result.trace.end_time;
+        let params = CheckParams::with_margin(end, end.ticks() / 8);
+        let report = class_report(&pattern, &emulated, &params);
+        assert!(
+            report.is_in(ClassId::Perfect),
+            "seed={seed} pattern={pattern:?}\n completeness: {:?}\n accuracy: {:?}",
+            report.strong_completeness,
+            report.strong_accuracy
+        );
+    }
+}
+
+#[test]
+fn ranked_consensus_solves_correct_restricted_for_any_f() {
+    // §6.2 positive half: P< suffices for correct-restricted consensus
+    // with unbounded failures.
+    let mut rng = StdRng::seed_from_u64(0x62);
+    let oracle = RankedOracle::new(6, 3);
+    for seed in 0..20u64 {
+        let n = 5;
+        let pattern = FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
+        let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+        let automata = ConsensusAutomaton::<RankedConsensus<u64>>::fleet(&props);
+        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let v = check_consensus(&pattern, &result.trace, &props);
+        assert!(
+            v.is_correct_restricted_consensus(),
+            "seed={seed} pattern={pattern:?}: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn ranked_consensus_violates_uniform_agreement_in_the_papers_run() {
+    // §6.2 negative half — the witness run: p0 decides its own value and
+    // crashes; its announcement is delayed past p1's suspicion, so p1
+    // decides differently. Uniform consensus fails; correct-restricted
+    // holds (the disagreeing p0 is faulty).
+    let n = 3;
+    let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(4));
+    let oracle = RankedOracle::new(5, 0);
+    let horizon = ticks_for_rounds(n, ROUNDS);
+    let history = oracle.generate(&pattern, horizon, 0);
+    let props: Vec<u64> = vec![100, 200, 300];
+    // Hold p0's messages long enough for suspicion to beat them.
+    let config = SimConfig::new(0, ROUNDS)
+        .with_adversary(Adversary::HoldFrom(ProcessId::new(0), Time::new(500)))
+        .with_stop(StopCondition::EachCorrectOutput(1));
+    let automata = ConsensusAutomaton::<RankedConsensus<u64>>::fleet(&props);
+    let result = run(&pattern, &history, automata, &config);
+    let v = check_consensus(&pattern, &result.trace, &props);
+    assert!(
+        v.uniform_agreement.is_err(),
+        "p0 decided 100, correct processes 200: {v:?}"
+    );
+    assert!(
+        v.is_correct_restricted_consensus(),
+        "correct processes still agree: {v:?}"
+    );
+}

@@ -1,0 +1,148 @@
+//! Criterion microbenchmarks anchoring the performance claims in
+//! EXPERIMENTS.md: oracle generation, simulator step throughput,
+//! consensus decision latency, reduction instance rate, estimator costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rfd_algo::consensus::{ConsensusAutomaton, FloodSetConsensus, StrongConsensus};
+use rfd_algo::reduction::PerfectEmulation;
+use rfd_core::oracles::{EventuallyPerfectOracle, Oracle, PerfectOracle};
+use rfd_core::{FailurePattern, ProcessId, Time};
+use rfd_net::clock::Nanos;
+use rfd_net::estimator::{ArrivalEstimator, ChenEstimator, JacobsonEstimator, PhiAccrual};
+use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_oracle_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_generation");
+    for n in [8usize, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pattern = FailurePattern::random(n, n - 1, Time::new(1_000), &mut rng);
+        let horizon = Time::new(10_000);
+        let perfect = PerfectOracle::new(5, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("perfect", n), &n, |b, _| {
+            b.iter(|| perfect.generate(&pattern, horizon, 7));
+        });
+        let evp = EventuallyPerfectOracle::new(Time::new(500), 5, 3);
+        group.bench_with_input(BenchmarkId::new("eventually_perfect", n), &n, |b, _| {
+            b.iter(|| evp.generate(&pattern, horizon, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for n in [4usize, 8, 16] {
+        let pattern = FailurePattern::new(n);
+        let rounds = 200u64;
+        let oracle = PerfectOracle::new(6, 3);
+        let history = oracle.generate(&pattern, ticks_for_rounds(n, rounds), 0);
+        let props: Vec<u64> = (0..n as u64).collect();
+        group.throughput(Throughput::Elements(rounds * n as u64));
+        group.bench_with_input(BenchmarkId::new("floodset_run", n), &n, |b, _| {
+            b.iter(|| {
+                let automata = ConsensusAutomaton::<FloodSetConsensus<u64>>::fleet(&props);
+                let config =
+                    SimConfig::new(3, rounds).with_stop(StopCondition::EachCorrectOutput(1));
+                run(&pattern, &history, automata, &config)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_consensus_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_decision");
+    let n = 8usize;
+    let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(30));
+    let rounds = 400u64;
+    let oracle = PerfectOracle::new(6, 3);
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, rounds), 0);
+    let props: Vec<u64> = (0..n as u64).collect();
+    group.bench_function("floodset_one_crash", |b| {
+        b.iter(|| {
+            let automata = ConsensusAutomaton::<FloodSetConsensus<u64>>::fleet(&props);
+            let config = SimConfig::new(5, rounds).with_stop(StopCondition::EachCorrectOutput(1));
+            run(&pattern, &history, automata, &config)
+        });
+    });
+    group.bench_function("ct_strong_one_crash", |b| {
+        b.iter(|| {
+            let automata = ConsensusAutomaton::<StrongConsensus<u64>>::fleet(&props);
+            let config = SimConfig::new(5, rounds).with_stop(StopCondition::EachCorrectOutput(1));
+            run(&pattern, &history, automata, &config)
+        });
+    });
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let n = 4usize;
+    let pattern = FailurePattern::new(n);
+    let rounds = 300u64;
+    let oracle = PerfectOracle::new(6, 3);
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, rounds), 0);
+    c.bench_function("reduction_300_rounds", |b| {
+        b.iter(|| {
+            let automata = PerfectEmulation::<FloodSetConsensus<u64>>::fleet(n);
+            run(&pattern, &history, automata, &SimConfig::new(9, rounds))
+        });
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator");
+    let arrivals: Vec<Nanos> = (0..1_000u64).map(|k| Nanos::from_millis(k * 100)).collect();
+    group.throughput(Throughput::Elements(arrivals.len() as u64));
+    group.bench_function("chen_observe_1k", |b| {
+        b.iter(|| {
+            let mut e = ChenEstimator::new(Nanos::from_millis(50), 32, Nanos::from_millis(500));
+            for &t in &arrivals {
+                e.observe(t);
+            }
+            e.is_suspect(Nanos::from_millis(100_500))
+        });
+    });
+    group.bench_function("jacobson_observe_1k", |b| {
+        b.iter(|| {
+            let mut e = JacobsonEstimator::new(4.0, Nanos::from_millis(500));
+            for &t in &arrivals {
+                e.observe(t);
+            }
+            e.is_suspect(Nanos::from_millis(100_500))
+        });
+    });
+    group.bench_function("phi_observe_1k_and_query", |b| {
+        b.iter(|| {
+            let mut e = PhiAccrual::new(3.0, 64, Nanos::from_millis(500));
+            for &t in &arrivals {
+                e.observe(t);
+            }
+            e.phi(Nanos::from_millis(100_500))
+        });
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // Keep the full suite to a few minutes: the statistics stay stable
+    // at these sizes for the deterministic workloads measured here.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets =
+        bench_oracle_generation,
+        bench_simulator_steps,
+        bench_consensus_decision,
+        bench_reduction,
+        bench_estimators
+}
+criterion_main!(benches);

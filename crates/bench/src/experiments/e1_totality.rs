@@ -1,0 +1,157 @@
+//! E1 — Lemma 4.1: totality of consensus with realistic detectors.
+//!
+//! For each algorithm and system size, we run seeded consensus executions
+//! under random crash patterns and report (a) how often every correct
+//! process decided and (b) how often every decision was *total* (its
+//! causal chain covered every non-crashed process). The realistic-`P`
+//! algorithms must be 100 % total; the `◇S` baseline — run with a
+//! delayed-but-correct straggler, Lemma 4.1's run `R₁` — must exhibit
+//! non-total decisions.
+
+use crate::table::{pct, Table};
+use rfd_algo::check::check_consensus;
+use rfd_algo::consensus::{
+    ConsensusAutomaton, ConsensusCore, FloodSetConsensus, RotatingConsensus, StrongConsensus,
+};
+use rfd_core::oracles::{EventuallyStrongOracle, Oracle, PerfectOracle};
+use rfd_core::{FailurePattern, ProcessId, Time};
+use rfd_sim::{run, ticks_for_rounds, Adversary, SimConfig, StopCondition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: u64 = 600;
+
+struct Outcome {
+    terminated: usize,
+    total: usize,
+    decided_runs: usize,
+    runs: usize,
+}
+
+fn sweep<C: ConsensusCore<Val = u64>>(
+    n: usize,
+    oracle_history: impl Fn(&FailurePattern, u64) -> rfd_core::History<rfd_core::ProcessSet>,
+    adversary: Adversary,
+    max_faulty: usize,
+    seeds: u64,
+    rng: &mut StdRng,
+) -> Outcome {
+    let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let mut outcome = Outcome {
+        terminated: 0,
+        total: 0,
+        decided_runs: 0,
+        runs: seeds as usize,
+    };
+    for seed in 0..seeds {
+        let pattern = FailurePattern::random(n, max_faulty, Time::new(ROUNDS), rng);
+        let history = oracle_history(&pattern, seed);
+        let automata = ConsensusAutomaton::<C>::fleet(&props);
+        let config = SimConfig::new(seed, ROUNDS)
+            .with_adversary(adversary.clone())
+            .with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let verdict = check_consensus(&pattern, &result.trace, &props);
+        if verdict.termination.is_ok() {
+            outcome.terminated += 1;
+        }
+        if !result.trace.events.is_empty() {
+            outcome.decided_runs += 1;
+            if result.trace.check_totality(&pattern).is_ok() {
+                outcome.total += 1;
+            }
+        }
+    }
+    outcome
+}
+
+/// Runs E1 and returns the result table.
+#[must_use]
+pub fn run_experiment(quick: bool) -> Table {
+    let seeds = if quick { 10 } else { 40 };
+    let mut table = Table::new(
+        "E1 — totality of consensus decisions (Lemma 4.1)",
+        &["algorithm", "detector", "n", "adversary", "terminated", "total decisions"],
+    );
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let perfect = PerfectOracle::new(6, 3);
+    let evs = EventuallyStrongOracle::new(8);
+    for n in [4usize, 8] {
+        let horizon = ticks_for_rounds(n, ROUNDS);
+        let o = sweep::<FloodSetConsensus<u64>>(
+            n,
+            |p, s| perfect.generate(p, horizon, s),
+            Adversary::None,
+            n - 1,
+            seeds,
+            &mut rng,
+        );
+        table.push(vec![
+            "floodset".into(),
+            "P".into(),
+            n.to_string(),
+            "none".into(),
+            pct(o.terminated, o.runs),
+            pct(o.total, o.decided_runs),
+        ]);
+        let o = sweep::<StrongConsensus<u64>>(
+            n,
+            |p, s| perfect.generate(p, horizon, s),
+            Adversary::None,
+            n - 1,
+            seeds,
+            &mut rng,
+        );
+        table.push(vec![
+            "ct-strong".into(),
+            "S∩R (=P)".into(),
+            n.to_string(),
+            "none".into(),
+            pct(o.terminated, o.runs),
+            pct(o.total, o.decided_runs),
+        ]);
+        // ◇S baseline under Lemma 4.1's run R₁: a correct process whose
+        // messages are delayed past the decision. Failure-free so the
+        // majority requirement holds.
+        let straggler = ProcessId::new(n - 1);
+        let o = sweep::<RotatingConsensus<u64>>(
+            n,
+            |p, s| evs.generate(p, horizon, s),
+            Adversary::HoldFrom(straggler, horizon),
+            0,
+            seeds,
+            &mut rng,
+        );
+        table.push(vec![
+            "ct-rotating".into(),
+            "◇S".into(),
+            n.to_string(),
+            format!("hold p{}", n - 1),
+            pct(o.terminated, o.runs),
+            pct(o.total, o.decided_runs),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shape_matches_the_lemma() {
+        let table = run_experiment(true);
+        let text = table.render();
+        // Realistic-detector algorithms: 100% total. ◇S baseline: 0%
+        // total under the straggler adversary (it decides without p_{n-1}).
+        assert_eq!(table.len(), 6);
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains("floodset") || l.contains("ct-strong")).collect();
+        for l in &lines {
+            assert!(l.contains("100.0%"), "total column must be 100%: {l}");
+        }
+        let rot: Vec<&str> = text.lines().filter(|l| l.contains("ct-rotating")).collect();
+        for l in &rot {
+            assert!(l.contains("0.0%"), "◇S decisions must be non-total: {l}");
+        }
+    }
+}

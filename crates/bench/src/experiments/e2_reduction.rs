@@ -1,0 +1,118 @@
+//! E2 — Lemma 4.2 / Proposition 4.3: `T_{D⇒P}` emulates `P`.
+//!
+//! For each `(n, f)` we run the reduction over the flood-set total
+//! consensus, check the emulated history against the Perfect class
+//! predicates, and measure the emulation's detection latency (crash →
+//! first emulated suspicion at a correct process) together with the
+//! number of consensus instances the run completed.
+
+use crate::table::Table;
+use rfd_algo::consensus::FloodSetConsensus;
+use rfd_algo::reduction::PerfectEmulation;
+use rfd_core::oracles::{Oracle, PerfectOracle};
+use rfd_core::properties::first_suspicion;
+use rfd_core::{class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time};
+use rfd_sim::{run, ticks_for_rounds, SimConfig};
+
+const ROUNDS: u64 = 900;
+
+/// Runs E2 and returns the result table.
+#[must_use]
+pub fn run_experiment(quick: bool) -> Table {
+    let seeds = if quick { 3 } else { 10 };
+    let mut table = Table::new(
+        "E2 — T_{D⇒P} reduction quality (Lemma 4.2 / Prop 4.3)",
+        &["n", "f", "emulated class P", "mean detection (ticks)", "mean instances/run"],
+    );
+    let oracle = PerfectOracle::new(6, 3);
+    for n in [4usize, 8] {
+        for f in [0usize, 1, n / 2, n - 1] {
+            let mut perfect_count = 0usize;
+            let mut latencies: Vec<u64> = Vec::new();
+            let mut instances: Vec<u64> = Vec::new();
+            for seed in 0..seeds {
+                // Spread f crashes over the first half of the run.
+                let mut pattern = FailurePattern::new(n);
+                for k in 0..f {
+                    let at = Time::new(100 + (k as u64) * 150);
+                    pattern.set_crash(ProcessId::new(k), at);
+                }
+                let horizon = ticks_for_rounds(n, ROUNDS);
+                let history = oracle.generate(&pattern, horizon, seed);
+                let automata = PerfectEmulation::<FloodSetConsensus<u64>>::fleet(n);
+                let result = run(&pattern, &history, automata, &SimConfig::new(seed, ROUNDS));
+                let emulated = result.emulated.expect("output(P) exposed");
+                let end = result.trace.end_time;
+                let params = CheckParams::with_margin(end, end.ticks() / 10);
+                let report = class_report(&pattern, &emulated, &params);
+                if report.is_in(ClassId::Perfect) {
+                    perfect_count += 1;
+                }
+                // Detection latency of the emulation.
+                for k in 0..f {
+                    let crashed = ProcessId::new(k);
+                    let ct = pattern.crash_time(crashed).expect("scheduled");
+                    for obs in pattern.correct().iter() {
+                        if let Some(t) = first_suspicion(&emulated, obs, crashed, end) {
+                            latencies.push(t.since(ct));
+                        }
+                    }
+                }
+                instances.push(
+                    result
+                        .automata
+                        .iter()
+                        .enumerate()
+                        .filter(|(ix, _)| pattern.correct().contains(ProcessId::new(*ix)))
+                        .map(|(_, a)| a.decisions())
+                        .min()
+                        .unwrap_or(0),
+                );
+            }
+            let mean_latency = if latencies.is_empty() {
+                "n/a".to_string()
+            } else {
+                format!(
+                    "{:.0}",
+                    latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+                )
+            };
+            let mean_instances = format!(
+                "{:.1}",
+                instances.iter().sum::<u64>() as f64 / instances.len().max(1) as f64
+            );
+            table.push(vec![
+                n.to_string(),
+                f.to_string(),
+                format!("{perfect_count}/{seeds}"),
+                mean_latency,
+                mean_instances,
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_emulation_is_always_perfect() {
+        let table = run_experiment(true);
+        let text = table.render();
+        assert_eq!(table.len(), 8);
+        for line in text.lines().filter(|l| l.contains("3/3")) {
+            let _ = line;
+        }
+        // Every row must report 3/3 perfect emulations.
+        let data_rows: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("| 4") || l.starts_with("| 8"))
+            .collect();
+        assert_eq!(data_rows.len(), 8);
+        for l in data_rows {
+            assert!(l.contains("3/3"), "emulation must be Perfect: {l}");
+        }
+    }
+}

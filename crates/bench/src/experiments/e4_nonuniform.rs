@@ -1,0 +1,104 @@
+//! E4 — §6.2: uniform consensus is strictly harder than
+//! correct-restricted consensus.
+//!
+//! The `P<`-based algorithm is run (a) under random crash patterns and
+//! (b) under the paper's witness schedule (`p₀` decides, crashes, and
+//! its announcement is delayed past `p₁`'s suspicion). Correct-restricted
+//! consensus must always hold; uniform agreement must break in (b).
+
+use crate::table::{pct, Table};
+use rfd_algo::check::check_consensus;
+use rfd_algo::consensus::{ConsensusAutomaton, RankedConsensus};
+use rfd_core::oracles::{Oracle, RankedOracle};
+use rfd_core::{FailurePattern, ProcessId, Time};
+use rfd_sim::{run, ticks_for_rounds, Adversary, SimConfig, StopCondition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: u64 = 600;
+
+/// Runs E4 and returns the result table.
+#[must_use]
+pub fn run_experiment(quick: bool) -> Table {
+    let seeds = if quick { 10 } else { 50 };
+    let mut table = Table::new(
+        "E4 — P< separates uniform from correct-restricted consensus (§6.2)",
+        &["scenario", "correct-restricted holds", "uniform holds", "uniform violations"],
+    );
+    let oracle = RankedOracle::new(5, 2);
+    let n = 4;
+    let props: Vec<u64> = vec![100, 200, 300, 400];
+    let horizon = ticks_for_rounds(n, ROUNDS);
+
+    // (a) Random patterns, no adversary.
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    let (mut cr_ok, mut uni_ok) = (0usize, 0usize);
+    for seed in 0..seeds {
+        let pattern = FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng);
+        let history = oracle.generate(&pattern, horizon, seed);
+        let automata = ConsensusAutomaton::<RankedConsensus<u64>>::fleet(&props);
+        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let v = check_consensus(&pattern, &result.trace, &props);
+        if v.is_correct_restricted_consensus() {
+            cr_ok += 1;
+        }
+        if v.is_uniform_consensus() {
+            uni_ok += 1;
+        }
+    }
+    table.push(vec![
+        "random patterns".into(),
+        pct(cr_ok, seeds as usize),
+        pct(uni_ok, seeds as usize),
+        (seeds as usize - uni_ok).to_string(),
+    ]);
+
+    // (b) The witness schedule: p0 decides its own value, crashes, and
+    // its announcement is held past p1's suspicion.
+    let (mut cr_ok, mut uni_ok) = (0usize, 0usize);
+    for seed in 0..seeds {
+        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(4));
+        let history = oracle.generate(&pattern, horizon, seed);
+        let automata = ConsensusAutomaton::<RankedConsensus<u64>>::fleet(&props);
+        let config = SimConfig::new(seed, ROUNDS)
+            .with_adversary(Adversary::HoldFrom(ProcessId::new(0), Time::new(500)))
+            .with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let v = check_consensus(&pattern, &result.trace, &props);
+        if v.is_correct_restricted_consensus() {
+            cr_ok += 1;
+        }
+        if v.is_uniform_consensus() {
+            uni_ok += 1;
+        }
+    }
+    table.push(vec![
+        "witness: p0 decides+crashes, announcement held".into(),
+        pct(cr_ok, seeds as usize),
+        pct(uni_ok, seeds as usize),
+        (seeds as usize - uni_ok).to_string(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_correct_restricted_always_uniform_breaks_in_witness() {
+        let table = run_experiment(true);
+        let text = table.render();
+        let witness: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("witness"))
+            .collect();
+        assert_eq!(witness.len(), 1);
+        // Correct-restricted holds 100%, uniform 0% in the witness runs.
+        assert!(witness[0].contains("100.0%"), "{}", witness[0]);
+        assert!(witness[0].contains("0.0%"), "{}", witness[0]);
+        let random: Vec<&str> = text.lines().filter(|l| l.contains("random")).collect();
+        assert!(random[0].contains("100.0%"), "{}", random[0]);
+    }
+}

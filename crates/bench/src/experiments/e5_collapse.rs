@@ -1,0 +1,130 @@
+//! E5 — §6.3: among realistic detectors, `S` collapses into `P`
+//! (`S ∩ R ⊂ P`).
+//!
+//! Every oracle in the battery is classified (over random patterns) and
+//! checked for realism. The table shows the collapse: each oracle that
+//! is Strong **and** realistic is also Perfect; the only Strong-not-
+//! Perfect oracles are the clairvoyant ones, which fail the realism
+//! check.
+
+use crate::table::Table;
+use rfd_core::oracles::{
+    EventuallyPerfectOracle, EventuallyStrongOracle, MaraboutOracle, Oracle, PerfectOracle,
+    RankedOracle, StrongOracle,
+};
+use rfd_core::realism::{check_realism, RealismCheck};
+use rfd_core::{class_report, CheckParams, ClassId, FailurePattern, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HORIZON: u64 = 500;
+
+struct OracleRow {
+    name: &'static str,
+    in_p: usize,
+    in_s: usize,
+    in_evp: usize,
+    in_evs: usize,
+    in_pl: usize,
+    runs: usize,
+    realistic: bool,
+}
+
+fn classify<O: Oracle<Value = rfd_core::ProcessSet>>(
+    oracle: &O,
+    runs: usize,
+    rng: &mut StdRng,
+) -> OracleRow {
+    let horizon = Time::new(HORIZON);
+    let params = CheckParams::with_margin(horizon, 50);
+    let mut row = OracleRow {
+        name: oracle.name(),
+        in_p: 0,
+        in_s: 0,
+        in_evp: 0,
+        in_evs: 0,
+        in_pl: 0,
+        runs,
+        realistic: false,
+    };
+    for seed in 0..runs as u64 {
+        let pattern = FailurePattern::random(6, 5, Time::new(HORIZON / 2), rng);
+        let h = oracle.generate(&pattern, horizon, seed);
+        let report = class_report(&pattern, &h, &params);
+        row.in_p += usize::from(report.is_in(ClassId::Perfect));
+        row.in_s += usize::from(report.is_in(ClassId::Strong));
+        row.in_evp += usize::from(report.is_in(ClassId::EventuallyPerfect));
+        row.in_evs += usize::from(report.is_in(ClassId::EventuallyStrong));
+        row.in_pl += usize::from(report.is_in(ClassId::PartiallyPerfect));
+    }
+    let battery = RealismCheck::new(horizon, 4, 16);
+    row.realistic = check_realism(oracle, 5, 15, &battery, rng).is_ok();
+    row
+}
+
+/// Runs E5 and returns the result table.
+#[must_use]
+pub fn run_experiment(quick: bool) -> Table {
+    let runs = if quick { 8 } else { 30 };
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    let mut table = Table::new(
+        "E5 — the collapse S ∩ R ⊂ P (§6.3): class membership × realism",
+        &["oracle", "P", "S", "◇P", "◇S", "P<", "realistic"],
+    );
+    let rows = vec![
+        classify(&PerfectOracle::new(5, 3), runs, &mut rng),
+        classify(&EventuallyPerfectOracle::new(Time::new(80), 5, 3), runs, &mut rng),
+        classify(&EventuallyStrongOracle::new(4), runs, &mut rng),
+        classify(&RankedOracle::new(5, 3), runs, &mut rng),
+        classify(&StrongOracle::new(4, Time::new(60)), runs, &mut rng),
+        classify(&MaraboutOracle::new(), runs, &mut rng),
+    ];
+    for r in rows {
+        table.push(vec![
+            r.name.into(),
+            format!("{}/{}", r.in_p, r.runs),
+            format!("{}/{}", r.in_s, r.runs),
+            format!("{}/{}", r.in_evp, r.runs),
+            format!("{}/{}", r.in_evs, r.runs),
+            format!("{}/{}", r.in_pl, r.runs),
+            if r.realistic { "yes" } else { "NO (clairvoyant)" }.into(),
+        ]);
+    }
+    table
+}
+
+/// Checks the collapse statement on the classification data: every
+/// realistic oracle that was always Strong was also always Perfect.
+#[must_use]
+pub fn collapse_holds(quick: bool) -> bool {
+    let runs = if quick { 8 } else { 30 };
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    let perfect = classify(&PerfectOracle::new(5, 3), runs, &mut rng);
+    let strong = classify(&StrongOracle::new(4, Time::new(60)), runs, &mut rng);
+    let marabout = classify(&MaraboutOracle::new(), runs, &mut rng);
+    // Realistic & Strong ⇒ Perfect…
+    let realistic_ok = perfect.realistic && perfect.in_s == runs && perfect.in_p == runs;
+    // …and each Strong-not-Perfect oracle is non-realistic.
+    let strong_gap = strong.in_s == runs && strong.in_p < runs && !strong.realistic;
+    let marabout_gap = marabout.in_s == runs && marabout.in_p < runs && !marabout.realistic;
+    realistic_ok && strong_gap && marabout_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_collapse_statement_holds() {
+        assert!(collapse_holds(true));
+    }
+
+    #[test]
+    fn e5_table_has_all_oracles() {
+        let table = run_experiment(true);
+        assert_eq!(table.len(), 6);
+        let text = table.render();
+        assert!(text.contains("marabout"));
+        assert!(text.contains("NO (clairvoyant)"));
+    }
+}

@@ -1,0 +1,117 @@
+//! E8 — §1.3: group membership emulates `P`.
+//!
+//! A churn scenario (two staggered crashes) under a loss sweep. The
+//! emulated history must be Perfect against the ground-truth pattern;
+//! the cost columns show the price of the emulation: view changes,
+//! messages, and — under aggressive timeouts with heavy loss — false
+//! exclusions (correct processes sacrificed to keep suspicions accurate
+//! by fiat).
+
+use crate::table::Table;
+use rfd_core::{class_report, CheckParams, ClassId, ProcessId, Time};
+use rfd_net::clock::Nanos;
+use rfd_net::estimator::{ChenEstimator, FixedTimeout};
+use rfd_net::membership::{run_membership, MembershipOutcome, MembershipScenario};
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+fn churn_scenario(loss: f64, seed: u64, duration_ms: u64) -> MembershipScenario {
+    MembershipScenario {
+        n: 5,
+        crashes: vec![
+            (ProcessId::new(2), ms(duration_ms / 4)),
+            (ProcessId::new(0), ms(duration_ms / 2)),
+        ],
+        period: ms(50),
+        loss,
+        delay: (ms(1), ms(5)),
+        duration: ms(duration_ms),
+        seed,
+    }
+}
+
+fn emulation_is_perfect(outcome: &MembershipOutcome) -> bool {
+    let params = CheckParams::with_margin(Time::new(outcome.duration_ms), outcome.duration_ms / 6);
+    let report = class_report(&outcome.pattern, &outcome.emulated, &params);
+    report.is_in(ClassId::Perfect)
+}
+
+/// Runs E8 and returns the result table.
+#[must_use]
+pub fn run_experiment(quick: bool) -> Table {
+    let duration_ms = if quick { 20_000 } else { 60_000 };
+    let mut table = Table::new(
+        "E8 — group membership emulating P (§1.3), 5 nodes, 2 crashes",
+        &["estimator", "loss", "emulated P", "view changes", "false exclusions", "messages"],
+    );
+    for (alpha_ms, loss) in [
+        (150u64, 0.0),
+        (150, 0.10),
+        (150, 0.30),
+        (400, 0.10),
+        (400, 0.30),
+    ] {
+        let chen = run_membership(
+            ChenEstimator::new(ms(alpha_ms), 16, ms(600)),
+            &churn_scenario(loss, 7, duration_ms),
+        );
+        table.push(vec![
+            format!("chen(α={alpha_ms}ms)"),
+            format!("{:.0}%", loss * 100.0),
+            if emulation_is_perfect(&chen) { "yes" } else { "NO" }.into(),
+            chen.view_changes.to_string(),
+            chen.false_exclusions.to_string(),
+            chen.messages.to_string(),
+        ]);
+    }
+    // The aggressive-timeout row: by-fiat accuracy may cost correct
+    // processes under heavy loss.
+    let aggressive = run_membership(
+        FixedTimeout::new(ms(120)),
+        &churn_scenario(0.30, 11, duration_ms),
+    );
+    table.push(vec![
+        "fixed-120ms (aggressive)".into(),
+        "30%".into(),
+        if emulation_is_perfect(&aggressive) { "yes" } else { "NO" }.into(),
+        aggressive.view_changes.to_string(),
+        aggressive.false_exclusions.to_string(),
+        aggressive.messages.to_string(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_wellprovisioned_membership_emulates_perfect() {
+        let outcome = run_membership(
+            ChenEstimator::new(ms(150), 16, ms(600)),
+            &churn_scenario(0.0, 7, 20_000),
+        );
+        assert!(emulation_is_perfect(&outcome), "{outcome:?}");
+        assert_eq!(outcome.false_exclusions, 0);
+        assert!(outcome.view_changes >= 2, "two crashes, two exclusions");
+    }
+
+    #[test]
+    fn e8_moderate_loss_still_perfect_with_generous_margin() {
+        // α = 400ms needs ~9 consecutive losses to misfire: safe at 10%.
+        let outcome = run_membership(
+            ChenEstimator::new(ms(400), 16, ms(600)),
+            &churn_scenario(0.10, 7, 20_000),
+        );
+        assert_eq!(outcome.false_exclusions, 0, "{outcome:?}");
+        assert!(emulation_is_perfect(&outcome), "{outcome:?}");
+    }
+
+    #[test]
+    fn e8_table_is_complete() {
+        let table = run_experiment(true);
+        assert_eq!(table.len(), 6);
+    }
+}

@@ -1,0 +1,148 @@
+//! E9 — who wins where: the `f` sweep and the `◇S` crossover.
+//!
+//! Decision latency (global ticks until the last correct process
+//! decides), message cost, and termination rate for the three consensus
+//! stacks as `f` grows from 0 to `n − 1`. The paper's prediction: the
+//! `◇S`-based stack is competitive while `f < ⌈n/2⌉` and stops
+//! terminating at the majority boundary, while the realistic-`P` stacks
+//! keep terminating all the way to `f = n − 1` — the collapse in action.
+
+use crate::table::{pct, Table};
+use rfd_algo::check::check_consensus;
+use rfd_algo::consensus::{
+    ConsensusAutomaton, ConsensusCore, FloodSetConsensus, RotatingConsensus, StrongConsensus,
+};
+use rfd_core::oracles::{EventuallyStrongOracle, Oracle, PerfectOracle};
+use rfd_core::{FailurePattern, ProcessId, Time};
+use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
+
+const ROUNDS: u64 = 800;
+
+struct Row {
+    terminated: usize,
+    runs: usize,
+    latency_sum: u64,
+    latency_count: u64,
+    msgs_sum: u64,
+}
+
+fn sweep<C: ConsensusCore<Val = u64>>(
+    n: usize,
+    f: usize,
+    history_of: impl Fn(&FailurePattern, u64) -> rfd_core::History<rfd_core::ProcessSet>,
+    seeds: u64,
+) -> Row {
+    let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let mut row = Row {
+        terminated: 0,
+        runs: seeds as usize,
+        latency_sum: 0,
+        latency_count: 0,
+        msgs_sum: 0,
+    };
+    for seed in 0..seeds {
+        // f crashes staggered over the early run.
+        let mut pattern = FailurePattern::new(n);
+        for k in 0..f {
+            pattern.set_crash(ProcessId::new(k), Time::new(20 + 30 * k as u64));
+        }
+        let history = history_of(&pattern, seed);
+        let automata = ConsensusAutomaton::<C>::fleet(&props);
+        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &history, automata, &config);
+        let verdict = check_consensus(&pattern, &result.trace, &props);
+        if verdict.termination.is_ok() {
+            row.terminated += 1;
+            let last_decision = result
+                .trace
+                .first_outputs(n)
+                .into_iter()
+                .flatten()
+                .filter(|e| pattern.correct().contains(e.process))
+                .map(|e| e.time.ticks())
+                .max()
+                .unwrap_or(0);
+            row.latency_sum += last_decision;
+            row.latency_count += 1;
+            row.msgs_sum += result.trace.messages_sent;
+        }
+    }
+    row
+}
+
+/// Runs E9 and returns the result table.
+#[must_use]
+pub fn run_experiment(quick: bool) -> Table {
+    let seeds = if quick { 5 } else { 20 };
+    let n = 6;
+    let mut table = Table::new(
+        "E9 — consensus under the f sweep (n=6): the ◇S majority crossover",
+        &["algorithm", "detector", "f", "terminated", "mean latency (ticks)", "mean msgs"],
+    );
+    let perfect = PerfectOracle::new(6, 3);
+    let evs = EventuallyStrongOracle::new(8);
+    let horizon = ticks_for_rounds(n, ROUNDS);
+    for f in 0..n {
+        for (name, detector, row) in [
+            (
+                "floodset",
+                "P",
+                sweep::<FloodSetConsensus<u64>>(n, f, |p, s| perfect.generate(p, horizon, s), seeds),
+            ),
+            (
+                "ct-strong",
+                "S∩R (=P)",
+                sweep::<StrongConsensus<u64>>(n, f, |p, s| perfect.generate(p, horizon, s), seeds),
+            ),
+            (
+                "ct-rotating",
+                "◇S",
+                sweep::<RotatingConsensus<u64>>(n, f, |p, s| evs.generate(p, horizon, s), seeds),
+            ),
+        ] {
+            let latency = if row.latency_count > 0 {
+                format!("{:.0}", row.latency_sum as f64 / row.latency_count as f64)
+            } else {
+                "—".into()
+            };
+            let msgs = if row.latency_count > 0 {
+                format!("{:.0}", row.msgs_sum as f64 / row.latency_count as f64)
+            } else {
+                "—".into()
+            };
+            table.push(vec![
+                name.into(),
+                detector.into(),
+                f.to_string(),
+                pct(row.terminated, row.runs),
+                latency,
+                msgs,
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_rotating_crosses_over_at_the_majority_boundary() {
+        let seeds = 5;
+        let n = 6;
+        let horizon = ticks_for_rounds(n, ROUNDS);
+        let perfect = PerfectOracle::new(6, 3);
+        let evs = EventuallyStrongOracle::new(8);
+        // f = 2 < n/2: ◇S terminates.
+        let below = sweep::<RotatingConsensus<u64>>(n, 2, |p, s| evs.generate(p, horizon, s), seeds);
+        assert_eq!(below.terminated, below.runs, "◇S must work below majority");
+        // f = 3 = n/2: ◇S cannot terminate.
+        let at = sweep::<RotatingConsensus<u64>>(n, 3, |p, s| evs.generate(p, horizon, s), seeds);
+        assert_eq!(at.terminated, 0, "◇S must block at the majority boundary");
+        // The P-based stack keeps terminating at f = n−1.
+        let p_max =
+            sweep::<FloodSetConsensus<u64>>(n, n - 1, |p, s| perfect.generate(p, horizon, s), seeds);
+        assert_eq!(p_max.terminated, p_max.runs, "P works for any f");
+    }
+}

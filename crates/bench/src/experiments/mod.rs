@@ -1,0 +1,39 @@
+//! The experiment suite: one module per derived experiment E1–E10.
+//!
+//! The paper (a theory paper) has no numbered tables or figures; each
+//! experiment here regenerates one of its theorems, constructions or
+//! counterexamples as an empirical table. See `DESIGN.md` §3 for the
+//! index and `EXPERIMENTS.md` for the recorded outputs.
+
+pub mod e10_lattice;
+pub mod e1_totality;
+pub mod e2_reduction;
+pub mod e3_trb;
+pub mod e4_nonuniform;
+pub mod e5_collapse;
+pub mod e6_marabout;
+pub mod e7_qos;
+pub mod e8_membership;
+pub mod e9_crossover;
+pub mod e9b_ablation;
+
+use crate::table::Table;
+
+/// Runs every experiment, returning `(id, table)` pairs.
+#[must_use]
+pub fn run_all(quick: bool) -> Vec<(&'static str, Table)> {
+    vec![
+        ("E1", e1_totality::run_experiment(quick)),
+        ("E2", e2_reduction::run_experiment(quick)),
+        ("E3", e3_trb::run_experiment(quick)),
+        ("E4", e4_nonuniform::run_experiment(quick)),
+        ("E5", e5_collapse::run_experiment(quick)),
+        ("E6", e6_marabout::run_experiment(quick)),
+        ("E7", e7_qos::run_experiment(quick)),
+        ("E7B", e7_qos::run_burst_ablation(quick)),
+        ("E8", e8_membership::run_experiment(quick)),
+        ("E9", e9_crossover::run_experiment(quick)),
+        ("E9B", e9b_ablation::run_experiment(quick)),
+        ("E10", e10_lattice::run_experiment(quick)),
+    ]
+}

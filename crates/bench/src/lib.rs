@@ -1,0 +1,30 @@
+//! # rfd-bench — the experiment harness of the DSN 2002 reproduction
+//!
+//! Regenerates every result of *A Realistic Look At Failure Detectors*
+//! as a table (the paper is a theory paper with no numbered
+//! tables/figures; the experiment set E1–E10 is defined in `DESIGN.md`
+//! §3):
+//!
+//! | Exp | Paper source | Claim |
+//! |-----|--------------|-------|
+//! | E1  | Lemma 4.1    | realistic-detector consensus is total |
+//! | E2  | Lemma 4.2    | `T_{D⇒P}` emulates a Perfect detector |
+//! | E3  | Prop 5.1     | TRB ⟷ `P` |
+//! | E4  | §6.2         | uniform ≻ correct-restricted consensus |
+//! | E5  | §6.3         | `S ∩ R ⊂ P` (the collapse) |
+//! | E6  | §6.1         | clairvoyance breaks the lower bound |
+//! | E7  | §1.3         | QoS of adaptive heartbeat detectors |
+//! | E8  | §1.3         | group membership emulates `P` |
+//! | E9  | §1.2/§4      | the `◇S` majority crossover |
+//! | E10 | §2.5         | class lattice containments are strict |
+//!
+//! Run `cargo run -p rfd-bench --bin experiments` for the full suite, or
+//! `--bin experiments -- E7` for one experiment. Criterion
+//! microbenchmarks live in `benches/microbench.rs`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

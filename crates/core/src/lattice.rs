@@ -1,0 +1,120 @@
+//! The class lattice and its containment laws.
+//!
+//! Chandra–Toueg order the classes by the "is stronger than" reduction
+//! relation `⪰` (§2.5). Property containment gives the lattice edges used
+//! throughout the paper; [`respects_lattice`] verifies that a concrete
+//! [`ClassReport`] is consistent with them (used as a property-based test
+//! on every oracle, and as a sanity layer under experiment E10).
+//!
+//! The paper's headline result is that among *realistic* detectors in the
+//! unbounded-failure environment this lattice **collapses**: `S ∩ R ⊂ P`
+//! (§6.3) and `P` is the weakest class solving consensus and terminating
+//! reliable broadcast (§4, §5).
+
+use crate::classes::{ClassId, ClassReport};
+
+/// The containment edges `(stronger, weaker)`: membership in the first
+/// class implies membership in the second, for every history.
+///
+/// `P<` is *not* above or below `S`/`◇S` in general — its completeness is
+/// incomparable with strong completeness restricted by accuracy — but
+/// `P ⪰ P<` holds (strong completeness implies partial completeness).
+pub const IMPLICATIONS: [(ClassId, ClassId); 5] = [
+    (ClassId::Perfect, ClassId::Strong),
+    (ClassId::Perfect, ClassId::EventuallyPerfect),
+    (ClassId::Perfect, ClassId::PartiallyPerfect),
+    (ClassId::Strong, ClassId::EventuallyStrong),
+    (ClassId::EventuallyPerfect, ClassId::EventuallyStrong),
+];
+
+/// Checks that a report satisfies every containment law, returning the
+/// first violated edge otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::{class_report, respects_lattice, CheckParams, FailurePattern,
+///                History, ProcessSet, Time};
+///
+/// let pattern = FailurePattern::new(3);
+/// let history = History::new(3, ProcessSet::empty());
+/// let report = class_report(&pattern, &history, &CheckParams::new(Time::new(100)));
+/// assert!(respects_lattice(&report).is_ok());
+/// ```
+pub fn respects_lattice(report: &ClassReport) -> Result<(), (ClassId, ClassId)> {
+    for (stronger, weaker) in IMPLICATIONS {
+        if report.is_in(stronger) && !report.is_in(weaker) {
+            return Err((stronger, weaker));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::class_report;
+    use crate::oracles::{
+        EventuallyPerfectOracle, EventuallyStrongOracle, MaraboutOracle, Oracle, PerfectOracle,
+        RankedOracle, StrongOracle,
+    };
+    use crate::pattern::FailurePattern;
+    use crate::properties::CheckParams;
+    use crate::time::Time;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Every oracle's histories respect the containment lattice.
+    #[test]
+    fn all_oracles_respect_lattice() {
+        let horizon = Time::new(500);
+        let params = CheckParams::with_margin(horizon, 50);
+        let mut rng = StdRng::seed_from_u64(17);
+        let perfect = PerfectOracle::new(5, 3);
+        let evp = EventuallyPerfectOracle::new(Time::new(80), 5, 3);
+        let evs = EventuallyStrongOracle::new(4);
+        let ranked = RankedOracle::new(5, 3);
+        let strong = StrongOracle::new(4, Time::new(60));
+        let marabout = MaraboutOracle::new();
+        for seed in 0..15 {
+            let f = FailurePattern::random(6, 5, Time::new(300), &mut rng);
+            for report in [
+                class_report(&f, &perfect.generate(&f, horizon, seed), &params),
+                class_report(&f, &evp.generate(&f, horizon, seed), &params),
+                class_report(&f, &evs.generate(&f, horizon, seed), &params),
+                class_report(&f, &ranked.generate(&f, horizon, seed), &params),
+                class_report(&f, &strong.generate(&f, horizon, seed), &params),
+                class_report(&f, &marabout.generate(&f, horizon, seed), &params),
+            ] {
+                assert_eq!(respects_lattice(&report), Ok(()), "pattern {f:?}");
+            }
+        }
+    }
+
+    /// Strictness witnesses: each weaker class is *strictly* weaker —
+    /// some oracle produces a history inside the weaker class but outside
+    /// the stronger one.
+    #[test]
+    fn lattice_edges_are_strict() {
+        let horizon = Time::new(500);
+        let params = CheckParams::with_margin(horizon, 50);
+        // P ⊋ S: Marabout history with a late crash is S but not P.
+        let f = FailurePattern::new(4).with_crash(crate::ProcessId::new(1), Time::new(100));
+        let m = MaraboutOracle::new().generate(&f, horizon, 0);
+        let report = class_report(&f, &m, &params);
+        assert!(report.is_in(ClassId::Strong) && !report.is_in(ClassId::Perfect));
+        // P ⊋ P<: ranked history where the top process crashes.
+        let f2 = FailurePattern::new(4).with_crash(crate::ProcessId::new(3), Time::new(100));
+        let r = RankedOracle::new(4, 0).generate(&f2, horizon, 0);
+        let report2 = class_report(&f2, &r, &params);
+        assert!(report2.is_in(ClassId::PartiallyPerfect) && !report2.is_in(ClassId::Perfect));
+        // ◇P ⊋ ◇S: eventually-strong history with ≥2 correct processes.
+        let f3 = FailurePattern::new(4).with_crash(crate::ProcessId::new(0), Time::new(50));
+        let e = EventuallyStrongOracle::new(3).generate(&f3, horizon, 0);
+        let report3 = class_report(&f3, &e, &params);
+        assert!(
+            report3.is_in(ClassId::EventuallyStrong)
+                && !report3.is_in(ClassId::EventuallyPerfect)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # rfd-core — the formal model of *A Realistic Look At Failure Detectors*
+//!
+//! This crate implements the vocabulary of Delporte-Gallet, Fauconnier and
+//! Guerraoui's DSN 2002 paper: the asynchronous crash-stop system model
+//! (§2), the failure detector abstraction and its classes (§2.2), and the
+//! **realism** property (§3) that excludes detectors able to guess the
+//! future.
+//!
+//! ## Layout
+//!
+//! * [`ProcessId`], [`ProcessSet`], [`Time`] — the universe Ω and the
+//!   global clock Φ.
+//! * [`FailurePattern`] — `F : Φ → 2^Ω` (crash-stop, unbounded failures).
+//! * [`History`] — detector histories `H : Ω × Φ → R`.
+//! * [`properties`] — completeness/accuracy predicates with violation
+//!   witnesses; [`classes`] — the classes `P`, `S`, `◇P`, `◇S`, `P<`.
+//! * [`oracles`] — executable generators for each detector the paper
+//!   discusses, including the Scribe (§3.2.1) and the clairvoyant
+//!   Marabout (§3.2.2).
+//! * [`realism`] — the §3.1 prefix-indistinguishability check.
+//! * [`lattice`] — class containment laws.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rfd_core::oracles::{MaraboutOracle, Oracle, PerfectOracle};
+//! use rfd_core::realism::{check_realism, RealismCheck};
+//! use rfd_core::{FailurePattern, ProcessId, Time};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let battery = RealismCheck::default();
+//! // The Perfect oracle is realistic...
+//! assert!(check_realism(&PerfectOracle::default(), 4, 10, &battery, &mut rng).is_ok());
+//! // ...the clairvoyant Marabout is not (§3.2.2).
+//! assert!(check_realism(&MaraboutOracle::new(), 4, 10, &battery, &mut rng).is_err());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod classes;
+pub mod history;
+pub mod lattice;
+pub mod oracles;
+pub mod pattern;
+pub mod process;
+pub mod properties;
+pub mod realism;
+pub mod time;
+
+pub use classes::{check_class, class_report, ClassId, ClassReport};
+pub use history::History;
+pub use lattice::{respects_lattice, IMPLICATIONS};
+pub use pattern::FailurePattern;
+pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
+pub use properties::{CheckParams, PropertyResult, PropertyViolation};
+pub use realism::{RealismCheck, RealismResult, RealismViolation};
+pub use time::Time;

@@ -1,0 +1,108 @@
+//! The Marabout oracle `M` (§3.2.2): clairvoyant, **not** realistic.
+
+use super::Oracle;
+use crate::pattern::FailurePattern;
+use crate::process::ProcessSet;
+use crate::time::Time;
+use crate::History;
+
+/// The Marabout failure detector `M` of §3.2.2 (after Guerraoui, IPL 2001).
+///
+/// For any failure pattern `F`, at every process and every time, `M`
+/// outputs the **constant** list of the faulty processes of `F` — the
+/// processes that have crashed *or will crash*. `M` belongs to both `◇P`
+/// and `S`, yet it is incomparable with `P`: "`M` is accurate about the
+/// future whereas `P` is accurate about the past".
+///
+/// `M` is the paper's canonical **non-realistic** detector: it guesses the
+/// future and cannot be implemented even in a perfectly synchronous
+/// system. The realism checker rejects it with the exact pattern pair of
+/// §3.2.2 (see [`crate::realism`]).
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::oracles::{MaraboutOracle, Oracle};
+/// use rfd_core::{FailurePattern, ProcessId, Time};
+///
+/// let f = FailurePattern::new(3).with_crash(ProcessId::new(1), Time::new(1_000));
+/// let h = MaraboutOracle::new().generate(&f, Time::new(100), 0);
+/// // At time 0 — long before the crash — p1 is already suspected.
+/// assert!(h.value(ProcessId::new(0), Time::ZERO).contains(ProcessId::new(1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MaraboutOracle;
+
+impl MaraboutOracle {
+    /// Creates the Marabout.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Oracle for MaraboutOracle {
+    type Value = ProcessSet;
+
+    fn name(&self) -> &'static str {
+        "marabout"
+    }
+
+    fn generate(
+        &self,
+        pattern: &FailurePattern,
+        _horizon: Time,
+        _seed: u64,
+    ) -> History<ProcessSet> {
+        // M(F) is a singleton: every module outputs faulty(F) forever.
+        History::new(pattern.num_processes(), pattern.faulty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{class_report, ClassId};
+    use crate::process::ProcessId;
+    use crate::properties::CheckParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn marabout_is_in_strong_and_eventually_perfect_but_not_perfect() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let horizon = Time::new(400);
+        let params = CheckParams::with_margin(horizon, 40);
+        for _ in 0..30 {
+            let f = FailurePattern::random(6, 5, Time::new(300), &mut rng);
+            let h = MaraboutOracle::new().generate(&f, horizon, 0);
+            let report = class_report(&f, &h, &params);
+            assert!(report.is_in(ClassId::Strong), "{f:?}");
+            assert!(report.is_in(ClassId::EventuallyPerfect), "{f:?}");
+            if f.num_faulty() > 0 && f.iter().any(|(_, ct)| matches!(ct, Some(c) if c > Time::ZERO))
+            {
+                // Suspecting a process before its (positive-time) crash
+                // violates strong accuracy.
+                assert!(!report.is_in(ClassId::Perfect), "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_constant_over_time_and_processes() {
+        let f = FailurePattern::new(4)
+            .with_crash(p(0), Time::new(10))
+            .with_crash(p(2), Time::new(90));
+        let h = MaraboutOracle::new().generate(&f, Time::new(200), 7);
+        let expected = f.faulty();
+        for obs in 0..4 {
+            for t in [0u64, 5, 50, 200] {
+                assert_eq!(*h.value(p(obs), Time::new(t)), expected);
+            }
+        }
+    }
+}

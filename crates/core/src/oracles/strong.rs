@@ -1,0 +1,145 @@
+//! A Strong-but-not-Perfect oracle — necessarily non-realistic (§6.3).
+
+use super::{build_suspect_history, mix, perfect_edits, Edit, Oracle};
+use crate::pattern::FailurePattern;
+use crate::process::ProcessSet;
+use crate::time::Time;
+use crate::History;
+
+/// A Strong (`S`) failure detector generator that is *not* Perfect.
+///
+/// §6.3 of the paper proves that such a detector **cannot be realistic**:
+/// if a realistic detector ever falsely suspects `pᵢ`, then — since it
+/// cannot see the future — there is an indistinguishable extension where
+/// everybody else crashes and `pᵢ` is the only correct process, violating
+/// weak accuracy. `S ∩ R ⊂ P`.
+///
+/// This generator exhibits the obstruction concretely by *peeking at the
+/// future*: it picks the immune process as the lowest-index **correct**
+/// process of the pattern (a fact not knowable at runtime) and falsely
+/// suspects other correct processes before GST. Its histories are Strong
+/// (the immune process is never suspected; crashes are detected), some are
+/// not Perfect, and the realism check of [`crate::realism`] rejects the
+/// oracle.
+#[derive(Clone, Debug)]
+pub struct StrongOracle {
+    detection_delay: u64,
+    false_suspicion_window: Time,
+}
+
+impl StrongOracle {
+    /// Creates a Strong oracle: crashes detected after `detection_delay`
+    /// ticks; false suspicions of non-immune correct processes occur
+    /// before `false_suspicion_window`.
+    #[must_use]
+    pub fn new(detection_delay: u64, false_suspicion_window: Time) -> Self {
+        Self {
+            detection_delay,
+            false_suspicion_window,
+        }
+    }
+}
+
+impl Default for StrongOracle {
+    fn default() -> Self {
+        Self::new(5, Time::new(50))
+    }
+}
+
+impl Oracle for StrongOracle {
+    type Value = ProcessSet;
+
+    fn name(&self) -> &'static str {
+        "strong-clairvoyant"
+    }
+
+    fn generate(
+        &self,
+        pattern: &FailurePattern,
+        horizon: Time,
+        seed: u64,
+    ) -> History<ProcessSet> {
+        let n = pattern.num_processes();
+        // Future peek: the immune process is the lowest-index CORRECT one.
+        let immune = pattern.correct().min();
+        let mut events = perfect_edits(pattern, horizon, |_, _| self.detection_delay);
+        // Before the window closes, each observer briefly (and falsely)
+        // suspects every correct process except the immune one — the
+        // paper's "some process is falsely suspected" premise.
+        for observer_ix in 0..n {
+            for target in pattern.correct().iter() {
+                if Some(target) == immune {
+                    continue;
+                }
+                let r = mix(seed, observer_ix as u64, target.index() as u64);
+                let win = self.false_suspicion_window.ticks().max(2);
+                let start = Time::new(r % (win / 2).max(1));
+                let end = start.advance(1 + r % (win / 2).max(1)).min(horizon);
+                if start < end {
+                    events[observer_ix].push((start, Edit::Add(target)));
+                    events[observer_ix].push((end, Edit::Remove(target)));
+                }
+            }
+        }
+        build_suspect_history(n, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{class_report, ClassId};
+    use crate::process::ProcessId;
+    use crate::properties::CheckParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn histories_are_strong() {
+        let oracle = StrongOracle::new(4, Time::new(60));
+        let mut rng = StdRng::seed_from_u64(31);
+        let horizon = Time::new(500);
+        let params = CheckParams::with_margin(horizon, 50);
+        for seed in 0..25 {
+            // Keep ≥1 correct process (weak accuracy needs one).
+            let f = FailurePattern::random(6, 5, Time::new(300), &mut rng);
+            let h = oracle.generate(&f, horizon, seed);
+            let report = class_report(&f, &h, &params);
+            assert!(
+                report.is_in(ClassId::Strong),
+                "seed {seed}, {f:?}: {:?} / {:?}",
+                report.strong_completeness,
+                report.weak_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn some_history_is_not_perfect() {
+        // With ≥2 correct processes a false suspicion occurs.
+        let oracle = StrongOracle::new(4, Time::new(60));
+        let f = FailurePattern::new(4).with_crash(p(3), Time::new(100));
+        let h = oracle.generate(&f, Time::new(400), 3);
+        let report = class_report(&f, &h, &CheckParams::new(Time::new(400)));
+        assert!(report.is_in(ClassId::Strong));
+        assert!(!report.is_in(ClassId::Perfect));
+    }
+
+    #[test]
+    fn immune_process_is_never_suspected() {
+        let oracle = StrongOracle::new(4, Time::new(60));
+        let f = FailurePattern::new(5).with_crash(p(0), Time::new(30));
+        // Immune = lowest-index correct = p1.
+        let h = oracle.generate(&f, Time::new(300), 9);
+        for obs in 0..5 {
+            assert_eq!(
+                crate::properties::first_suspicion(&h, p(obs), p(1), Time::new(300)),
+                None
+            );
+        }
+    }
+}

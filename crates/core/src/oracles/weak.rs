@@ -1,0 +1,169 @@
+//! A weakly-complete oracle: crashes are detected by only one witness.
+
+use super::{build_suspect_history, mix, Edit, Oracle};
+use crate::pattern::FailurePattern;
+use crate::process::{ProcessId, ProcessSet};
+use crate::time::Time;
+use crate::History;
+
+/// A realistic oracle with **weak** completeness and strong accuracy:
+/// each crash is eventually detected by exactly one (seed-chosen) correct
+/// witness, and nobody is ever falsely suspected.
+///
+/// Chandra–Toueg's classes `Q` and `W` pair weak completeness with
+/// (eventual) weak accuracy; their famous observation is that weak
+/// completeness can be *boosted* to strong completeness by gossiping
+/// suspicions — the transformation implemented in
+/// `rfd_algo::reduction::CompletenessBooster`. This oracle exists to
+/// exercise that transformation: it is deliberately **not** in `P`
+/// (strong completeness fails whenever ≥ 2 correct processes remain),
+/// while the boosted output is.
+#[derive(Clone, Debug)]
+pub struct WeakWitnessOracle {
+    detection_delay: u64,
+}
+
+impl WeakWitnessOracle {
+    /// Creates the oracle; the witness notices a crash
+    /// `detection_delay` ticks late.
+    #[must_use]
+    pub fn new(detection_delay: u64) -> Self {
+        Self { detection_delay }
+    }
+
+    /// The witness assigned to a crashed process: a deterministic,
+    /// seed-dependent choice among processes that are **still alive at
+    /// detection time** (a past-determined choice, hence realistic).
+    #[must_use]
+    pub fn witness_of(
+        &self,
+        pattern: &FailurePattern,
+        crashed: ProcessId,
+        seed: u64,
+    ) -> Option<ProcessId> {
+        let ct = pattern.crash_time(crashed)?;
+        let at = ct.advance(self.detection_delay);
+        let candidates: Vec<ProcessId> = pattern
+            .crashed_at(at)
+            .complement_within(pattern.num_processes())
+            .iter()
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = mix(seed, crashed.index() as u64, 0x5EED) as usize
+            % candidates.len();
+        Some(candidates[pick])
+    }
+}
+
+impl Default for WeakWitnessOracle {
+    fn default() -> Self {
+        Self::new(5)
+    }
+}
+
+impl Oracle for WeakWitnessOracle {
+    type Value = ProcessSet;
+
+    fn name(&self) -> &'static str {
+        "weak-witness"
+    }
+
+    fn generate(
+        &self,
+        pattern: &FailurePattern,
+        horizon: Time,
+        seed: u64,
+    ) -> History<ProcessSet> {
+        let n = pattern.num_processes();
+        let mut events: Vec<Vec<(Time, Edit)>> = vec![Vec::new(); n];
+        for (crashed, ct) in pattern.iter() {
+            let Some(ct) = ct else { continue };
+            // Witness succession: the duty to suspect `crashed` moves to
+            // a fresh survivor whenever the current witness itself
+            // crashes (each hand-off is a function of past crashes only,
+            // so the oracle stays realistic).
+            let mut at = ct.advance(self.detection_delay);
+            let mut hop = 0u64;
+            while at <= horizon {
+                let candidates: Vec<ProcessId> =
+                    pattern.crashed_at(at).complement_within(n).iter().collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let pick =
+                    mix(seed, crashed.index() as u64, 0x5EED + hop) as usize % candidates.len();
+                let witness = candidates[pick];
+                events[witness.index()].push((at, Edit::Add(crashed)));
+                match pattern.crash_time(witness) {
+                    // The witness later crashes: hand off.
+                    Some(wct) => {
+                        at = wct.advance(self.detection_delay);
+                        hop += 1;
+                    }
+                    None => break, // a correct witness holds it forever
+                }
+            }
+        }
+        build_suspect_history(n, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{class_report, ClassId};
+    use crate::properties::CheckParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn weakly_complete_strongly_accurate() {
+        let oracle = WeakWitnessOracle::new(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let horizon = Time::new(400);
+        let params = CheckParams::with_margin(horizon, 40);
+        for seed in 0..20 {
+            let f = FailurePattern::random(6, 5, Time::new(200), &mut rng);
+            let h = oracle.generate(&f, horizon, seed);
+            let report = class_report(&f, &h, &params);
+            assert!(report.weak_completeness.is_ok(), "{f:?}: {report:?}");
+            assert!(report.strong_accuracy.is_ok(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn strong_completeness_fails_with_multiple_survivors() {
+        let oracle = WeakWitnessOracle::new(4);
+        let f = FailurePattern::new(4).with_crash(p(0), Time::new(50));
+        let h = oracle.generate(&f, Time::new(400), 0);
+        let report = class_report(&f, &h, &CheckParams::new(Time::new(400)));
+        // Exactly one of p1..p3 suspects p0: strong completeness fails.
+        assert!(report.strong_completeness.is_err());
+        assert!(!report.is_in(ClassId::Perfect));
+    }
+
+    #[test]
+    fn witness_is_alive_at_detection_time() {
+        let oracle = WeakWitnessOracle::new(4);
+        let f = FailurePattern::new(5)
+            .with_crash(p(0), Time::new(10))
+            .with_crash(p(1), Time::new(12));
+        for seed in 0..50 {
+            let w = oracle.witness_of(&f, p(0), seed).unwrap();
+            assert!(!f.is_crashed(w, Time::new(14)), "seed {seed}: dead witness {w}");
+        }
+    }
+
+    #[test]
+    fn witness_choice_is_deterministic_per_seed() {
+        let oracle = WeakWitnessOracle::new(4);
+        let f = FailurePattern::new(5).with_crash(p(2), Time::new(10));
+        assert_eq!(oracle.witness_of(&f, p(2), 7), oracle.witness_of(&f, p(2), 7));
+    }
+}

@@ -1,0 +1,240 @@
+//! The realism property of §3.1, made executable.
+//!
+//! A failure detector `D` is **realistic** (`D ∈ R`) if it cannot guess
+//! the future: for any two failure patterns `F`, `F′` that agree up to
+//! time `t`, and any history `H ∈ D(F)`, there is a history
+//! `H′ ∈ D(F′)` that agrees with `H` (at every process) up to `t`.
+//!
+//! With the generator view of [`crate::oracles::Oracle`] (`D(F)` = image
+//! of `generate(F, ·, seed)` over seeds), the universal quantifier over
+//! `H` becomes a sweep over generation seeds and the existential over `H′`
+//! becomes a search over witness seeds. The check is therefore:
+//!
+//! * **sound for rejection**: a returned [`RealismViolation`] exhibits a
+//!   concrete `(F, F′, t, H)` for which no tried witness seed matches —
+//!   for the deterministic clairvoyant oracles in this crate (Marabout,
+//!   clairvoyant-Strong) this is a genuine proof, since their `D(F′)` is
+//!   tiny (singleton or seed-insensitive prefix behaviour);
+//! * **probabilistic for acceptance**: passing the battery does not prove
+//!   realism, but every realistic oracle here passes by construction
+//!   (their output is a function of the pattern prefix, so the *same*
+//!   seed is always a witness — which the checker tries first).
+
+use crate::oracles::Oracle;
+use crate::pattern::FailurePattern;
+use crate::time::Time;
+use core::fmt;
+use rand::Rng;
+
+/// Configuration of the realism battery.
+#[derive(Clone, Debug)]
+pub struct RealismCheck {
+    /// Horizon of generated histories.
+    pub horizon: Time,
+    /// Seeds used to enumerate histories `H ∈ D(F)`.
+    pub generation_seeds: Vec<u64>,
+    /// Seeds searched for the witness `H′ ∈ D(F′)`.
+    pub witness_seeds: Vec<u64>,
+}
+
+impl RealismCheck {
+    /// A battery with `g` generation seeds and `w` witness seeds.
+    #[must_use]
+    pub fn new(horizon: Time, g: u64, w: u64) -> Self {
+        Self {
+            horizon,
+            generation_seeds: (0..g).collect(),
+            witness_seeds: (0..w).collect(),
+        }
+    }
+}
+
+impl Default for RealismCheck {
+    fn default() -> Self {
+        Self::new(Time::new(500), 8, 32)
+    }
+}
+
+/// A witness that an oracle is **not** realistic.
+#[derive(Clone, Debug)]
+pub struct RealismViolation {
+    /// The pattern whose history could not be re-played.
+    pub pattern: FailurePattern,
+    /// The prefix-sharing pattern with no matching history.
+    pub alternative: FailurePattern,
+    /// The shared-prefix time `t`.
+    pub prefix_time: Time,
+    /// The generation seed of the unmatched history.
+    pub seed: u64,
+}
+
+impl fmt::Display for RealismViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "not realistic: history (seed {}) of {:?} has no matching history of {:?} up to {}",
+            self.seed, self.pattern, self.alternative, self.prefix_time
+        )
+    }
+}
+
+/// Result of a realism check.
+pub type RealismResult = Result<(), Box<RealismViolation>>;
+
+/// Checks the realism condition on one pattern pair.
+///
+/// # Panics
+///
+/// Panics if the patterns do not agree up to `prefix_time` (the condition
+/// only constrains prefix-sharing pairs).
+pub fn check_pair<O: Oracle>(
+    oracle: &O,
+    pattern: &FailurePattern,
+    alternative: &FailurePattern,
+    prefix_time: Time,
+    check: &RealismCheck,
+) -> RealismResult {
+    assert!(
+        pattern.agrees_up_to(alternative, prefix_time),
+        "realism only constrains patterns agreeing up to the prefix time"
+    );
+    for &seed in &check.generation_seeds {
+        let h = oracle.generate(pattern, check.horizon, seed);
+        // Try the generating seed first: for prefix-determined (realistic)
+        // oracles it is always a witness.
+        let witness_found = core::iter::once(seed)
+            .chain(check.witness_seeds.iter().copied())
+            .any(|ws| {
+                let h_alt = oracle.generate(alternative, check.horizon, ws);
+                h_alt.eq_up_to(&h, prefix_time)
+            });
+        if !witness_found {
+            return Err(Box::new(RealismViolation {
+                pattern: pattern.clone(),
+                alternative: alternative.clone(),
+                prefix_time,
+                seed,
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// The canonical §3.2.2 pattern pair: `F₁` = all correct except `p₀`,
+/// which crashes at `crash_at`; `F₂` = all correct. They agree up to
+/// `crash_at − 1`.
+#[must_use]
+pub fn marabout_pair(n: usize, crash_at: Time) -> (FailurePattern, FailurePattern, Time) {
+    let f1 = FailurePattern::new(n).with_crash(crate::ProcessId::new(0), crash_at);
+    let f2 = FailurePattern::new(n);
+    (f1, f2, crash_at.prev())
+}
+
+/// Runs the realism battery on `count` random prefix-sharing pairs plus
+/// the canonical Marabout pair.
+///
+/// Pairs are built as `(F, prefix(F, t))`: the "everybody still alive at
+/// `t` survives" extension — exactly the adversary move used by Lemma 4.1
+/// and §6.3.
+pub fn check_realism<O: Oracle, R: Rng + ?Sized>(
+    oracle: &O,
+    n: usize,
+    count: usize,
+    check: &RealismCheck,
+    rng: &mut R,
+) -> RealismResult {
+    let (f1, f2, t) = marabout_pair(n, Time::new(check.horizon.ticks() / 4));
+    check_pair(oracle, &f1, &f2, t, check)?;
+    check_pair(oracle, &f2, &f1, t, check)?;
+    for _ in 0..count {
+        let f = FailurePattern::random(n, n - 1, Time::new(check.horizon.ticks() / 2), rng);
+        let t = Time::new(rng.gen_range(0..check.horizon.ticks() / 2));
+        let g = f.prefix(t);
+        check_pair(oracle, &f, &g, t, check)?;
+        check_pair(oracle, &g, &f, t, check)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracles::{
+        EventuallyPerfectOracle, EventuallyStrongOracle, MaraboutOracle, PerfectOracle,
+        RankedOracle, ScribeOracle, StrongOracle,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn battery() -> RealismCheck {
+        RealismCheck::new(Time::new(400), 4, 16)
+    }
+
+    #[test]
+    fn perfect_oracle_is_realistic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(check_realism(&PerfectOracle::new(5, 3), 5, 20, &battery(), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn eventually_perfect_oracle_is_realistic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let oracle = EventuallyPerfectOracle::new(Time::new(80), 5, 3).with_mistakes(3, 10);
+        assert!(check_realism(&oracle, 5, 20, &battery(), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn eventually_strong_oracle_is_realistic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(
+            check_realism(&EventuallyStrongOracle::new(4), 5, 20, &battery(), &mut rng).is_ok()
+        );
+    }
+
+    #[test]
+    fn ranked_oracle_is_realistic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(check_realism(&RankedOracle::new(5, 2), 5, 20, &battery(), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn scribe_is_realistic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(check_realism(&ScribeOracle::new(), 5, 20, &battery(), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn marabout_fails_realism_on_the_papers_pair() {
+        // §3.2.2: M(F₂) outputs ∅ forever; M(F₁) outputs {p₀} forever.
+        // They cannot agree on [0, 9] although F₁, F₂ agree there.
+        let (f1, f2, t) = marabout_pair(4, Time::new(10));
+        let violation = check_pair(&MaraboutOracle::new(), &f1, &f2, t, &battery())
+            .expect_err("marabout must fail realism");
+        assert_eq!(violation.prefix_time, Time::new(9));
+    }
+
+    #[test]
+    fn marabout_fails_full_battery() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(check_realism(&MaraboutOracle::new(), 4, 5, &battery(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn clairvoyant_strong_fails_realism() {
+        // §6.3: a Strong-but-not-Perfect detector cannot be realistic.
+        // The oracle picks its immune process by peeking at correct(F):
+        // patterns that agree up to t but diverge later make it output
+        // different suspicion prefixes.
+        let mut rng = StdRng::seed_from_u64(7);
+        let oracle = StrongOracle::new(4, Time::new(60));
+        assert!(check_realism(&oracle, 5, 40, &battery(), &mut rng).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "agreeing up to")]
+    fn check_pair_rejects_non_agreeing_patterns() {
+        let f1 = FailurePattern::new(3).with_crash(crate::ProcessId::new(0), Time::new(1));
+        let f2 = FailurePattern::new(3);
+        let _ = check_pair(&PerfectOracle::default(), &f1, &f2, Time::new(5), &battery());
+    }
+}

@@ -1,0 +1,203 @@
+//! Clocks: virtual (deterministic) and system time sources.
+//!
+//! The runtime layer measures real durations, unlike the formal model's
+//! inaccessible global clock. [`Nanos`] is the time unit; [`Clock`]
+//! abstracts the source so the whole heartbeat stack runs identically
+//! under the deterministic [`VirtualClock`] (tests, QoS experiments) and
+//! the wall [`SystemClock`] (the UDP examples).
+
+use core::fmt;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A point in time, in nanoseconds since an arbitrary origin.
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The origin.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a time point from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a time point from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Raw nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float (for rate metrics).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub const fn saturating_add(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating difference `self − earlier`.
+    #[must_use]
+    pub const fn saturating_sub(self, earlier: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A time source.
+pub trait Clock {
+    /// The current time.
+    fn now(&self) -> Nanos;
+}
+
+/// A deterministic, manually advanced clock shared by cloning.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_net::clock::{Clock, Nanos, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// assert_eq!(clock.now(), Nanos::ZERO);
+/// clock.advance(Nanos::from_millis(5));
+/// assert_eq!(clock.now().as_millis(), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: Arc<Mutex<Nanos>>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at the origin.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Nanos) {
+        let mut now = self.now.lock();
+        *now = now.saturating_add(delta);
+    }
+
+    /// Jumps the clock to `t` (must not move backwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the current time.
+    pub fn set(&self, t: Nanos) {
+        let mut now = self.now.lock();
+        assert!(t >= *now, "virtual clocks do not run backwards");
+        *now = t;
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Nanos {
+        *self.now.lock()
+    }
+}
+
+/// The wall clock, anchored at its creation instant.
+#[derive(Clone, Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Creates a wall clock with `now() == 0` at creation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Nanos {
+        Nanos::from_nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_deterministically() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        c.advance(Nanos::from_millis(3));
+        assert_eq!(c2.now().as_millis(), 3, "clones share the time source");
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn virtual_clock_rejects_time_travel() {
+        let c = VirtualClock::new();
+        c.advance(Nanos::from_millis(10));
+        c.set(Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn system_clock_moves_forward() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn nanos_arithmetic() {
+        let a = Nanos::from_millis(2);
+        let b = Nanos::from_millis(5);
+        assert_eq!(b.saturating_sub(a).as_millis(), 3);
+        assert_eq!(a.saturating_sub(b), Nanos::ZERO);
+        assert_eq!(a.saturating_add(b).as_millis(), 7);
+        assert!(format!("{b}").contains("ms"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Wire format for heartbeats and membership messages.
+
+use crate::clock::Nanos;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rfd_core::{ProcessId, ProcessSet};
+
+const MAGIC: u16 = 0xFD02; // "failure detector, DSN'02"
+
+/// A heartbeat message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Sender index.
+    pub sender: u16,
+    /// Monotone per-sender sequence number.
+    pub seq: u64,
+    /// Sender-local send time.
+    pub sent_at: Nanos,
+}
+
+/// A view-change announcement (membership layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ViewChange {
+    /// Monotone view identifier.
+    pub view_id: u64,
+    /// Member bitmap (bit `i` = `pᵢ` is in the view).
+    pub members: u128,
+}
+
+/// Any wire message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// A heartbeat.
+    Heartbeat(Heartbeat),
+    /// A view change.
+    ViewChange(ViewChange),
+}
+
+/// Encoding/decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The datagram is shorter than its header claims.
+    Truncated,
+    /// Unknown magic or message tag.
+    Malformed,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "datagram truncated"),
+            DecodeError::Malformed => write!(f, "unknown magic or tag"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a message.
+#[must_use]
+pub fn encode(msg: &WireMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(40);
+    b.put_u16(MAGIC);
+    match msg {
+        WireMsg::Heartbeat(hb) => {
+            b.put_u8(1);
+            b.put_u16(hb.sender);
+            b.put_u64(hb.seq);
+            b.put_u64(hb.sent_at.as_nanos());
+        }
+        WireMsg::ViewChange(vc) => {
+            b.put_u8(2);
+            b.put_u64(vc.view_id);
+            b.put_u128(vc.members);
+        }
+    }
+    b.freeze()
+}
+
+/// Decodes a datagram.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on short or malformed input.
+pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
+    if data.len() < 3 {
+        return Err(DecodeError::Truncated);
+    }
+    if data.get_u16() != MAGIC {
+        return Err(DecodeError::Malformed);
+    }
+    match data.get_u8() {
+        1 => {
+            if data.len() < 2 + 8 + 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(WireMsg::Heartbeat(Heartbeat {
+                sender: data.get_u16(),
+                seq: data.get_u64(),
+                sent_at: Nanos::from_nanos(data.get_u64()),
+            }))
+        }
+        2 => {
+            if data.len() < 8 + 16 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(WireMsg::ViewChange(ViewChange {
+                view_id: data.get_u64(),
+                members: data.get_u128(),
+            }))
+        }
+        _ => Err(DecodeError::Malformed),
+    }
+}
+
+/// Converts a member bitmap to a [`ProcessSet`].
+#[must_use]
+pub fn members_to_set(members: u128, n: usize) -> ProcessSet {
+    (0..n)
+        .filter(|&ix| members & (1u128 << ix) != 0)
+        .map(ProcessId::new)
+        .collect()
+}
+
+/// Converts a [`ProcessSet`] to a member bitmap.
+#[must_use]
+pub fn set_to_members(set: ProcessSet) -> u128 {
+    set.iter().fold(0u128, |acc, pid| acc | (1u128 << pid.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        let hb = WireMsg::Heartbeat(Heartbeat {
+            sender: 3,
+            seq: 99,
+            sent_at: Nanos::from_millis(1234),
+        });
+        assert_eq!(decode(&encode(&hb)).unwrap(), hb);
+    }
+
+    #[test]
+    fn view_change_roundtrip() {
+        let vc = WireMsg::ViewChange(ViewChange {
+            view_id: 7,
+            members: 0b1011,
+        });
+        assert_eq!(decode(&encode(&vc)).unwrap(), vc);
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert_eq!(decode(b""), Err(DecodeError::Truncated));
+        assert_eq!(decode(b"\x00\x01\x05junkjunkjunk"), Err(DecodeError::Malformed));
+        // Right magic, bad tag.
+        assert_eq!(decode(&[0xFD, 0x02, 9, 0, 0]), Err(DecodeError::Malformed));
+        // Right magic and tag, short body.
+        assert_eq!(decode(&[0xFD, 0x02, 1, 0]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn member_bitmap_roundtrip() {
+        let set: ProcessSet = [0usize, 2, 5]
+            .iter()
+            .map(|&i| ProcessId::new(i))
+            .collect();
+        assert_eq!(members_to_set(set_to_members(set), 8), set);
+    }
+}

@@ -1,0 +1,232 @@
+//! The heartbeat failure-detection service: one estimator per monitored
+//! peer, a suspect-set view, and a transport-driven node loop.
+
+use crate::clock::{Clock, Nanos};
+use crate::codec::{decode, encode, Heartbeat, WireMsg};
+use crate::estimator::ArrivalEstimator;
+use crate::transport::Transport;
+use rfd_core::{ProcessId, ProcessSet};
+
+/// Per-node heartbeat detector: monitors every peer with its own clone
+/// of an estimator prototype.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::{ProcessId, ProcessSet};
+/// use rfd_net::clock::Nanos;
+/// use rfd_net::detector::HeartbeatDetector;
+/// use rfd_net::estimator::FixedTimeout;
+///
+/// let mut d = HeartbeatDetector::new(
+///     ProcessId::new(0),
+///     3,
+///     FixedTimeout::new(Nanos::from_millis(100)),
+/// );
+/// d.on_heartbeat(ProcessId::new(1), Nanos::from_millis(0));
+/// d.on_heartbeat(ProcessId::new(2), Nanos::from_millis(0));
+/// let s = d.suspects(Nanos::from_millis(150));
+/// assert_eq!(s.len(), 2, "both peers timed out");
+/// ```
+#[derive(Debug)]
+pub struct HeartbeatDetector<E> {
+    me: ProcessId,
+    monitors: Vec<Option<E>>,
+}
+
+impl<E: ArrivalEstimator + Clone> HeartbeatDetector<E> {
+    /// Creates a detector at `me` over `n` processes, cloning
+    /// `prototype` for each monitored peer.
+    #[must_use]
+    pub fn new(me: ProcessId, n: usize, prototype: E) -> Self {
+        let monitors = (0..n)
+            .map(|ix| (ix != me.index()).then(|| prototype.clone()))
+            .collect();
+        Self { me, monitors }
+    }
+
+    /// This node's identity.
+    #[must_use]
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Records a heartbeat from `from` at `now`.
+    pub fn on_heartbeat(&mut self, from: ProcessId, now: Nanos) {
+        if let Some(Some(est)) = self.monitors.get_mut(from.index()) {
+            est.observe(now);
+        }
+    }
+
+    /// The suspected set at `now`. Peers that never sent a heartbeat are
+    /// *not* suspected (no evidence either way yet — detectors begin
+    /// trusting, matching the paper's accuracy-first reading).
+    #[must_use]
+    pub fn suspects(&self, now: Nanos) -> ProcessSet {
+        let mut s = ProcessSet::empty();
+        for (ix, est) in self.monitors.iter().enumerate() {
+            if let Some(est) = est {
+                if est.is_suspect(now) {
+                    s.insert(ProcessId::new(ix));
+                }
+            }
+        }
+        s
+    }
+
+    /// The suspicion level of one peer at `now` (0 for self/unknown).
+    #[must_use]
+    pub fn suspicion_level(&self, peer: ProcessId, now: Nanos) -> f64 {
+        self.monitors
+            .get(peer.index())
+            .and_then(Option::as_ref)
+            .map_or(0.0, |e| e.suspicion_level(now))
+    }
+
+    /// Access one peer's estimator (e.g. for its deadline).
+    #[must_use]
+    pub fn monitor(&self, peer: ProcessId) -> Option<&E> {
+        self.monitors.get(peer.index()).and_then(Option::as_ref)
+    }
+}
+
+/// A complete failure-detector node: emits heartbeats on a period and
+/// folds received heartbeats into a [`HeartbeatDetector`].
+#[derive(Debug)]
+pub struct DetectorNode<E, T, C> {
+    detector: HeartbeatDetector<E>,
+    transport: T,
+    clock: C,
+    period: Nanos,
+    next_beat: Nanos,
+    seq: u64,
+    n: usize,
+}
+
+impl<E, T, C> DetectorNode<E, T, C>
+where
+    E: ArrivalEstimator + Clone,
+    T: Transport,
+    C: Clock,
+{
+    /// Creates a node that heartbeats every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(n: usize, prototype: E, transport: T, clock: C, period: Nanos) -> Self {
+        assert!(period > Nanos::ZERO, "heartbeat period must be positive");
+        let me = transport.me();
+        Self {
+            detector: HeartbeatDetector::new(me, n, prototype),
+            transport,
+            clock,
+            period,
+            next_beat: Nanos::ZERO,
+            seq: 0,
+            n,
+        }
+    }
+
+    /// One iteration of the node loop: drain received datagrams, then
+    /// emit a heartbeat if the period elapsed. Returns the current
+    /// suspect set.
+    pub fn poll(&mut self) -> ProcessSet {
+        let now = self.clock.now();
+        while let Some(dg) = self.transport.recv() {
+            if let Ok(WireMsg::Heartbeat(hb)) = decode(&dg.payload) {
+                self.detector
+                    .on_heartbeat(ProcessId::new(hb.sender as usize), dg.delivered_at);
+            }
+        }
+        if now >= self.next_beat {
+            let hb = WireMsg::Heartbeat(Heartbeat {
+                sender: self.transport.me().index() as u16,
+                seq: self.seq,
+                sent_at: now,
+            });
+            self.seq += 1;
+            let payload = encode(&hb);
+            for ix in 0..self.n {
+                let to = ProcessId::new(ix);
+                if to != self.transport.me() {
+                    self.transport.send(to, payload.clone());
+                }
+            }
+            self.next_beat = now.saturating_add(self.period);
+        }
+        self.detector.suspects(now)
+    }
+
+    /// The inner detector.
+    #[must_use]
+    pub fn detector(&self) -> &HeartbeatDetector<E> {
+        &self.detector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::estimator::FixedTimeout;
+    use crate::transport::{InMemoryNetwork, NetworkConfig};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn self_is_never_monitored() {
+        let mut d = HeartbeatDetector::new(p(1), 3, FixedTimeout::new(Nanos::from_millis(10)));
+        d.on_heartbeat(p(1), Nanos::from_millis(0));
+        assert!(!d.suspects(Nanos::from_millis(1_000)).contains(p(1)));
+        assert!(d.monitor(p(1)).is_none());
+    }
+
+    #[test]
+    fn silent_peers_become_suspects_and_recover() {
+        let mut d = HeartbeatDetector::new(p(0), 2, FixedTimeout::new(Nanos::from_millis(50)));
+        d.on_heartbeat(p(1), Nanos::from_millis(0));
+        assert!(d.suspects(Nanos::from_millis(60)).contains(p(1)));
+        d.on_heartbeat(p(1), Nanos::from_millis(60));
+        assert!(d.suspects(Nanos::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn two_nodes_monitor_each_other_over_the_virtual_network() {
+        let clock = VirtualClock::new();
+        let net = InMemoryNetwork::new(2, NetworkConfig::default(), clock.clone());
+        let proto = FixedTimeout::new(Nanos::from_millis(50));
+        let mut a = DetectorNode::new(
+            2,
+            proto.clone(),
+            net.endpoint(p(0)),
+            clock.clone(),
+            Nanos::from_millis(10),
+        );
+        let mut b = DetectorNode::new(
+            2,
+            proto,
+            net.endpoint(p(1)),
+            clock.clone(),
+            Nanos::from_millis(10),
+        );
+        // Run 200 ms: nobody suspected.
+        for _ in 0..20 {
+            a.poll();
+            b.poll();
+            clock.advance(Nanos::from_millis(10));
+        }
+        assert!(a.poll().is_empty());
+        assert!(b.poll().is_empty());
+        // Take b down: a suspects it within the timeout.
+        net.take_down(p(1));
+        for _ in 0..20 {
+            a.poll();
+            clock.advance(Nanos::from_millis(10));
+        }
+        assert!(a.poll().contains(p(1)));
+    }
+}

@@ -1,0 +1,106 @@
+//! The fixed-timeout baseline.
+
+use super::ArrivalEstimator;
+use crate::clock::Nanos;
+
+/// Suspect a peer whenever no heartbeat arrived for a fixed `timeout`.
+///
+/// The naive baseline of experiment E7: a short timeout detects crashes
+/// quickly but turns every network hiccup into a mistake; a long one is
+/// safe but slow. The adaptive estimators exist to escape this trade-off.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_net::clock::Nanos;
+/// use rfd_net::estimator::{ArrivalEstimator, FixedTimeout};
+///
+/// let mut e = FixedTimeout::new(Nanos::from_millis(100));
+/// e.observe(Nanos::from_millis(0));
+/// assert!(!e.is_suspect(Nanos::from_millis(99)));
+/// assert!(e.is_suspect(Nanos::from_millis(101)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedTimeout {
+    timeout: Nanos,
+    last: Option<Nanos>,
+}
+
+impl FixedTimeout {
+    /// Creates a detector with the given timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    #[must_use]
+    pub fn new(timeout: Nanos) -> Self {
+        assert!(timeout > Nanos::ZERO, "timeout must be positive");
+        Self {
+            timeout,
+            last: None,
+        }
+    }
+
+    /// The configured timeout.
+    #[must_use]
+    pub fn timeout(&self) -> Nanos {
+        self.timeout
+    }
+}
+
+impl ArrivalEstimator for FixedTimeout {
+    fn observe(&mut self, now: Nanos) {
+        self.last = Some(now);
+    }
+
+    fn deadline(&self) -> Option<Nanos> {
+        self.last.map(|l| l.saturating_add(self.timeout))
+    }
+
+    fn suspicion_level(&self, now: Nanos) -> f64 {
+        match self.last {
+            None => 0.0,
+            Some(l) => now.saturating_sub(l).as_nanos() as f64 / self.timeout.as_nanos() as f64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_suspicion_before_first_heartbeat() {
+        let e = FixedTimeout::new(Nanos::from_millis(50));
+        assert!(!e.is_suspect(Nanos::from_millis(10_000)));
+        assert_eq!(e.deadline(), None);
+    }
+
+    #[test]
+    fn fresh_heartbeat_resets_suspicion() {
+        let mut e = FixedTimeout::new(Nanos::from_millis(50));
+        e.observe(Nanos::from_millis(0));
+        assert!(e.is_suspect(Nanos::from_millis(60)));
+        e.observe(Nanos::from_millis(60));
+        assert!(!e.is_suspect(Nanos::from_millis(100)));
+    }
+
+    #[test]
+    fn suspicion_level_grows_with_silence() {
+        let mut e = FixedTimeout::new(Nanos::from_millis(100));
+        e.observe(Nanos::ZERO);
+        let early = e.suspicion_level(Nanos::from_millis(10));
+        let late = e.suspicion_level(Nanos::from_millis(90));
+        assert!(late > early);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timeout_rejected() {
+        let _ = FixedTimeout::new(Nanos::ZERO);
+    }
+}

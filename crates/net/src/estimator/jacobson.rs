@@ -1,0 +1,150 @@
+//! Jacobson-style adaptive timeout (the TCP RTO rule on inter-arrivals).
+
+use super::ArrivalEstimator;
+use crate::clock::Nanos;
+
+/// Exponentially weighted mean/deviation timeout: trust until
+/// `last + srtt + β · rttvar`, with the TCP constants
+/// (gain 1/8 for the mean, 1/4 for the deviation, β = 4).
+///
+/// Compared with [`super::ChenEstimator`], the exponential filter reacts
+/// faster to period changes and the deviation term adapts the margin to
+/// the observed jitter rather than using a fixed α.
+#[derive(Clone, Debug)]
+pub struct JacobsonEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    beta: f64,
+    last: Option<Nanos>,
+    bootstrap: Nanos,
+}
+
+impl JacobsonEstimator {
+    /// Creates an estimator with deviation multiplier `beta` and a
+    /// `bootstrap` timeout used before the first inter-arrival sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not positive or `bootstrap` is zero.
+    #[must_use]
+    pub fn new(beta: f64, bootstrap: Nanos) -> Self {
+        assert!(beta > 0.0, "beta must be positive");
+        assert!(bootstrap > Nanos::ZERO, "bootstrap timeout must be positive");
+        Self {
+            srtt: None,
+            rttvar: 0.0,
+            beta,
+            last: None,
+            bootstrap,
+        }
+    }
+
+    /// The smoothed inter-arrival estimate, if any.
+    #[must_use]
+    pub fn smoothed_gap(&self) -> Option<Nanos> {
+        self.srtt.map(|v| Nanos::from_nanos(v as u64))
+    }
+}
+
+impl ArrivalEstimator for JacobsonEstimator {
+    fn observe(&mut self, now: Nanos) {
+        if let Some(prev) = self.last {
+            let sample = now.saturating_sub(prev).as_nanos() as f64;
+            match self.srtt {
+                None => {
+                    self.srtt = Some(sample);
+                    self.rttvar = sample / 2.0;
+                }
+                Some(srtt) => {
+                    let err = (sample - srtt).abs();
+                    self.rttvar = 0.75 * self.rttvar + 0.25 * err;
+                    self.srtt = Some(0.875 * srtt + 0.125 * sample);
+                }
+            }
+        }
+        self.last = Some(now);
+    }
+
+    fn deadline(&self) -> Option<Nanos> {
+        let last = self.last?;
+        let rto = match self.srtt {
+            Some(srtt) => Nanos::from_nanos((srtt + self.beta * self.rttvar) as u64),
+            None => self.bootstrap,
+        };
+        Some(last.saturating_add(rto))
+    }
+
+    fn suspicion_level(&self, now: Nanos) -> f64 {
+        match (self.last, self.deadline()) {
+            (Some(last), Some(deadline)) => {
+                let span = deadline.saturating_sub(last).as_nanos().max(1);
+                now.saturating_sub(last).as_nanos() as f64 / span as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jacobson"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn converges_to_stable_period() {
+        let mut e = JacobsonEstimator::new(4.0, ms(500));
+        for k in 0..50 {
+            e.observe(ms(k * 100));
+        }
+        let gap = e.smoothed_gap().unwrap().as_millis();
+        assert!((95..=105).contains(&gap), "gap={gap}");
+        // With zero jitter the deviation decays toward zero, so the
+        // deadline converges to last + period: trusted just inside the
+        // period, suspect just past it.
+        assert!(!e.is_suspect(ms(49 * 100 + 90)));
+        assert!(e.is_suspect(ms(49 * 100 + 130)));
+    }
+
+    #[test]
+    fn jitter_widens_the_margin() {
+        let mut steady = JacobsonEstimator::new(4.0, ms(500));
+        let mut jittery = JacobsonEstimator::new(4.0, ms(500));
+        let mut t_s = 0u64;
+        let mut t_j = 0u64;
+        for k in 0..40 {
+            t_s += 100;
+            steady.observe(ms(t_s));
+            t_j += if k % 2 == 0 { 60 } else { 140 };
+            jittery.observe(ms(t_j));
+        }
+        let m_s = steady
+            .deadline()
+            .unwrap()
+            .saturating_sub(ms(t_s))
+            .as_millis();
+        let m_j = jittery
+            .deadline()
+            .unwrap()
+            .saturating_sub(ms(t_j))
+            .as_millis();
+        assert!(
+            m_j > m_s,
+            "jittery peer should get a wider margin ({m_j} vs {m_s})"
+        );
+    }
+
+    #[test]
+    fn bootstrap_before_first_gap() {
+        let mut e = JacobsonEstimator::new(4.0, ms(250));
+        e.observe(ms(0));
+        assert!(e.is_suspect(ms(251)));
+        assert!(!e.is_suspect(ms(249)));
+    }
+}

@@ -1,0 +1,200 @@
+//! The φ-accrual failure detector (Hayashibara et al., SRDS 2004).
+
+use super::{ArrivalEstimator, ArrivalWindow};
+use crate::clock::Nanos;
+
+/// Accrual detector: instead of a binary suspect bit, output a continuous
+/// suspicion level
+/// `φ(t) = −log₁₀ P(next heartbeat arrives after t)`
+/// under a normal model of inter-arrival times, and suspect when φ
+/// crosses a threshold. φ = 1 means ≈10 % chance the silence is benign,
+/// φ = 3 means ≈0.1 %. This is the design adopted by Cassandra and Akka —
+/// the modern descendant of the paper's "group membership timeout".
+#[derive(Clone, Debug)]
+pub struct PhiAccrual {
+    window: ArrivalWindow,
+    threshold: f64,
+    /// Minimum standard deviation to avoid φ exploding on perfectly
+    /// regular traffic.
+    min_std: f64,
+    bootstrap: Nanos,
+}
+
+impl PhiAccrual {
+    /// Creates a φ-accrual detector suspecting at `threshold`, with a
+    /// sliding window of `window` samples and a `bootstrap` timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive, `window < 2`, or
+    /// `bootstrap` is zero.
+    #[must_use]
+    pub fn new(threshold: f64, window: usize, bootstrap: Nanos) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert!(bootstrap > Nanos::ZERO, "bootstrap timeout must be positive");
+        Self {
+            window: ArrivalWindow::new(window),
+            threshold,
+            min_std: 1e5, // 0.1 ms floor
+            bootstrap,
+        }
+    }
+
+    /// The suspicion threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The φ value at time `now` (0 before the first heartbeat).
+    #[must_use]
+    pub fn phi(&self, now: Nanos) -> f64 {
+        let Some(last) = self.window.last_arrival() else {
+            return 0.0;
+        };
+        let elapsed = now.saturating_sub(last).as_nanos() as f64;
+        let (mean, std) = match (self.window.mean(), self.window.variance()) {
+            (Some(m), Some(v)) if self.window.len() >= 2 => {
+                (m, v.sqrt().max(self.min_std))
+            }
+            _ => {
+                // Bootstrap: treat the bootstrap timeout as mean with a
+                // generous deviation.
+                let b = self.bootstrap.as_nanos() as f64;
+                (b / 2.0, b / 4.0)
+            }
+        };
+        // P(X > elapsed) for X ~ N(mean, std²), via the logistic
+        // approximation of the normal CDF used by the Akka
+        // implementation.
+        let y = (elapsed - mean) / std;
+        let e = (-y * (1.5976 + 0.070566 * y * y)).exp();
+        let p_later = if elapsed > mean {
+            e / (1.0 + e)
+        } else {
+            1.0 - 1.0 / (1.0 + e)
+        };
+        -p_later.max(1e-12).log10()
+    }
+}
+
+impl ArrivalEstimator for PhiAccrual {
+    fn observe(&mut self, now: Nanos) {
+        self.window.record(now);
+    }
+
+    fn deadline(&self) -> Option<Nanos> {
+        // The deadline is implicit: the time at which φ crosses the
+        // threshold. Probe geometrically from the last arrival.
+        let last = self.window.last_arrival()?;
+        let mut lo = 0u64;
+        let mut hi = self.bootstrap.as_nanos().max(1);
+        while self.phi(last.saturating_add(Nanos::from_nanos(hi))) < self.threshold {
+            lo = hi;
+            hi = hi.saturating_mul(2);
+            if hi > 1 << 50 {
+                break;
+            }
+        }
+        // Binary search the crossing point.
+        for _ in 0..40 {
+            let mid = lo + (hi - lo) / 2;
+            if self.phi(last.saturating_add(Nanos::from_nanos(mid))) < self.threshold {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(last.saturating_add(Nanos::from_nanos(hi)))
+    }
+
+    fn is_suspect(&self, now: Nanos) -> bool {
+        self.window.last_arrival().is_some() && self.phi(now) >= self.threshold
+    }
+
+    fn suspicion_level(&self, now: Nanos) -> f64 {
+        self.phi(now)
+    }
+
+    fn name(&self) -> &'static str {
+        "phi-accrual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn trained(period_ms: u64) -> PhiAccrual {
+        let mut e = PhiAccrual::new(3.0, 16, ms(500));
+        for k in 0..16 {
+            e.observe(ms(k * period_ms));
+        }
+        e
+    }
+
+    /// Training with realistic jitter (alternating 80/120 ms gaps) so the
+    /// inter-arrival distribution has nonzero spread.
+    fn trained_jittery() -> (PhiAccrual, Nanos) {
+        let mut e = PhiAccrual::new(3.0, 16, ms(500));
+        let mut t = 0u64;
+        for k in 0..16 {
+            t += if k % 2 == 0 { 80 } else { 120 };
+            e.observe(ms(t));
+        }
+        (e, ms(t))
+    }
+
+    #[test]
+    fn phi_is_monotone_in_silence() {
+        let (e, last) = trained_jittery();
+        let p1 = e.phi(last.saturating_add(ms(50)));
+        let p2 = e.phi(last.saturating_add(ms(150)));
+        let p3 = e.phi(last.saturating_add(ms(400)));
+        assert!(p1 < p2 && p2 < p3, "{p1} {p2} {p3}");
+    }
+
+    #[test]
+    fn fresh_heartbeat_resets_phi() {
+        let mut e = trained(100);
+        let late = ms(15 * 100 + 500);
+        assert!(e.phi(late) > 3.0);
+        e.observe(late);
+        assert!(e.phi(late.saturating_add(ms(10))) < 1.0);
+    }
+
+    #[test]
+    fn suspects_after_long_silence_only() {
+        let e = trained(100);
+        let last = ms(1500);
+        assert!(!e.is_suspect(last.saturating_add(ms(100))));
+        assert!(e.is_suspect(last.saturating_add(ms(2_000))));
+    }
+
+    #[test]
+    fn deadline_matches_threshold_crossing() {
+        let e = trained(100);
+        let d = e.deadline().unwrap();
+        let just_before = Nanos::from_nanos(d.as_nanos() - 2_000_000);
+        let just_after = d.saturating_add(ms(2));
+        assert!(e.phi(just_before) < 3.0);
+        assert!(e.phi(just_after) >= 3.0);
+    }
+
+    #[test]
+    fn higher_threshold_suspects_later() {
+        let mut lax = PhiAccrual::new(8.0, 16, ms(500));
+        let mut strict = PhiAccrual::new(1.0, 16, ms(500));
+        for k in 0..16 {
+            lax.observe(ms(k * 100));
+            strict.observe(ms(k * 100));
+        }
+        let d_lax = lax.deadline().unwrap();
+        let d_strict = strict.deadline().unwrap();
+        assert!(d_lax > d_strict);
+    }
+}

@@ -1,0 +1,53 @@
+//! # rfd-net — the realistic failure-detection runtime
+//!
+//! The systems counterpart of the paper's theory: timeout-based failure
+//! detectors as deployed systems actually build them (§1.3), evaluated
+//! with Chen–Toueg–Aguilera QoS metrics.
+//!
+//! * [`clock`] — virtual (deterministic) and system time sources.
+//! * [`transport`] — a seeded lossy virtual-time network and a real UDP
+//!   transport carrying the same wire format ([`codec`]).
+//! * [`estimator`] — heartbeat timeout strategies: fixed, Chen,
+//!   Jacobson, φ-accrual.
+//! * [`detector`] — the per-node heartbeat detector and node loop.
+//! * [`qos`] — detection time / mistake rate / query accuracy metrics
+//!   and the single-link evaluation harness (experiment E7).
+//! * [`membership`] — a view-based group membership that **emulates
+//!   `P`** by exclusion, the paper's explanation of why real systems end
+//!   up at the top of the collapsed hierarchy (experiment E8).
+//!
+//! ## Example: measure an estimator's QoS
+//!
+//! ```
+//! use rfd_net::clock::Nanos;
+//! use rfd_net::estimator::ChenEstimator;
+//! use rfd_net::qos::{evaluate_qos, QosScenario};
+//!
+//! let scenario = QosScenario {
+//!     crash_at: Some(Nanos::from_millis(5_000)),
+//!     duration: Nanos::from_millis(10_000),
+//!     ..QosScenario::default()
+//! };
+//! let report = evaluate_qos(
+//!     ChenEstimator::new(Nanos::from_millis(100), 16, Nanos::from_millis(400)),
+//!     &scenario,
+//! );
+//! assert!(report.detection_time.is_some(), "the crash is detected");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod codec;
+pub mod detector;
+pub mod estimator;
+pub mod membership;
+pub mod qos;
+pub mod transport;
+
+pub use clock::{Clock, Nanos, SystemClock, VirtualClock};
+pub use detector::{DetectorNode, HeartbeatDetector};
+pub use estimator::{ArrivalEstimator, ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual};
+pub use qos::{evaluate_qos, QosReport, QosScenario, QosTracker};
+pub use transport::{InMemoryNetwork, LossModel, NetworkConfig, Transport, UdpTransport};

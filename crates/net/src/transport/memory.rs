@@ -1,0 +1,438 @@
+//! A deterministic in-memory network driven by a virtual clock.
+
+use super::{Datagram, Transport};
+use crate::clock::{Clock, Nanos, VirtualClock};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfd_core::{ProcessId, ProcessSet};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// The datagram loss process.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LossModel {
+    /// Independent per-datagram loss with the given probability.
+    Bernoulli(f64),
+    /// Gilbert–Elliott two-state burst model: the channel alternates
+    /// between a *good* state (lossless) and a *bad* state, transitioning
+    /// per datagram; in the bad state each datagram is lost with
+    /// `loss_in_burst`. Burst losses are what actually separate adaptive
+    /// estimators in practice (E7's ablation).
+    GilbertElliott {
+        /// Probability of entering the bad state per good-state datagram.
+        p_enter: f64,
+        /// Probability of leaving the bad state per bad-state datagram.
+        p_exit: f64,
+        /// Loss probability while in the bad state.
+        loss_in_burst: f64,
+    },
+}
+
+impl LossModel {
+    fn validate(&self) {
+        match self {
+            LossModel::Bernoulli(p) => {
+                assert!((0.0..=1.0).contains(p), "loss must be a probability");
+            }
+            LossModel::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_in_burst,
+            } => {
+                for p in [p_enter, p_exit, loss_in_burst] {
+                    assert!((0.0..=1.0).contains(p), "probabilities must be in [0,1]");
+                }
+            }
+        }
+    }
+}
+
+/// Loss/delay parameters of the virtual network.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// The loss process.
+    pub loss: LossModel,
+    /// Minimum one-way delay.
+    pub min_delay: Nanos,
+    /// Maximum one-way delay.
+    pub max_delay: Nanos,
+    /// RNG seed (loss and delay draws).
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// A lossless network with the given delay range.
+    #[must_use]
+    pub fn reliable(min_delay: Nanos, max_delay: Nanos) -> Self {
+        Self {
+            loss: LossModel::Bernoulli(0.0),
+            min_delay,
+            max_delay,
+            seed: 0,
+        }
+    }
+
+    /// Sets independent per-datagram loss (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        let model = LossModel::Bernoulli(loss);
+        model.validate();
+        self.loss = model;
+        self
+    }
+
+    /// Sets a Gilbert–Elliott burst-loss process (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn with_burst_loss(mut self, p_enter: f64, p_exit: f64, loss_in_burst: f64) -> Self {
+        let model = LossModel::GilbertElliott {
+            p_enter,
+            p_exit,
+            loss_in_burst,
+        };
+        model.validate();
+        self.loss = model;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::reliable(Nanos::from_millis(1), Nanos::from_millis(5))
+    }
+}
+
+#[derive(Debug)]
+struct InFlight {
+    due: Nanos,
+    seq: u64,
+    datagram: Datagram,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-due first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct NetInner {
+    config: NetworkConfig,
+    rng: StdRng,
+    /// Gilbert–Elliott channel state: `true` = bad (burst) state.
+    in_burst: bool,
+    in_flight: BinaryHeap<InFlight>,
+    inboxes: Vec<VecDeque<Datagram>>,
+    /// Nodes taken down (crashed): they neither send nor receive.
+    down: ProcessSet,
+    seq: u64,
+    sent: u64,
+    lost: u64,
+    delivered: u64,
+}
+
+/// A deterministic in-memory datagram network.
+///
+/// All endpoints share the [`VirtualClock`]; messages become receivable
+/// once the clock passes their delivery time.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use rfd_core::ProcessId;
+/// use rfd_net::clock::{Nanos, VirtualClock};
+/// use rfd_net::transport::{InMemoryNetwork, NetworkConfig, Transport};
+///
+/// let clock = VirtualClock::new();
+/// let net = InMemoryNetwork::new(2, NetworkConfig::default(), clock.clone());
+/// let a = net.endpoint(ProcessId::new(0));
+/// let b = net.endpoint(ProcessId::new(1));
+/// a.send(ProcessId::new(1), Bytes::from_static(b"ping"));
+/// clock.advance(Nanos::from_millis(10));
+/// let dg = b.recv().expect("delivered after the delay");
+/// assert_eq!(&dg.payload[..], b"ping");
+/// ```
+#[derive(Clone, Debug)]
+pub struct InMemoryNetwork {
+    inner: Arc<Mutex<NetInner>>,
+    clock: VirtualClock,
+    n: usize,
+}
+
+impl InMemoryNetwork {
+    /// Creates a network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, config: NetworkConfig, clock: VirtualClock) -> Self {
+        assert!(n > 0, "need at least one node");
+        let seed = config.seed;
+        Self {
+            inner: Arc::new(Mutex::new(NetInner {
+                config,
+                rng: StdRng::seed_from_u64(seed),
+                in_burst: false,
+                in_flight: BinaryHeap::new(),
+                inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+                down: ProcessSet::empty(),
+                seq: 0,
+                sent: 0,
+                lost: 0,
+                delivered: 0,
+            })),
+            clock,
+            n,
+        }
+    }
+
+    /// A handle for node `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range.
+    #[must_use]
+    pub fn endpoint(&self, me: ProcessId) -> Endpoint {
+        assert!(me.index() < self.n, "{me} out of range (n={})", self.n);
+        Endpoint {
+            net: self.clone(),
+            me,
+        }
+    }
+
+    /// Takes a node down (crash): pending and future traffic to and from
+    /// it is dropped.
+    pub fn take_down(&self, node: ProcessId) {
+        self.inner.lock().down.insert(node);
+    }
+
+    /// Whether a node is down.
+    #[must_use]
+    pub fn is_down(&self, node: ProcessId) -> bool {
+        self.inner.lock().down.contains(node)
+    }
+
+    /// `(sent, lost, delivered)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let g = self.inner.lock();
+        (g.sent, g.lost, g.delivered)
+    }
+
+    /// Moves due in-flight messages to inboxes.
+    fn pump(&self) {
+        let now = self.clock.now();
+        let mut g = self.inner.lock();
+        while matches!(g.in_flight.peek(), Some(m) if m.due <= now) {
+            let m = g.in_flight.pop().expect("peeked");
+            if g.down.contains(m.datagram.to) {
+                continue;
+            }
+            let to = m.datagram.to.index();
+            g.delivered += 1;
+            g.inboxes[to].push_back(m.datagram);
+        }
+    }
+
+    fn send_from(&self, from: ProcessId, to: ProcessId, payload: Bytes) {
+        let now = self.clock.now();
+        let mut g = self.inner.lock();
+        if g.down.contains(from) || g.down.contains(to) {
+            return;
+        }
+        g.sent += 1;
+        let dropped = match g.config.loss.clone() {
+            LossModel::Bernoulli(p) => p > 0.0 && g.rng.gen_bool(p),
+            LossModel::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_in_burst,
+            } => {
+                // Advance the channel state per datagram, then draw.
+                if g.in_burst {
+                    if p_exit > 0.0 && g.rng.gen_bool(p_exit) {
+                        g.in_burst = false;
+                    }
+                } else if p_enter > 0.0 && g.rng.gen_bool(p_enter) {
+                    g.in_burst = true;
+                }
+                g.in_burst && loss_in_burst > 0.0 && g.rng.gen_bool(loss_in_burst)
+            }
+        };
+        if dropped {
+            g.lost += 1;
+            return;
+        }
+        let lo = g.config.min_delay.as_nanos();
+        let hi = g.config.max_delay.as_nanos().max(lo);
+        let delay = if hi > lo { g.rng.gen_range(lo..=hi) } else { lo };
+        let due = now.saturating_add(Nanos::from_nanos(delay));
+        let seq = g.seq;
+        g.seq += 1;
+        g.in_flight.push(InFlight {
+            due,
+            seq,
+            datagram: Datagram {
+                from,
+                to,
+                payload,
+                delivered_at: due,
+            },
+        });
+    }
+
+    fn recv_for(&self, me: ProcessId) -> Option<Datagram> {
+        self.pump();
+        let mut g = self.inner.lock();
+        if g.down.contains(me) {
+            return None;
+        }
+        g.inboxes[me.index()].pop_front()
+    }
+}
+
+/// A node-side handle to an [`InMemoryNetwork`].
+#[derive(Clone, Debug)]
+pub struct Endpoint {
+    net: InMemoryNetwork,
+    me: ProcessId,
+}
+
+impl Transport for Endpoint {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn send(&self, to: ProcessId, payload: Bytes) {
+        self.net.send_from(self.me, to, payload);
+    }
+
+    fn recv(&self) -> Option<Datagram> {
+        self.net.recv_for(self.me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn setup(loss: f64, seed: u64) -> (VirtualClock, InMemoryNetwork) {
+        let clock = VirtualClock::new();
+        let config = NetworkConfig::reliable(Nanos::from_millis(1), Nanos::from_millis(4))
+            .with_loss(loss)
+            .with_seed(seed);
+        let net = InMemoryNetwork::new(3, config, clock.clone());
+        (clock, net)
+    }
+
+    #[test]
+    fn delivery_waits_for_the_delay() {
+        let (clock, net) = setup(0.0, 1);
+        let a = net.endpoint(p(0));
+        let b = net.endpoint(p(1));
+        a.send(p(1), Bytes::from_static(b"x"));
+        assert!(b.recv().is_none(), "not yet due");
+        clock.advance(Nanos::from_millis(5));
+        assert!(b.recv().is_some());
+    }
+
+    #[test]
+    fn loss_drops_a_fraction_of_traffic() {
+        let (clock, net) = setup(0.5, 7);
+        let a = net.endpoint(p(0));
+        let b = net.endpoint(p(1));
+        for _ in 0..1000 {
+            a.send(p(1), Bytes::from_static(b"x"));
+        }
+        clock.advance(Nanos::from_millis(100));
+        let mut got = 0;
+        while b.recv().is_some() {
+            got += 1;
+        }
+        assert!((300..700).contains(&got), "got {got} of 1000 at 50% loss");
+        let (sent, lost, delivered) = net.stats();
+        assert_eq!(sent, 1000);
+        assert_eq!(lost + delivered, 1000);
+    }
+
+    #[test]
+    fn down_nodes_neither_send_nor_receive() {
+        let (clock, net) = setup(0.0, 2);
+        let a = net.endpoint(p(0));
+        let b = net.endpoint(p(1));
+        net.take_down(p(0));
+        a.send(p(1), Bytes::from_static(b"dead"));
+        clock.advance(Nanos::from_millis(10));
+        assert!(b.recv().is_none(), "messages from a downed node vanish");
+        b.send(p(0), Bytes::from_static(b"hello"));
+        clock.advance(Nanos::from_millis(10));
+        assert!(a.recv().is_none(), "downed nodes receive nothing");
+    }
+
+    #[test]
+    fn in_flight_messages_to_downed_node_are_dropped() {
+        let (clock, net) = setup(0.0, 3);
+        let a = net.endpoint(p(0));
+        a.send(p(1), Bytes::from_static(b"late"));
+        net.take_down(p(1));
+        clock.advance(Nanos::from_millis(10));
+        assert!(net.endpoint(p(1)).recv().is_none());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        for _ in 0..2 {
+            let (clock, net) = setup(0.3, 42);
+            let a = net.endpoint(p(0));
+            for _ in 0..100 {
+                a.send(p(1), Bytes::from_static(b"x"));
+            }
+            clock.advance(Nanos::from_millis(50));
+            let (_, lost, _) = net.stats();
+            // Same seed → same loss pattern.
+            assert_eq!(lost, {
+                let (clock2, net2) = setup(0.3, 42);
+                let a2 = net2.endpoint(p(0));
+                for _ in 0..100 {
+                    a2.send(p(1), Bytes::from_static(b"x"));
+                }
+                clock2.advance(Nanos::from_millis(50));
+                net2.stats().1
+            });
+        }
+    }
+}

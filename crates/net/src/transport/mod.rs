@@ -1,0 +1,41 @@
+//! Transports: datagram delivery for the heartbeat stack.
+//!
+//! [`InMemoryNetwork`] is a deterministic virtual-time network with
+//! configurable loss, delay and partitions — the workhorse of the QoS
+//! experiments. [`UdpTransport`] carries the same traffic over real
+//! `UdpSocket`s for the end-to-end examples.
+
+pub mod memory;
+pub mod udp;
+
+pub use memory::{Endpoint, InMemoryNetwork, LossModel, NetworkConfig};
+pub use udp::UdpTransport;
+
+use crate::clock::Nanos;
+use bytes::Bytes;
+use rfd_core::ProcessId;
+
+/// A received datagram.
+#[derive(Clone, Debug)]
+pub struct Datagram {
+    /// Sending node.
+    pub from: ProcessId,
+    /// Receiving node.
+    pub to: ProcessId,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Delivery time (virtual networks) or receive time (UDP).
+    pub delivered_at: Nanos,
+}
+
+/// A node-side transport handle.
+pub trait Transport {
+    /// This node's identity.
+    fn me(&self) -> ProcessId;
+
+    /// Sends `payload` to `to` (best effort — may be lost).
+    fn send(&self, to: ProcessId, payload: Bytes);
+
+    /// Receives the next available datagram, if any.
+    fn recv(&self) -> Option<Datagram>;
+}

@@ -1,0 +1,119 @@
+//! Message delivery models and schedule adversaries.
+//!
+//! The paper's runs (§2.4) require that every message sent to a correct
+//! process is eventually received (reliable channels) and every correct
+//! process takes infinitely many steps. [`DeliveryModel`] controls *when*
+//! a message becomes deliverable; the engine's round-robin scheduler
+//! provides process fairness. An [`Adversary`] can stretch (but, for
+//! correct destinations, never suppress) delivery — the tool used to
+//! exhibit the paper's indistinguishability runs (Lemma 4.1, §6.2).
+
+use rfd_core::{ProcessId, Time};
+
+/// Base random-delay model: each message is deliverable after a delay
+/// drawn uniformly from `[min_delay, max_delay]` ticks.
+#[derive(Clone, Debug)]
+pub struct DeliveryModel {
+    /// Minimum delivery delay in ticks.
+    pub min_delay: u64,
+    /// Maximum delivery delay in ticks (inclusive).
+    pub max_delay: u64,
+}
+
+impl DeliveryModel {
+    /// Creates a uniform-delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_delay > max_delay`.
+    #[must_use]
+    pub fn uniform(min_delay: u64, max_delay: u64) -> Self {
+        assert!(min_delay <= max_delay, "min_delay must not exceed max_delay");
+        Self {
+            min_delay,
+            max_delay,
+        }
+    }
+}
+
+impl Default for DeliveryModel {
+    fn default() -> Self {
+        Self::uniform(1, 8)
+    }
+}
+
+/// A schedule adversary: an extra, deterministic delivery constraint.
+///
+/// The adversary returns the *earliest allowed delivery time* for a
+/// message, or `None` for "no extra constraint". The engine takes the max
+/// with the base model's delay, so an adversary can only postpone.
+/// Postponement never exceeds the adversary's own bounds, preserving the
+/// run conditions for correct processes (fairness is restored after the
+/// hold time).
+#[derive(Clone, Debug, Default)]
+pub enum Adversary {
+    /// No adversary: only the base delay model applies.
+    #[default]
+    None,
+    /// Hold every message **from** the process until the given time
+    /// (used for Lemma 4.1's run `R₁`, where a victim's messages are
+    /// delayed past the decision, and for the §6.2 non-uniformity
+    /// witness).
+    HoldFrom(ProcessId, Time),
+    /// Hold every message **to** the process until the given time
+    /// (the "pⱼ receives nothing before `t`" side of run `R₁`).
+    HoldTo(ProcessId, Time),
+    /// Hold all messages crossing the cut {isolated} ↔ rest, both ways,
+    /// until the given time (a temporary partition).
+    Isolate(ProcessId, Time),
+}
+
+impl Adversary {
+    /// The adversary's earliest-delivery constraint for a message
+    /// `from → to`, or `None` if unconstrained.
+    #[must_use]
+    pub fn earliest(&self, from: ProcessId, to: ProcessId) -> Option<Time> {
+        match *self {
+            Adversary::None => None,
+            Adversary::HoldFrom(p, t) if from == p => Some(t),
+            Adversary::HoldTo(p, t) if to == p => Some(t),
+            Adversary::Isolate(p, t) if from == p || to == p => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_bounded() {
+        let m = DeliveryModel::default();
+        assert!(m.min_delay <= m.max_delay);
+    }
+
+    #[test]
+    fn hold_from_only_affects_the_sender() {
+        let a = Adversary::HoldFrom(ProcessId::new(1), Time::new(50));
+        assert_eq!(
+            a.earliest(ProcessId::new(1), ProcessId::new(0)),
+            Some(Time::new(50))
+        );
+        assert_eq!(a.earliest(ProcessId::new(0), ProcessId::new(1)), None);
+    }
+
+    #[test]
+    fn isolate_cuts_both_directions() {
+        let a = Adversary::Isolate(ProcessId::new(2), Time::new(9));
+        assert!(a.earliest(ProcessId::new(2), ProcessId::new(0)).is_some());
+        assert!(a.earliest(ProcessId::new(0), ProcessId::new(2)).is_some());
+        assert!(a.earliest(ProcessId::new(0), ProcessId::new(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_delay")]
+    fn inverted_bounds_panic() {
+        let _ = DeliveryModel::uniform(5, 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! The run engine: executes automata under the FLP + failure detector
+//! model (§2.3–2.4).
+//!
+//! The engine advances a global [`Time`] (one tick per step, invisible to
+//! automata), drives one step per alive process per *round* in a randomly
+//! shuffled order (process fairness), delivers each message after a
+//! bounded random delay (channel reliability), injects crashes from a
+//! [`FailurePattern`], feeds detector values from a pre-generated oracle
+//! [`History`], and records decisions with their causal pasts.
+
+use crate::automaton::{Automaton, StepContext};
+use crate::delivery::{Adversary, DeliveryModel};
+use crate::message::{Envelope, Pending};
+use crate::trace::{OutputEvent, Trace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rfd_core::{FailurePattern, History, ProcessId, ProcessSet, Time};
+
+/// When the engine stops (besides the hard round cap).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum StopCondition {
+    /// Run the full round budget.
+    #[default]
+    RoundBudget,
+    /// Stop early once every correct process has produced at least this
+    /// many output events.
+    EachCorrectOutput(usize),
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// RNG seed for scheduling and delivery delays.
+    pub seed: u64,
+    /// Hard cap on rounds (each round = one step per alive process).
+    pub max_rounds: u64,
+    /// Message delay model.
+    pub delivery: DeliveryModel,
+    /// Optional schedule adversary.
+    pub adversary: Adversary,
+    /// Early-stop condition.
+    pub stop: StopCondition,
+}
+
+impl SimConfig {
+    /// A configuration with the given seed and round budget and default
+    /// delivery.
+    #[must_use]
+    pub fn new(seed: u64, max_rounds: u64) -> Self {
+        Self {
+            seed,
+            max_rounds,
+            delivery: DeliveryModel::default(),
+            adversary: Adversary::None,
+            stop: StopCondition::RoundBudget,
+        }
+    }
+
+    /// Sets the delivery model (builder style).
+    #[must_use]
+    pub fn with_delivery(mut self, delivery: DeliveryModel) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Sets the adversary (builder style).
+    #[must_use]
+    pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Sets the early-stop condition (builder style).
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+}
+
+/// Upper bound on the global time consumed by `rounds` rounds with `n`
+/// processes — use it as the oracle-history horizon.
+#[must_use]
+pub fn ticks_for_rounds(n: usize, rounds: u64) -> Time {
+    Time::new((n as u64).saturating_mul(rounds).saturating_add(1))
+}
+
+/// The result of a completed run.
+#[derive(Debug)]
+pub struct RunResult<A: Automaton> {
+    /// Recorded output events and statistics.
+    pub trace: Trace<A::Output>,
+    /// The emulated failure-detector history, if any automaton exposed
+    /// one via [`Automaton::emulated_suspects`] (the `output(P)` variable
+    /// of §4.3 / §5).
+    pub emulated: Option<History<ProcessSet>>,
+    /// Final automata states (for inspection).
+    pub automata: Vec<A>,
+}
+
+/// Executes a run of `automata` (one per process) under `pattern`,
+/// feeding failure detector values from `oracle_history`.
+///
+/// # Panics
+///
+/// Panics if the number of automata differs from the pattern's process
+/// count, or if the oracle history covers fewer processes.
+pub fn run<A: Automaton>(
+    pattern: &FailurePattern,
+    oracle_history: &History<ProcessSet>,
+    mut automata: Vec<A>,
+    config: &SimConfig,
+) -> RunResult<A> {
+    let n = pattern.num_processes();
+    assert_eq!(automata.len(), n, "need exactly one automaton per process");
+    assert_eq!(
+        oracle_history.num_processes(),
+        n,
+        "oracle history process count mismatch"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut time = Time::ZERO;
+    let mut next_msg_id: u64 = 0;
+    let mut inboxes: Vec<Vec<Pending<A::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut heard: Vec<ProcessSet> = (0..n)
+        .map(|ix| ProcessSet::singleton(ProcessId::new(ix)))
+        .collect();
+    let mut trace = Trace {
+        events: Vec::new(),
+        messages_sent: 0,
+        messages_delivered: 0,
+        steps: 0,
+        end_time: Time::ZERO,
+        rounds: 0,
+    };
+    let mut emulated: Option<History<ProcessSet>> = None;
+    let mut order: Vec<usize> = (0..n).collect();
+
+    'rounds: for round in 0..config.max_rounds {
+        trace.rounds = round + 1;
+        order.shuffle(&mut rng);
+        for &ix in &order {
+            let pid = ProcessId::new(ix);
+            if pattern.is_crashed(pid, time) {
+                // A crashed process performs no action after its crash
+                // time; global time does not advance for skipped slots.
+                continue;
+            }
+            // Receive: oldest due message, λ if none.
+            let input = take_due(&mut inboxes[ix], time);
+            if input.is_some() {
+                trace.messages_delivered += 1;
+            }
+            if let Some(env) = &input {
+                heard[ix] |= env.causal_past;
+            }
+            let suspects = *oracle_history.value(pid, time);
+            let mut ctx: StepContext<A::Msg, A::Output> = StepContext::new(pid, n, suspects);
+            automata[ix].on_step(input.as_ref(), &mut ctx);
+            // Effects: sends...
+            let causal = heard[ix];
+            let StepContext { outbox, outputs, .. } = ctx;
+            for (to, payload) in outbox {
+                let delay = rng.gen_range(config.delivery.min_delay..=config.delivery.max_delay);
+                let mut due = time.advance(delay.max(1));
+                if let Some(earliest) = config.adversary.earliest(pid, to) {
+                    due = due.max(earliest);
+                }
+                inboxes[to.index()].push(Pending {
+                    envelope: Envelope {
+                        id: next_msg_id,
+                        from: pid,
+                        to,
+                        payload,
+                        sent_at: time,
+                        causal_past: causal,
+                    },
+                    due,
+                });
+                next_msg_id += 1;
+                trace.messages_sent += 1;
+            }
+            // ...outputs...
+            for value in outputs {
+                trace.events.push(OutputEvent {
+                    process: pid,
+                    time,
+                    value,
+                    causal_past: causal,
+                });
+            }
+            // ...and the emulated detector output.
+            if let Some(suspected) = automata[ix].emulated_suspects() {
+                let h = emulated.get_or_insert_with(|| History::new(n, ProcessSet::empty()));
+                h.set_from(pid, time, suspected);
+            }
+            trace.steps += 1;
+            time = time.next();
+        }
+        if let StopCondition::EachCorrectOutput(k) = config.stop {
+            let done = pattern
+                .correct()
+                .iter()
+                .all(|pid| trace.outputs_of(pid).count() >= k);
+            if done {
+                break 'rounds;
+            }
+        }
+    }
+    trace.end_time = time;
+    RunResult {
+        trace,
+        emulated,
+        automata,
+    }
+}
+
+/// Removes and returns the due message with the smallest `(due, id)`.
+fn take_due<M>(inbox: &mut Vec<Pending<M>>, now: Time) -> Option<Envelope<M>> {
+    let mut best: Option<usize> = None;
+    for (i, p) in inbox.iter().enumerate() {
+        if p.due <= now {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let bb = &inbox[b];
+                    (p.due, p.envelope.id) < (bb.due, bb.envelope.id)
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+    }
+    best.map(|i| inbox.swap_remove(i).envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every process broadcasts a token once, then outputs each received
+    /// token's sender index.
+    struct Gossip {
+        started: bool,
+    }
+
+    impl Automaton for Gossip {
+        type Msg = usize;
+        type Output = usize;
+
+        fn on_step(
+            &mut self,
+            input: Option<&Envelope<usize>>,
+            ctx: &mut StepContext<usize, usize>,
+        ) {
+            if !self.started {
+                self.started = true;
+                ctx.broadcast_others(ctx.me().index());
+            }
+            if let Some(env) = input {
+                ctx.output(env.payload);
+            }
+        }
+    }
+
+    fn gossip_automata(n: usize) -> Vec<Gossip> {
+        (0..n).map(|_| Gossip { started: false }).collect()
+    }
+
+    fn silent_history(n: usize) -> History<ProcessSet> {
+        History::new(n, ProcessSet::empty())
+    }
+
+    #[test]
+    fn all_messages_delivered_to_correct_processes() {
+        let n = 4;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(7, 200);
+        let result = run(&pattern, &silent_history(n), gossip_automata(n), &config);
+        // 4 broadcasts × 3 destinations.
+        assert_eq!(result.trace.messages_sent, 12);
+        assert_eq!(result.trace.messages_delivered, 12);
+        // Each process outputs the 3 tokens it received.
+        for ix in 0..n {
+            assert_eq!(result.trace.outputs_of(ProcessId::new(ix)).count(), 3);
+        }
+    }
+
+    #[test]
+    fn crashed_process_takes_no_steps_after_crash() {
+        let n = 3;
+        // p0 crashes immediately: it never gets a step.
+        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::ZERO);
+        let config = SimConfig::new(3, 100);
+        let result = run(&pattern, &silent_history(n), gossip_automata(n), &config);
+        // p0 sent nothing; p1 and p2 each broadcast 2 messages, and the
+        // copy addressed to p0 is never delivered.
+        assert_eq!(result.trace.messages_sent, 4);
+        assert_eq!(result.trace.messages_delivered, 2);
+        assert_eq!(result.trace.outputs_of(ProcessId::new(0)).count(), 0);
+    }
+
+    #[test]
+    fn causal_past_propagates_transitively() {
+        /// p0 sends to p1; p1 forwards to p2; p2 outputs. p2's event must
+        /// have p0 in its causal past.
+        struct Chain {
+            sent: bool,
+        }
+        impl Automaton for Chain {
+            type Msg = u8;
+            type Output = u8;
+            fn on_step(
+                &mut self,
+                input: Option<&Envelope<u8>>,
+                ctx: &mut StepContext<u8, u8>,
+            ) {
+                let me = ctx.me().index();
+                if me == 0 && !self.sent {
+                    self.sent = true;
+                    ctx.send(ProcessId::new(1), 1);
+                }
+                if let Some(env) = input {
+                    if me == 1 && !self.sent {
+                        self.sent = true;
+                        ctx.send(ProcessId::new(2), env.payload + 1);
+                    }
+                    if me == 2 {
+                        ctx.output(env.payload);
+                    }
+                }
+            }
+        }
+        let pattern = FailurePattern::new(3);
+        let config = SimConfig::new(11, 300);
+        let automata = (0..3).map(|_| Chain { sent: false }).collect();
+        let result = run(&pattern, &silent_history(3), automata, &config);
+        let ev = result
+            .trace
+            .outputs_of(ProcessId::new(2))
+            .next()
+            .expect("p2 must output");
+        assert!(ev.causal_past.contains(ProcessId::new(0)));
+        assert!(ev.causal_past.contains(ProcessId::new(1)));
+        assert!(ev.causal_past.contains(ProcessId::new(2)));
+    }
+
+    #[test]
+    fn adversary_postpones_delivery() {
+        let n = 2;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(5, 400)
+            .with_adversary(Adversary::HoldFrom(ProcessId::new(0), Time::new(300)));
+        let result = run(&pattern, &silent_history(n), gossip_automata(n), &config);
+        // p1's token to p0 arrives promptly; p0's token to p1 is held
+        // until t=300.
+        let p1_rx = result
+            .trace
+            .outputs_of(ProcessId::new(1))
+            .next()
+            .expect("p1 eventually receives");
+        assert!(p1_rx.time >= Time::new(300));
+        let p0_rx = result
+            .trace
+            .outputs_of(ProcessId::new(0))
+            .next()
+            .expect("p0 receives");
+        assert!(p0_rx.time < Time::new(300));
+    }
+
+    #[test]
+    fn early_stop_condition_halts_run() {
+        let n = 3;
+        let pattern = FailurePattern::new(n);
+        let budget = SimConfig::new(9, 10_000)
+            .with_stop(StopCondition::EachCorrectOutput(1));
+        let result = run(&pattern, &silent_history(n), gossip_automata(n), &budget);
+        assert!(result.trace.rounds < 10_000, "should stop early");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let n = 4;
+        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(3), Time::new(5));
+        let config = SimConfig::new(123, 100);
+        let a = run(&pattern, &silent_history(n), gossip_automata(n), &config);
+        let b = run(&pattern, &silent_history(n), gossip_automata(n), &config);
+        assert_eq!(a.trace.messages_sent, b.trace.messages_sent);
+        assert_eq!(a.trace.steps, b.trace.steps);
+        assert_eq!(a.trace.events.len(), b.trace.events.len());
+        for (x, y) in a.trace.events.iter().zip(&b.trace.events) {
+            assert_eq!(x.process, y.process);
+            assert_eq!(x.time, y.time);
+        }
+    }
+}

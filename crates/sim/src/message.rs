@@ -1,0 +1,54 @@
+//! Messages in the simulated message buffer.
+
+use rfd_core::{ProcessId, ProcessSet, Time};
+
+/// A message in flight, together with the metadata the engine tracks.
+///
+/// Besides the algorithm payload, every envelope transparently carries the
+/// sender's *causal past* — the set of processes whose messages are in the
+/// causal chain (Lamport's happened-before) of the send event. This is the
+/// engine-level realization of the `[pᵢ is alive]` tags that the paper's
+/// reduction `T_{D⇒P}` attaches to every message (§4.3): a process is in
+/// `causal_past` exactly when the information "*that process was alive*"
+/// has reached the sender.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Unique, monotonically increasing message identifier.
+    pub id: u64,
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination process.
+    pub to: ProcessId,
+    /// Algorithm payload.
+    pub payload: M,
+    /// Global time of the send step.
+    pub sent_at: Time,
+    /// Causal past of the send event (always contains `from`).
+    pub causal_past: ProcessSet,
+}
+
+/// A message waiting in the buffer with its scheduled delivery time.
+#[derive(Clone, Debug)]
+pub(crate) struct Pending<M> {
+    pub envelope: Envelope<M>,
+    /// Earliest global time at which delivery may occur.
+    pub due: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_carries_causal_past() {
+        let e = Envelope {
+            id: 1,
+            from: ProcessId::new(0),
+            to: ProcessId::new(1),
+            payload: "hi",
+            sent_at: Time::new(3),
+            causal_past: ProcessSet::singleton(ProcessId::new(0)),
+        };
+        assert!(e.causal_past.contains(e.from));
+    }
+}

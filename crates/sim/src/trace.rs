@@ -1,0 +1,184 @@
+//! Run traces: output events with causal metadata, and run statistics.
+
+use rfd_core::{FailurePattern, ProcessId, ProcessSet, Time};
+use core::fmt;
+
+/// An output event (e.g. a consensus decision) recorded during a run,
+/// together with the causal metadata needed by the paper's arguments.
+#[derive(Clone, Debug)]
+pub struct OutputEvent<O> {
+    /// The process that produced the output.
+    pub process: ProcessId,
+    /// Global time of the step.
+    pub time: Time,
+    /// The output value.
+    pub value: O,
+    /// The causal past of the event: processes with a message in the
+    /// causal chain of this event (includes the process itself). This is
+    /// what Lemma 4.1's totality condition quantifies over.
+    pub causal_past: ProcessSet,
+}
+
+/// Violation witness returned by [`Trace::check_totality`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TotalityViolation {
+    /// The deciding process.
+    pub process: ProcessId,
+    /// When the decision happened.
+    pub time: Time,
+    /// The non-crashed processes missing from the causal chain.
+    pub missing: ProcessSet,
+}
+
+impl fmt::Display for TotalityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-total decision: {} decided at {} without consulting {}",
+            self.process, self.time, self.missing
+        )
+    }
+}
+
+/// The recorded trace of a simulated run.
+#[derive(Clone, Debug)]
+pub struct Trace<O> {
+    /// All output events, in step order.
+    pub events: Vec<OutputEvent<O>>,
+    /// Total number of messages sent.
+    pub messages_sent: u64,
+    /// Total number of messages delivered.
+    pub messages_delivered: u64,
+    /// Total steps executed (by all processes).
+    pub steps: u64,
+    /// Global time when the run stopped.
+    pub end_time: Time,
+    /// Rounds executed by the engine.
+    pub rounds: u64,
+}
+
+impl<O: Clone> Trace<O> {
+    /// The first output of each process, keyed by process index.
+    #[must_use]
+    pub fn first_outputs(&self, n: usize) -> Vec<Option<&OutputEvent<O>>> {
+        let mut firsts: Vec<Option<&OutputEvent<O>>> = vec![None; n];
+        for ev in &self.events {
+            let slot = &mut firsts[ev.process.index()];
+            if slot.is_none() {
+                *slot = Some(ev);
+            }
+        }
+        firsts
+    }
+
+    /// Events produced by one process, in order.
+    pub fn outputs_of(&self, pid: ProcessId) -> impl Iterator<Item = &OutputEvent<O>> + '_ {
+        self.events.iter().filter(move |e| e.process == pid)
+    }
+
+    /// Checks the paper's **totality** condition (§4.2) on every event:
+    /// the causal chain of a decision at time `t` must contain a message
+    /// from every process that has not crashed by `t`.
+    ///
+    /// Returns the first violation, if any.
+    pub fn check_totality(&self, pattern: &FailurePattern) -> Result<(), TotalityViolation> {
+        let n = pattern.num_processes();
+        for ev in &self.events {
+            let not_crashed = pattern.crashed_at(ev.time).complement_within(n);
+            let missing = not_crashed.difference(ev.causal_past);
+            if !missing.is_empty() {
+                return Err(TotalityViolation {
+                    process: ev.process,
+                    time: ev.time,
+                    missing,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn trace_with(events: Vec<OutputEvent<u32>>) -> Trace<u32> {
+        Trace {
+            events,
+            messages_sent: 0,
+            messages_delivered: 0,
+            steps: 0,
+            end_time: Time::new(100),
+            rounds: 0,
+        }
+    }
+
+    #[test]
+    fn totality_holds_when_causal_past_covers_survivors() {
+        let pattern = FailurePattern::new(3).with_crash(p(2), Time::new(5));
+        let mut causal = ProcessSet::empty();
+        causal.insert(p(0));
+        causal.insert(p(1));
+        let trace = trace_with(vec![OutputEvent {
+            process: p(0),
+            time: Time::new(10),
+            value: 1,
+            causal_past: causal,
+        }]);
+        assert_eq!(trace.check_totality(&pattern), Ok(()));
+    }
+
+    #[test]
+    fn totality_fails_when_a_survivor_was_not_consulted() {
+        let pattern = FailurePattern::new(3);
+        let trace = trace_with(vec![OutputEvent {
+            process: p(0),
+            time: Time::new(10),
+            value: 1,
+            causal_past: ProcessSet::singleton(p(0)),
+        }]);
+        let v = trace.check_totality(&pattern).unwrap_err();
+        assert_eq!(v.process, p(0));
+        assert_eq!(v.missing.len(), 2);
+    }
+
+    #[test]
+    fn crashed_processes_need_not_be_consulted() {
+        // p1 crashed before the decision: consulting p0 alone violates
+        // totality only because of p2.
+        let pattern = FailurePattern::new(3).with_crash(p(1), Time::new(2));
+        let trace = trace_with(vec![OutputEvent {
+            process: p(0),
+            time: Time::new(10),
+            value: 1,
+            causal_past: ProcessSet::singleton(p(0)),
+        }]);
+        let v = trace.check_totality(&pattern).unwrap_err();
+        assert_eq!(v.missing, ProcessSet::singleton(p(2)));
+    }
+
+    #[test]
+    fn first_outputs_picks_earliest_per_process() {
+        let trace = trace_with(vec![
+            OutputEvent {
+                process: p(1),
+                time: Time::new(4),
+                value: 10,
+                causal_past: ProcessSet::empty(),
+            },
+            OutputEvent {
+                process: p(1),
+                time: Time::new(9),
+                value: 20,
+                causal_past: ProcessSet::empty(),
+            },
+        ]);
+        let firsts = trace.first_outputs(3);
+        assert!(firsts[0].is_none());
+        assert_eq!(firsts[1].unwrap().value, 10);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests on the simulation engine: fairness, determinism,
+//! causal monotonicity, crash semantics.
+
+use proptest::prelude::*;
+use rfd_core::{FailurePattern, History, ProcessId, ProcessSet, Time};
+use rfd_sim::{run, Automaton, Envelope, SimConfig, StepContext};
+
+/// Every process broadcasts one token and outputs each received token.
+struct Gossip {
+    started: bool,
+}
+
+impl Automaton for Gossip {
+    type Msg = usize;
+    type Output = usize;
+
+    fn on_step(&mut self, input: Option<&Envelope<usize>>, ctx: &mut StepContext<usize, usize>) {
+        if !self.started {
+            self.started = true;
+            ctx.broadcast_others(ctx.me().index());
+        }
+        if let Some(env) = input {
+            ctx.output(env.payload);
+        }
+    }
+}
+
+/// Forwards every received token once, stamping hops; outputs it too.
+struct Relay {
+    started: bool,
+    forwarded: std::collections::BTreeSet<usize>,
+}
+
+impl Automaton for Relay {
+    type Msg = usize;
+    type Output = usize;
+
+    fn on_step(&mut self, input: Option<&Envelope<usize>>, ctx: &mut StepContext<usize, usize>) {
+        if !self.started {
+            self.started = true;
+            ctx.broadcast_others(ctx.me().index());
+        }
+        if let Some(env) = input {
+            ctx.output(env.payload);
+            if self.forwarded.insert(env.payload) {
+                ctx.broadcast_others(env.payload);
+            }
+        }
+    }
+}
+
+fn arb_pattern(n: usize, horizon: u64) -> impl Strategy<Value = FailurePattern> {
+    prop::collection::vec((0..n, 0..horizon), 0..n).prop_map(move |crashes| {
+        let mut f = FailurePattern::new(n);
+        for (ix, t) in crashes {
+            f.set_crash(ProcessId::new(ix), Time::new(t));
+        }
+        f
+    })
+}
+
+fn silent(n: usize) -> History<ProcessSet> {
+    History::new(n, ProcessSet::empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Channel reliability (run condition 5): every message sent to a
+    /// correct process is delivered within the horizon.
+    #[test]
+    fn all_messages_to_correct_processes_delivered(
+        seed in 0u64..10_000, f in arb_pattern(5, 50)
+    ) {
+        let n = 5;
+        let automata = (0..n).map(|_| Gossip { started: false }).collect();
+        let result = run(&f, &silent(n), automata, &SimConfig::new(seed, 400));
+        // Every correct process must have received a token from every
+        // process that managed to take a step before crashing.
+        let correct = f.correct();
+        for receiver in correct.iter() {
+            let got: Vec<usize> = result
+                .trace
+                .outputs_of(receiver)
+                .map(|e| e.value)
+                .collect();
+            for sender in correct.iter() {
+                if sender != receiver {
+                    prop_assert!(
+                        got.contains(&sender.index()),
+                        "seed={seed} {receiver} missed the token of correct {sender} ({f:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Process fairness (run condition 4): in a failure-free run every
+    /// process takes a step each round.
+    #[test]
+    fn steps_are_fair_without_crashes(seed in 0u64..10_000) {
+        let n = 4;
+        let f = FailurePattern::new(n);
+        let automata = (0..n).map(|_| Gossip { started: false }).collect();
+        let rounds = 50;
+        let result = run(&f, &silent(n), automata, &SimConfig::new(seed, rounds));
+        prop_assert_eq!(result.trace.steps, rounds * n as u64);
+    }
+
+    /// Determinism: identical configuration ⇒ identical trace.
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..10_000, f in arb_pattern(4, 40)) {
+        let n = 4;
+        let mk = || (0..n).map(|_| Relay { started: false, forwarded: Default::default() }).collect::<Vec<_>>();
+        let config = SimConfig::new(seed, 120);
+        let a = run(&f, &silent(n), mk(), &config);
+        let b = run(&f, &silent(n), mk(), &config);
+        prop_assert_eq!(a.trace.steps, b.trace.steps);
+        prop_assert_eq!(a.trace.messages_sent, b.trace.messages_sent);
+        prop_assert_eq!(a.trace.events.len(), b.trace.events.len());
+        for (x, y) in a.trace.events.iter().zip(&b.trace.events) {
+            prop_assert_eq!(x.process, y.process);
+            prop_assert_eq!(x.time, y.time);
+            prop_assert_eq!(x.value, y.value);
+            prop_assert_eq!(x.causal_past, y.causal_past);
+        }
+    }
+
+    /// Causal pasts grow monotonically per process and always contain
+    /// the process itself.
+    #[test]
+    fn causal_past_is_monotone(seed in 0u64..10_000, f in arb_pattern(4, 40)) {
+        let n = 4;
+        let automata = (0..n)
+            .map(|_| Relay { started: false, forwarded: Default::default() })
+            .collect::<Vec<_>>();
+        let result = run(&f, &silent(n), automata, &SimConfig::new(seed, 120));
+        for ix in 0..n {
+            let pid = ProcessId::new(ix);
+            let mut prev = ProcessSet::singleton(pid);
+            for ev in result.trace.outputs_of(pid) {
+                prop_assert!(ev.causal_past.contains(pid));
+                prop_assert!(prev.is_subset(&ev.causal_past));
+                prev = ev.causal_past;
+            }
+        }
+    }
+
+    /// Crash semantics: a process crashed at time 0 produces nothing,
+    /// and nobody ever receives from it.
+    #[test]
+    fn crashed_at_zero_is_silent(seed in 0u64..10_000) {
+        let n = 4;
+        let f = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::ZERO);
+        let automata = (0..n).map(|_| Gossip { started: false }).collect::<Vec<_>>();
+        let result = run(&f, &silent(n), automata, &SimConfig::new(seed, 200));
+        prop_assert_eq!(result.trace.outputs_of(ProcessId::new(0)).count(), 0);
+        for ix in 1..n {
+            for ev in result.trace.outputs_of(ProcessId::new(ix)) {
+                prop_assert!(ev.value != 0, "received the dead process's token");
+            }
+        }
+    }
+
+    /// Messages sent before a crash may still be delivered afterwards
+    /// (crash-stop, not crash-vanish): totals stay consistent.
+    #[test]
+    fn message_accounting_is_consistent(seed in 0u64..10_000, f in arb_pattern(5, 60)) {
+        let n = 5;
+        let automata = (0..n).map(|_| Gossip { started: false }).collect::<Vec<_>>();
+        let result = run(&f, &silent(n), automata, &SimConfig::new(seed, 300));
+        prop_assert!(result.trace.messages_delivered <= result.trace.messages_sent);
+    }
+}

@@ -1,0 +1,92 @@
+//! A tour of the failure detector zoo: classify every oracle against the
+//! Chandra–Toueg classes and test it for realism (§3).
+//!
+//! Prints the E5-style membership matrix interactively, including the
+//! paper's two stars: the Scribe (realistic, in `P`) and the Marabout
+//! (clairvoyant, rejected by the §3.1 check with a concrete witness).
+//!
+//! Run with: `cargo run --example detector_zoo`
+
+use realistic_failure_detectors::core::oracles::{
+    scribe_suspects, EventuallyPerfectOracle, EventuallyStrongOracle, MaraboutOracle, Oracle,
+    PerfectOracle, RankedOracle, ScribeOracle, StrongOracle, WeakWitnessOracle,
+};
+use realistic_failure_detectors::core::realism::{check_realism, RealismCheck};
+use realistic_failure_detectors::core::{
+    class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn classify<O: Oracle<Value = realistic_failure_detectors::core::ProcessSet>>(
+    oracle: &O,
+    runs: u64,
+) -> (String, bool) {
+    let horizon = Time::new(500);
+    let params = CheckParams::with_margin(horizon, 50);
+    let mut rng = StdRng::seed_from_u64(2002);
+    let mut counts = [0usize; 5];
+    for seed in 0..runs {
+        let pattern = FailurePattern::random(6, 5, Time::new(250), &mut rng);
+        let h = oracle.generate(&pattern, horizon, seed);
+        let report = class_report(&pattern, &h, &params);
+        for (k, class) in ClassId::ALL.into_iter().enumerate() {
+            counts[k] += usize::from(report.is_in(class));
+        }
+    }
+    let battery = RealismCheck::new(horizon, 4, 16);
+    let realistic = check_realism(oracle, 5, 12, &battery, &mut rng).is_ok();
+    let cells: Vec<String> = ClassId::ALL
+        .iter()
+        .zip(counts)
+        .map(|(c, k)| format!("{c}:{k:>2}/{runs}"))
+        .collect();
+    (cells.join("  "), realistic)
+}
+
+fn main() {
+    let runs = 12;
+    println!("classifying oracles over {runs} random unbounded-failure patterns (n=6)\n");
+    let rows: Vec<(&str, (String, bool))> = vec![
+        ("perfect", classify(&PerfectOracle::new(5, 3), runs)),
+        (
+            "eventually-perfect",
+            classify(&EventuallyPerfectOracle::new(Time::new(80), 5, 3), runs),
+        ),
+        ("eventually-strong", classify(&EventuallyStrongOracle::new(4), runs)),
+        ("partially-perfect", classify(&RankedOracle::new(5, 3), runs)),
+        ("weak-witness", classify(&WeakWitnessOracle::new(5), runs)),
+        ("strong-clairvoyant", classify(&StrongOracle::new(4, Time::new(60)), runs)),
+        ("marabout", classify(&MaraboutOracle::new(), runs)),
+    ];
+    for (name, (cells, realistic)) in &rows {
+        println!(
+            "{name:>20}  {cells}   realistic: {}",
+            if *realistic { "yes" } else { "NO" }
+        );
+    }
+
+    // The Scribe has a different range (pattern prefixes); project it.
+    let pattern = FailurePattern::new(4).with_crash(ProcessId::new(1), Time::new(40));
+    let notes = ScribeOracle::new().generate(&pattern, Time::new(200), 0);
+    let projected = scribe_suspects(&notes);
+    let report = class_report(
+        &pattern,
+        &projected,
+        &CheckParams::new(Time::new(200)),
+    );
+    println!(
+        "\n{:>20}  projected onto suspect sets: P:{}   (the paper's §3.2.1 example)",
+        "scribe",
+        if report.is_in(ClassId::Perfect) { "yes" } else { "no" }
+    );
+
+    // The §6.3 collapse, read off the rows above.
+    let strong_clairvoyant_realistic = rows
+        .iter()
+        .find(|(n, _)| *n == "strong-clairvoyant")
+        .map(|(_, (_, r))| *r)
+        .unwrap();
+    assert!(!strong_clairvoyant_realistic);
+    println!("\ncollapse check: every oracle that is Strong-but-not-Perfect above is non-realistic ✓");
+}

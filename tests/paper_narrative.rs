@@ -1,0 +1,144 @@
+//! The paper's storyline as one cross-crate integration test file,
+//! exercised through the facade crate's public API.
+
+use realistic_failure_detectors::algo::check::{check_consensus, check_trb};
+use realistic_failure_detectors::algo::consensus::{
+    ConsensusAutomaton, FloodSetConsensus, RankedConsensus, RotatingConsensus, StrongConsensus,
+};
+use realistic_failure_detectors::algo::reduction::{PerfectEmulation, TrbEmulation};
+use realistic_failure_detectors::algo::trb::TrbProcess;
+use realistic_failure_detectors::core::oracles::{
+    EventuallyStrongOracle, MaraboutOracle, Oracle, PerfectOracle, RankedOracle,
+};
+use realistic_failure_detectors::core::realism::{check_realism, RealismCheck};
+use realistic_failure_detectors::core::{
+    class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time,
+};
+use realistic_failure_detectors::sim::{
+    run, ticks_for_rounds, Adversary, SimConfig, StopCondition,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: u64 = 700;
+
+/// §1.2: `◇S` needs a correct majority; `P` does not. (The collapse's
+/// practical consequence.)
+#[test]
+fn narrative_unbounded_failures_demand_perfect() {
+    let n = 4;
+    // A majority (p0, p1) crashes immediately.
+    let pattern = FailurePattern::new(n)
+        .with_crash(ProcessId::new(0), Time::ZERO)
+        .with_crash(ProcessId::new(1), Time::ZERO);
+    let props: Vec<u64> = vec![1, 2, 3, 4];
+    let horizon = ticks_for_rounds(n, ROUNDS);
+
+    // ◇S blocks...
+    let evs_history = EventuallyStrongOracle::new(8).generate(&pattern, horizon, 0);
+    let automata = ConsensusAutomaton::<RotatingConsensus<u64>>::fleet(&props);
+    let config = SimConfig::new(0, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+    let result = run(&pattern, &evs_history, automata, &config);
+    let v = check_consensus(&pattern, &result.trace, &props);
+    assert!(v.termination.is_err(), "◇S must block: {v:?}");
+
+    // ...P decides.
+    let p_history = PerfectOracle::new(6, 3).generate(&pattern, horizon, 0);
+    let automata = ConsensusAutomaton::<FloodSetConsensus<u64>>::fleet(&props);
+    let result = run(&pattern, &p_history, automata, &config);
+    let v = check_consensus(&pattern, &result.trace, &props);
+    assert!(v.is_uniform_consensus(), "P must decide: {v:?}");
+}
+
+/// §4: the round trip — `P` solves consensus for any `f`, and any
+/// realistic detector solving consensus yields `P` back via `T_{D⇒P}`.
+#[test]
+fn narrative_perfect_is_the_fixed_point() {
+    let n = 4;
+    let pattern = FailurePattern::new(n)
+        .with_crash(ProcessId::new(1), Time::new(150))
+        .with_crash(ProcessId::new(2), Time::new(350));
+    let oracle = PerfectOracle::new(6, 3);
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), 11);
+
+    // Forward: consensus works.
+    let props: Vec<u64> = vec![5, 6, 7, 8];
+    let automata = ConsensusAutomaton::<StrongConsensus<u64>>::fleet(&props);
+    let config = SimConfig::new(11, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+    let cons = run(&pattern, &history, automata, &config);
+    assert!(check_consensus(&pattern, &cons.trace, &props).is_uniform_consensus());
+    assert_eq!(cons.trace.check_totality(&pattern), Ok(()));
+
+    // Back: the emulated detector is Perfect again.
+    let automata = PerfectEmulation::<StrongConsensus<u64>>::fleet(n);
+    let red = run(&pattern, &history, automata, &SimConfig::new(12, ROUNDS));
+    let emulated = red.emulated.expect("output(P)");
+    let end = red.trace.end_time;
+    let report = class_report(&pattern, &emulated, &CheckParams::with_margin(end, end.ticks() / 10));
+    assert!(report.is_in(ClassId::Perfect), "{report:?}");
+}
+
+/// §5: the same fixed point through terminating reliable broadcast.
+#[test]
+fn narrative_trb_round_trip() {
+    let n = 4;
+    let oracle = PerfectOracle::new(6, 3);
+
+    // Forward: TRB works even when the initiator crashes mid-broadcast.
+    let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(3));
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), 21);
+    let automata = TrbProcess::fleet(n, ProcessId::new(0), 99u64);
+    let config = SimConfig::new(21, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+    let result = run(&pattern, &history, automata, &config);
+    assert!(check_trb(&pattern, &result.trace, ProcessId::new(0), &99).is_trb());
+
+    // Back: nil deliveries rebuild P.
+    let pattern = FailurePattern::new(n).with_crash(ProcessId::new(2), Time::new(400));
+    let rounds = 1_500u64;
+    let history = oracle.generate(&pattern, ticks_for_rounds(n, rounds), 22);
+    let automata = TrbEmulation::fleet(n);
+    let result = run(&pattern, &history, automata, &SimConfig::new(22, rounds));
+    let emulated = result.emulated.expect("output(P)");
+    let end = result.trace.end_time;
+    let report =
+        class_report(&pattern, &emulated, &CheckParams::with_margin(end, end.ticks() / 8));
+    assert!(report.is_in(ClassId::Perfect), "{report:?}");
+}
+
+/// §6.1 + §3: clairvoyance breaks the lower bound, and the realism
+/// checker is exactly what rules it out.
+#[test]
+fn narrative_realism_is_the_boundary() {
+    let mut rng = StdRng::seed_from_u64(0x1306);
+    let battery = RealismCheck::new(Time::new(400), 4, 16);
+    assert!(check_realism(&PerfectOracle::new(5, 3), 5, 15, &battery, &mut rng).is_ok());
+    assert!(check_realism(&RankedOracle::new(5, 3), 5, 15, &battery, &mut rng).is_ok());
+    let violation = check_realism(&MaraboutOracle::new(), 5, 15, &battery, &mut rng)
+        .expect_err("the Marabout sees the future");
+    // The violation is a concrete §3.2.2-style pair.
+    assert!(violation
+        .pattern
+        .agrees_up_to(&violation.alternative, violation.prefix_time));
+}
+
+/// §6.2: uniform vs correct-restricted, end to end over the facade.
+#[test]
+fn narrative_uniformity_gap() {
+    let n = 3;
+    let oracle = RankedOracle::new(5, 0);
+    let props: Vec<u64> = vec![10, 20, 30];
+    let horizon = ticks_for_rounds(n, ROUNDS);
+    let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(4));
+    let history = oracle.generate(&pattern, horizon, 0);
+    let automata = ConsensusAutomaton::<RankedConsensus<u64>>::fleet(&props);
+    let config = SimConfig::new(0, ROUNDS)
+        .with_adversary(Adversary::HoldFrom(ProcessId::new(0), Time::new(600)))
+        .with_stop(StopCondition::EachCorrectOutput(1));
+    let result = run(&pattern, &history, automata, &config);
+    let v = check_consensus(&pattern, &result.trace, &props);
+    assert!(v.is_correct_restricted_consensus());
+    assert!(!v.is_uniform_consensus());
+    // The disagreement pair involves the faulty p0.
+    let d = v.uniform_agreement.unwrap_err();
+    assert!(d.a.0 == ProcessId::new(0) || d.b.0 == ProcessId::new(0));
+}
