@@ -196,8 +196,8 @@ impl<V: Clone + Eq + Ord> Automaton for AtomicBroadcast<V> {
         }
         // Handle the input.
         let mut inner_input: Option<(ProcessId, FloodSetMsg<Batch<V>>)> = None;
-        match input {
-            Some(env) => match &env.payload {
+        if let Some(env) = input {
+            match &env.payload {
                 AbMsg::Gossip(item) => {
                     let key = (item.0, item.1);
                     if self.forwarded.insert(key) {
@@ -215,8 +215,7 @@ impl<V: Clone + Eq + Ord> Automaton for AtomicBroadcast<V> {
                         self.buffered.push((*k, env.from, inner.clone()));
                     }
                 }
-            },
-            None => {}
+            }
         }
         // Start an instance when there is work to order.
         if self.inner.is_none() && !self.pending.is_empty() {

@@ -80,11 +80,11 @@ impl<V: Clone + Eq + Ord> Automaton for ConsensusViaAbcast<V> {
 mod tests {
     use super::*;
     use crate::check::check_consensus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rfd_core::oracles::{Oracle, PerfectOracle};
     use rfd_core::{FailurePattern, Time};
     use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn consensus_via_abcast_is_uniform_consensus() {

@@ -88,7 +88,11 @@ pub fn check_consensus<V: Clone + Eq>(
             missing.insert(pid);
         }
     }
-    let termination = if missing.is_empty() { Ok(()) } else { Err(missing) };
+    let termination = if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    };
 
     let disagreement_among = |filter: &dyn Fn(ProcessId) -> bool| {
         let mut seen: Option<(ProcessId, V)> = None;
@@ -168,7 +172,11 @@ pub fn check_trb<V: Clone + Eq>(
             missing.insert(pid);
         }
     }
-    let termination = if missing.is_empty() { Ok(()) } else { Err(missing) };
+    let termination = if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    };
 
     let correct = pattern.correct();
     let mut agreement = Ok(());

@@ -52,6 +52,9 @@ enum Phase {
     Done,
 }
 
+/// A round-phase message buffered for later: `(round, sender, Δ)`.
+type BufferedRound<V> = (u32, ProcessId, Vec<(u16, V)>);
+
 /// Chandra–Toueg `S`-based consensus state machine.
 #[derive(Clone, Debug)]
 pub struct StrongConsensus<V> {
@@ -66,7 +69,7 @@ pub struct StrongConsensus<V> {
     delta_out: Vec<(u16, V)>,
     sent_this_round: bool,
     received: ProcessSet,
-    buffered_rounds: Vec<(u32, ProcessId, Vec<(u16, V)>)>,
+    buffered_rounds: Vec<BufferedRound<V>>,
     /// Phase-2 bookkeeping.
     vectors_received: ProcessSet,
     intersection: Vec<Option<V>>,

@@ -136,16 +136,14 @@ impl<V: Clone + Eq + Ord> ConsensusCore for EarlyFloodSetConsensus<V> {
                 }
                 return None;
             }
-            Some((from, EarlyFloodSetMsg::Round { r, values })) => {
-                if self.decision.is_none() {
-                    if *r == self.round {
-                        self.absorb(from, values.clone());
-                    } else if *r > self.round {
-                        self.buffered.push((*r, from, values.clone()));
-                    }
+            Some((from, EarlyFloodSetMsg::Round { r, values })) if self.decision.is_none() => {
+                if *r == self.round {
+                    self.absorb(from, values.clone());
+                } else if *r > self.round {
+                    self.buffered.push((*r, from, values.clone()));
                 }
             }
-            None => {}
+            _ => {}
         }
         if self.decision.is_some() {
             return None;
@@ -186,11 +184,11 @@ mod tests {
     use super::*;
     use crate::check::check_consensus;
     use crate::consensus::ConsensusAutomaton;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rfd_core::oracles::{Oracle, PerfectOracle};
     use rfd_core::{FailurePattern, Time};
     use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     const ROUNDS: u64 = 700;
 
@@ -203,8 +201,7 @@ mod tests {
                 let pattern = FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng);
                 let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
                 let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
-                let automata =
-                    ConsensusAutomaton::<EarlyFloodSetConsensus<u64>>::fleet(&props);
+                let automata = ConsensusAutomaton::<EarlyFloodSetConsensus<u64>>::fleet(&props);
                 let config =
                     SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
                 let result = run(&pattern, &history, automata, &config);

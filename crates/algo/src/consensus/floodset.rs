@@ -124,19 +124,17 @@ impl<V: Clone + Eq + Ord> ConsensusCore for FloodSetConsensus<V> {
                 }
                 return None;
             }
-            Some((from, FloodSetMsg::Round { r, values })) => {
-                if self.decision.is_none() {
-                    if *r == self.round {
-                        self.absorb(from, values.clone());
-                    } else if *r > self.round {
-                        self.buffered.push((*r, from, values.clone()));
-                    }
-                    // Older rounds are stale: discard (crucial for
-                    // uniformity — late floods from crashed processes must
-                    // not contaminate settled value sets).
+            Some((from, FloodSetMsg::Round { r, values })) if self.decision.is_none() => {
+                if *r == self.round {
+                    self.absorb(from, values.clone());
+                } else if *r > self.round {
+                    self.buffered.push((*r, from, values.clone()));
                 }
+                // Older rounds are stale: discard (crucial for
+                // uniformity — late floods from crashed processes must
+                // not contaminate settled value sets).
             }
-            None => {}
+            _ => {}
         }
         if self.decision.is_some() {
             return None;
@@ -186,7 +184,10 @@ mod tests {
             values: vec![42],
         };
         let mut out2 = Outbox::new(p(0), 1);
-        assert_eq!(c.step(Some((p(0), &msg)), ProcessSet::empty(), &mut out2), Some(42));
+        assert_eq!(
+            c.step(Some((p(0), &msg)), ProcessSet::empty(), &mut out2),
+            Some(42)
+        );
         assert_eq!(c.decision(), Some(&42));
     }
 
@@ -249,8 +250,14 @@ mod tests {
         c.step(Some((p(1), &future)), ProcessSet::empty(), &mut out);
         assert!(!c.values.contains(&1), "future values must not merge early");
         // Round-1 messages from both close round 1.
-        let r1_own = FloodSetMsg::Round { r: 1, values: vec![7] };
-        let r1_p1 = FloodSetMsg::Round { r: 1, values: vec![1] };
+        let r1_own = FloodSetMsg::Round {
+            r: 1,
+            values: vec![7],
+        };
+        let r1_p1 = FloodSetMsg::Round {
+            r: 1,
+            values: vec![1],
+        };
         let mut o = Outbox::new(p(0), 2);
         c.step(Some((p(0), &r1_own)), ProcessSet::empty(), &mut o);
         let mut o = Outbox::new(p(0), 2);

@@ -66,14 +66,15 @@ impl<V: Clone + Eq + Ord> ConsensusCore for MaraboutConsensus<V> {
         // (With M the detector output is constant, so the choice is
         // stable; with other detectors this is a best-effort read — E6
         // demonstrates the consequences.)
-        let leader = *self
-            .leader
-            .get_or_insert_with(|| match suspects.complement_within(self.n).min() {
-                Some(l) => l,
-                // Everyone suspected (all faulty): degenerate — lead
-                // yourself; nobody correct exists to disagree with.
-                None => self.me,
-            });
+        let leader =
+            *self
+                .leader
+                .get_or_insert_with(|| match suspects.complement_within(self.n).min() {
+                    Some(l) => l,
+                    // Everyone suspected (all faulty): degenerate — lead
+                    // yourself; nobody correct exists to disagree with.
+                    None => self.me,
+                });
         if leader == self.me {
             if !self.sent {
                 self.sent = true;

@@ -64,9 +64,8 @@ impl<V: Clone + Eq + Ord> ConsensusCore for RankedConsensus<V> {
         if self.decision.is_some() {
             return None;
         }
-        let all_resolved = (0..self.me.index()).all(|j| {
-            self.heard[j].is_some() || suspects.contains(ProcessId::new(j))
-        });
+        let all_resolved = (0..self.me.index())
+            .all(|j| self.heard[j].is_some() || suspects.contains(ProcessId::new(j)));
         if !all_resolved {
             return None;
         }

@@ -218,36 +218,24 @@ impl<V: Clone + Eq + Ord> ConsensusCore for RotatingConsensus<V> {
                 }
                 return None;
             }
-            Some((_, RotatingMsg::Estimate { r, ts, v })) => {
-                if self.coordinator(*r) == self.me {
-                    let state = self.coord.entry(*r).or_insert_with(CoordRound::empty);
-                    state.estimates.push((*ts, v.clone()));
-                    self.coordinate(*r, out);
-                }
+            Some((_, RotatingMsg::Estimate { r, ts, v })) if self.coordinator(*r) == self.me => {
+                let state = self.coord.entry(*r).or_insert_with(CoordRound::empty);
+                state.estimates.push((*ts, v.clone()));
+                self.coordinate(*r, out);
             }
             Some((_, RotatingMsg::Propose { r, v })) => {
                 let (r, v) = (*r, v.clone());
                 self.handle_proposal(r, v, out);
             }
-            Some((_, RotatingMsg::Ack { r })) => {
-                if self.coordinator(*r) == self.me {
-                    self.coord
-                        .entry(*r)
-                        .or_insert_with(CoordRound::empty)
-                        .acks += 1;
-                    self.coordinate(*r, out);
-                }
+            Some((_, RotatingMsg::Ack { r })) if self.coordinator(*r) == self.me => {
+                self.coord.entry(*r).or_insert_with(CoordRound::empty).acks += 1;
+                self.coordinate(*r, out);
             }
-            Some((_, RotatingMsg::Nack { r })) => {
-                if self.coordinator(*r) == self.me {
-                    self.coord
-                        .entry(*r)
-                        .or_insert_with(CoordRound::empty)
-                        .nacks += 1;
-                    self.coordinate(*r, out);
-                }
+            Some((_, RotatingMsg::Nack { r })) if self.coordinator(*r) == self.me => {
+                self.coord.entry(*r).or_insert_with(CoordRound::empty).nacks += 1;
+                self.coordinate(*r, out);
             }
-            None => {}
+            _ => {}
         }
         if self.decision.is_some() {
             return None;

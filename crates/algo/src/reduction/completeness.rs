@@ -146,7 +146,7 @@ mod tests {
         let n = 3;
         let rounds = 200u64;
         let pattern = FailurePattern::new(n); // everyone correct
-        // A silent (empty) oracle: no local suspicions at all.
+                                              // A silent (empty) oracle: no local suspicions at all.
         let history = History::new(n, ProcessSet::empty());
         let automata = CompletenessBooster::fleet(n, 4);
         let result = run(&pattern, &history, automata, &SimConfig::new(5, rounds));

@@ -106,8 +106,7 @@ impl TrbEmulation {
         match delivered {
             Some(None) => {
                 // nil delivered: suspect the initiator, permanently.
-                self.output_p
-                    .insert(Self::initiator(self.n, self.instance));
+                self.output_p.insert(Self::initiator(self.n, self.instance));
                 self.deliveries += 1;
                 true
             }

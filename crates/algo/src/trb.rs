@@ -127,17 +127,17 @@ impl<V: Clone + Eq + Ord> TrbProcess<V> {
         // Route the input.
         let mut inner_input: Option<(ProcessId, FloodSetMsg<Option<V>>)> = None;
         match input {
-            Some((from, TrbMsg::Payload(v))) => {
-                if from == self.initiator && self.phase == TrbPhase::Wait {
-                    self.start_consensus(Some(v.clone()));
-                }
+            Some((from, TrbMsg::Payload(v)))
+                if from == self.initiator && self.phase == TrbPhase::Wait =>
+            {
+                self.start_consensus(Some(v.clone()));
             }
             Some((from, TrbMsg::Consensus(msg))) => match self.phase {
                 TrbPhase::Wait => self.buffered.push((from, msg.clone())),
                 TrbPhase::Deciding => inner_input = Some((from, msg.clone())),
                 TrbPhase::Done => {}
             },
-            None => {}
+            _ => {}
         }
         // Wait phase: the suspicion path to a nil proposal.
         if self.phase == TrbPhase::Wait && suspects.contains(self.initiator) {
@@ -146,12 +146,11 @@ impl<V: Clone + Eq + Ord> TrbProcess<V> {
         // Deciding phase: drain replay backlog, then drive the inner
         // consensus with this step's input.
         if self.phase == TrbPhase::Deciding {
-            let mut feeds: Vec<Option<(ProcessId, FloodSetMsg<Option<V>>)>> = std::mem::take(
-                &mut self.buffered,
-            )
-            .into_iter()
-            .map(Some)
-            .collect();
+            let mut feeds: Vec<Option<(ProcessId, FloodSetMsg<Option<V>>)>> =
+                std::mem::take(&mut self.buffered)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
             feeds.push(inner_input);
             for feed in feeds {
                 let inner = self.inner.as_mut().expect("set when entering Deciding");

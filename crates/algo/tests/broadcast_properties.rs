@@ -1,12 +1,12 @@
 //! Atomic broadcast properties (§1.1: equivalent to consensus, hence `P`
 //! suffices for any number of failures).
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rfd_algo::broadcast::{AtomicBroadcast, ReliableBroadcast};
 use rfd_core::oracles::{Oracle, PerfectOracle};
 use rfd_core::{FailurePattern, ProcessId, Time};
 use rfd_sim::{run, ticks_for_rounds, SimConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const ROUNDS: u64 = 3_000;
 
@@ -115,16 +115,16 @@ fn atomic_broadcast_no_duplication_no_creation() {
     let result = run(&pattern, &history, automata, &SimConfig::new(2, ROUNDS));
     let seqs = delivery_sequences(&result.trace, n);
     let legal: Vec<(usize, u64, u64)> = vec![(0, 0, 7), (0, 1, 8), (1, 0, 9)];
-    for ix in 0..n {
+    for (ix, seq) in seqs.iter().enumerate() {
         // No creation...
-        for d in &seqs[ix] {
+        for d in seq {
             assert!(legal.contains(d), "p{ix} delivered fabricated {d:?}");
         }
         // ...no duplication.
-        let mut sorted = seqs[ix].clone();
+        let mut sorted = seq.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), seqs[ix].len(), "p{ix} duplicated a delivery");
+        assert_eq!(sorted.len(), seq.len(), "p{ix} duplicated a delivery");
     }
 }
 

@@ -1,6 +1,8 @@
 //! Randomized end-to-end consensus property tests (the paper's §4
 //! sufficiency claims), run through the full simulator.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rfd_algo::check::check_consensus;
 use rfd_algo::consensus::{
     ConsensusAutomaton, ConsensusCore, FloodSetConsensus, MaraboutConsensus, RotatingConsensus,
@@ -11,8 +13,6 @@ use rfd_core::oracles::{
 };
 use rfd_core::{FailurePattern, ProcessId, Time};
 use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const ROUNDS: u64 = 600;
 

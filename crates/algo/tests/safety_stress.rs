@@ -1,6 +1,7 @@
 //! Safety stress: agreement must survive hostile detectors and hostile
 //! schedules. Liveness may be lost — safety, never.
 
+use rand::Rng;
 use rfd_algo::check::check_consensus;
 use rfd_algo::consensus::{
     ConsensusAutomaton, ConsensusCore, EarlyFloodSetConsensus, FloodSetConsensus,
@@ -8,47 +9,60 @@ use rfd_algo::consensus::{
 };
 use rfd_core::oracles::{EventuallyPerfectOracle, Oracle, PerfectOracle};
 use rfd_core::{FailurePattern, History, ProcessId, ProcessSet, Time};
-use rfd_sim::{run, ticks_for_rounds, Adversary, DeliveryModel, SimConfig, StopCondition};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rfd_sim::campaign::{seed_rng, Campaign, RunPlan};
+use rfd_sim::{ticks_for_rounds, Adversary, DeliveryModel, SimConfig, StopCondition};
 
 const ROUNDS: u64 = 500;
 
 fn stress<C: ConsensusCore<Val = u64>>(
     name: &str,
-    history_of: impl Fn(&FailurePattern, u64, Time) -> History<ProcessSet>,
+    history_of: impl Fn(&FailurePattern, u64, Time) -> History<ProcessSet> + Sync,
     seeds: u64,
 ) {
-    let mut rng = StdRng::seed_from_u64(0x57E5);
-    for seed in 0..seeds {
-        let n = rng.gen_range(2..=7);
-        let pattern = FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng);
-        let horizon = ticks_for_rounds(n, ROUNDS);
-        let history = history_of(&pattern, seed, horizon);
-        let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
-        // Hostile schedule: slow, jittery delivery plus a random hold.
-        let adversary = match seed % 4 {
-            0 => Adversary::None,
-            1 => Adversary::HoldFrom(ProcessId::new(rng.gen_range(0..n)), Time::new(300)),
-            2 => Adversary::HoldTo(ProcessId::new(rng.gen_range(0..n)), Time::new(300)),
-            _ => Adversary::Isolate(ProcessId::new(rng.gen_range(0..n)), Time::new(250)),
-        };
-        let config = SimConfig::new(seed, ROUNDS)
+    // Campaign-parallel sweep: each seed derives its own scenario RNG, so
+    // any failing seed reproduces in isolation.
+    Campaign::new(
+        SimConfig::new(0, ROUNDS)
             .with_delivery(DeliveryModel::uniform(1, 25))
-            .with_adversary(adversary)
-            .with_stop(StopCondition::EachCorrectOutput(1));
-        let automata = ConsensusAutomaton::<C>::fleet(&props);
-        let result = run(&pattern, &history, automata, &config);
-        let v = check_consensus(&pattern, &result.trace, &props);
-        assert!(
-            v.uniform_agreement.is_ok(),
-            "{name}: agreement broke, seed={seed} pattern={pattern:?}: {v:?}"
-        );
-        assert!(
-            v.validity.is_ok(),
-            "{name}: validity broke, seed={seed} pattern={pattern:?}: {v:?}"
-        );
-    }
+            .with_stop(StopCondition::EachCorrectOutput(1)),
+    )
+    .seeds(0..seeds)
+    .run(
+        |seed, config| {
+            let mut rng = seed_rng(0x57E5, seed);
+            let n = rng.gen_range(2..=7);
+            let pattern = FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng);
+            let horizon = ticks_for_rounds(n, ROUNDS);
+            let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+            // Hostile schedule: slow, jittery delivery plus a random hold.
+            let adversary = match seed % 4 {
+                0 => Adversary::None,
+                1 => Adversary::HoldFrom(ProcessId::new(rng.gen_range(0..n)), Time::new(300)),
+                2 => Adversary::HoldTo(ProcessId::new(rng.gen_range(0..n)), Time::new(300)),
+                _ => Adversary::Isolate(ProcessId::new(rng.gen_range(0..n)), Time::new(250)),
+            };
+            RunPlan {
+                oracle: history_of(&pattern, seed, horizon),
+                automata: ConsensusAutomaton::<C>::fleet(&props),
+                pattern,
+                config: config.with_adversary(adversary),
+            }
+        },
+        |seed, pattern, result| {
+            let props: Vec<u64> = (0..pattern.num_processes() as u64)
+                .map(|i| 100 + i)
+                .collect();
+            let v = check_consensus(pattern, &result.trace, &props);
+            assert!(
+                v.uniform_agreement.is_ok(),
+                "{name}: agreement broke, seed={seed} pattern={pattern:?}: {v:?}"
+            );
+            assert!(
+                v.validity.is_ok(),
+                "{name}: validity broke, seed={seed} pattern={pattern:?}: {v:?}"
+            );
+        },
+    );
 }
 
 #[test]
@@ -85,22 +99,30 @@ fn rotating_decisions_remain_unique_across_rounds() {
     // Decide messages must carry the same value (the CT locking
     // argument). We inspect every decision event, not just the firsts.
     let oracle = EventuallyPerfectOracle::new(Time::new(200), 6, 4).with_mistakes(8, 40);
-    let mut rng = StdRng::seed_from_u64(0xD1CE);
-    for seed in 0..25u64 {
-        let n = 5;
-        let max_f = (n - 1) / 2;
-        let pattern = FailurePattern::random(n, max_f, Time::new(ROUNDS), &mut rng);
-        let horizon = ticks_for_rounds(n, ROUNDS);
-        let history = oracle.generate(&pattern, horizon, seed);
-        let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
-        let automata = ConsensusAutomaton::<RotatingConsensus<u64>>::fleet(&props);
-        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
-        let result = run(&pattern, &history, automata, &config);
-        let mut values: Vec<u64> = result.trace.events.iter().map(|e| e.value).collect();
-        values.dedup();
-        assert!(
-            values.len() <= 1,
-            "seed={seed}: conflicting decisions {values:?} ({pattern:?})"
+    let n = 5;
+    let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    Campaign::new(SimConfig::new(0, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1)))
+        .seeds(0..25)
+        .run(
+            |seed, config| {
+                let mut rng = seed_rng(0xD1CE, seed);
+                let max_f = (n - 1) / 2;
+                let pattern = FailurePattern::random(n, max_f, Time::new(ROUNDS), &mut rng);
+                let horizon = ticks_for_rounds(n, ROUNDS);
+                RunPlan {
+                    oracle: oracle.generate(&pattern, horizon, seed),
+                    automata: ConsensusAutomaton::<RotatingConsensus<u64>>::fleet(&props),
+                    pattern,
+                    config,
+                }
+            },
+            |seed, pattern, result| {
+                let mut values: Vec<u64> = result.trace.events.iter().map(|e| e.value).collect();
+                values.dedup();
+                assert!(
+                    values.len() <= 1,
+                    "seed={seed}: conflicting decisions {values:?} ({pattern:?})"
+                );
+            },
         );
-    }
 }

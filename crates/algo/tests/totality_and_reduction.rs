@@ -1,17 +1,15 @@
 //! Lemma 4.1 (totality) and Lemma 4.2 / Proposition 4.3 (the `T_{D⇒P}`
 //! reduction), demonstrated end-to-end.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rfd_algo::consensus::{
     ConsensusAutomaton, FloodSetConsensus, RotatingConsensus, StrongConsensus,
 };
 use rfd_algo::reduction::PerfectEmulation;
 use rfd_core::oracles::{EventuallyStrongOracle, Oracle, PerfectOracle};
-use rfd_core::{
-    class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time,
-};
+use rfd_core::{class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time};
 use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const ROUNDS: u64 = 600;
 
@@ -237,7 +235,10 @@ fn completeness_booster_yields_strongly_complete_history() {
             ticks_for_rounds(n, rounds).ticks() / 10,
         );
         let in_report = class_report(&pattern, &history, &in_params);
-        assert!(in_report.strong_completeness.is_err(), "weak input expected");
+        assert!(
+            in_report.strong_completeness.is_err(),
+            "weak input expected"
+        );
         // ...the boosted output is.
         let automata = CompletenessBooster::fleet(n, 4);
         let result = run(&pattern, &history, automata, &SimConfig::new(seed, rounds));
@@ -245,7 +246,10 @@ fn completeness_booster_yields_strongly_complete_history() {
         let end = result.trace.end_time;
         let params = CheckParams::with_margin(end, end.ticks() / 10);
         let report = class_report(&pattern, &emulated, &params);
-        assert!(report.strong_completeness.is_ok(), "seed={seed}: {report:?}");
+        assert!(
+            report.strong_completeness.is_ok(),
+            "seed={seed}: {report:?}"
+        );
         assert!(report.strong_accuracy.is_ok(), "seed={seed}: {report:?}");
         assert!(report.is_in(ClassId::Perfect), "seed={seed}");
     }

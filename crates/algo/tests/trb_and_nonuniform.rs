@@ -1,6 +1,8 @@
 //! Proposition 5.1 (TRB ⟷ `P`) and the §6.2 separation between uniform
 //! and correct-restricted consensus, demonstrated end-to-end.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rfd_algo::check::{check_consensus, check_trb};
 use rfd_algo::consensus::{ConsensusAutomaton, RankedConsensus};
 use rfd_algo::reduction::TrbEmulation;
@@ -8,8 +10,6 @@ use rfd_algo::trb::TrbProcess;
 use rfd_core::oracles::{Oracle, PerfectOracle, RankedOracle};
 use rfd_core::{class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time};
 use rfd_sim::{run, ticks_for_rounds, Adversary, SimConfig, StopCondition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const ROUNDS: u64 = 600;
 
@@ -27,7 +27,10 @@ fn trb_delivers_message_when_initiator_is_correct() {
         let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
         let result = run(&pattern, &history, automata, &config);
         let verdict = check_trb(&pattern, &result.trace, ProcessId::new(0), &777);
-        assert!(verdict.is_trb(), "seed={seed} pattern={pattern:?}: {verdict:?}");
+        assert!(
+            verdict.is_trb(),
+            "seed={seed} pattern={pattern:?}: {verdict:?}"
+        );
         // Everyone delivered the actual message, not nil.
         for ev in &result.trace.events {
             assert_eq!(ev.value, Some(777));
@@ -77,8 +80,7 @@ fn trb_agreement_when_initiator_crashes_mid_broadcast() {
             .flatten()
             .next()
             .expect("someone delivered")
-            .value
-            .clone();
+            .value;
         if first.is_none() {
             nil_runs += 1;
         } else {

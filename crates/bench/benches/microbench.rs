@@ -3,6 +3,8 @@
 //! consensus decision latency, reduction instance rate, estimator costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rfd_algo::consensus::{ConsensusAutomaton, FloodSetConsensus, StrongConsensus};
 use rfd_algo::reduction::PerfectEmulation;
 use rfd_core::oracles::{EventuallyPerfectOracle, Oracle, PerfectOracle};
@@ -10,8 +12,6 @@ use rfd_core::{FailurePattern, ProcessId, Time};
 use rfd_net::clock::Nanos;
 use rfd_net::estimator::{ArrivalEstimator, ChenEstimator, JacobsonEstimator, PhiAccrual};
 use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench_oracle_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle_generation");
@@ -92,6 +92,61 @@ fn bench_reduction(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue(c: &mut Criterion) {
+    use rfd_core::{ProcessId, ProcessSet};
+    // The pre-refactor delivery rule is the canonical baseline exported
+    // (doc-hidden) by rfd_sim, shared with the prop_queue equivalence
+    // tests — one reference, never two drifting copies.
+    use rfd_sim::{take_due_linear_reference as take_due_linear, Envelope, EventQueue};
+
+    fn envelope(id: u64) -> Envelope<u64> {
+        Envelope {
+            id,
+            from: ProcessId::new(0),
+            to: ProcessId::new(1),
+            payload: id,
+            sent_at: Time::new(0),
+            causal_past: ProcessSet::singleton(ProcessId::new(0)),
+        }
+    }
+
+    let mut group = c.benchmark_group("event_queue_drain");
+    for size in [16u64, 128, 1024] {
+        // Due times interleave so ~half the queue is always eligible —
+        // the regime where the linear scan's O(inbox) per pop hurts.
+        let dues: Vec<u64> = (0..size).map(|i| (i * 7919) % size).collect();
+        group.throughput(Throughput::Elements(size));
+        group.bench_with_input(BenchmarkId::new("heap", size), &size, |b, _| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (id, due) in dues.iter().enumerate() {
+                    q.push(envelope(id as u64), Time::new(*due));
+                }
+                let mut delivered = 0u64;
+                while q.pop_due(Time::new(size)).is_some() {
+                    delivered += 1;
+                }
+                delivered
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", size), &size, |b, _| {
+            b.iter(|| {
+                let mut inbox: Vec<(Envelope<u64>, Time)> = dues
+                    .iter()
+                    .enumerate()
+                    .map(|(id, due)| (envelope(id as u64), Time::new(*due)))
+                    .collect();
+                let mut delivered = 0u64;
+                while take_due_linear(&mut inbox, Time::new(size)).is_some() {
+                    delivered += 1;
+                }
+                delivered
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_estimators(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimator");
     let arrivals: Vec<Nanos> = (0..1_000u64).map(|k| Nanos::from_millis(k * 100)).collect();
@@ -143,6 +198,7 @@ criterion_group! {
         bench_simulator_steps,
         bench_consensus_decision,
         bench_reduction,
+        bench_event_queue,
         bench_estimators
 }
 criterion_main!(benches);

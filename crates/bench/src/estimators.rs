@@ -1,0 +1,69 @@
+//! A closed sum over the estimator line-up, shared by the experiments
+//! that sweep heterogeneous estimators through one closure (E7's QoS
+//! grid, E8's membership rows).
+
+use rfd_net::clock::Nanos;
+use rfd_net::estimator::{
+    ArrivalEstimator, ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual,
+};
+
+/// One of the four estimator strategies, dispatching [`ArrivalEstimator`]
+/// by value so a whole line-up fits in one homogeneous row table.
+#[derive(Clone, Debug)]
+pub enum Estimators {
+    /// Static timeout.
+    Fixed(FixedTimeout),
+    /// Chen–Toueg–Aguilera expected arrival + margin.
+    Chen(ChenEstimator),
+    /// TCP-RTO-style mean + deviation.
+    Jacobson(JacobsonEstimator),
+    /// φ-accrual.
+    Phi(PhiAccrual),
+}
+
+impl ArrivalEstimator for Estimators {
+    fn name(&self) -> &'static str {
+        match self {
+            Estimators::Fixed(e) => e.name(),
+            Estimators::Chen(e) => e.name(),
+            Estimators::Jacobson(e) => e.name(),
+            Estimators::Phi(e) => e.name(),
+        }
+    }
+
+    fn observe(&mut self, arrival: Nanos) {
+        match self {
+            Estimators::Fixed(e) => e.observe(arrival),
+            Estimators::Chen(e) => e.observe(arrival),
+            Estimators::Jacobson(e) => e.observe(arrival),
+            Estimators::Phi(e) => e.observe(arrival),
+        }
+    }
+
+    fn is_suspect(&self, now: Nanos) -> bool {
+        match self {
+            Estimators::Fixed(e) => e.is_suspect(now),
+            Estimators::Chen(e) => e.is_suspect(now),
+            Estimators::Jacobson(e) => e.is_suspect(now),
+            Estimators::Phi(e) => e.is_suspect(now),
+        }
+    }
+
+    fn suspicion_level(&self, now: Nanos) -> f64 {
+        match self {
+            Estimators::Fixed(e) => e.suspicion_level(now),
+            Estimators::Chen(e) => e.suspicion_level(now),
+            Estimators::Jacobson(e) => e.suspicion_level(now),
+            Estimators::Phi(e) => e.suspicion_level(now),
+        }
+    }
+
+    fn deadline(&self) -> Option<Nanos> {
+        match self {
+            Estimators::Fixed(e) => e.deadline(),
+            Estimators::Chen(e) => e.deadline(),
+            Estimators::Jacobson(e) => e.deadline(),
+            Estimators::Phi(e) => e.deadline(),
+        }
+    }
+}

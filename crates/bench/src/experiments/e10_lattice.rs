@@ -13,8 +13,7 @@ use rfd_core::{
     class_report, respects_lattice, CheckParams, ClassId, FailurePattern, ProcessId, Time,
     IMPLICATIONS,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rfd_sim::campaign::{seed_rng, Campaign};
 
 const HORIZON: u64 = 500;
 
@@ -24,32 +23,33 @@ pub fn run_experiment(quick: bool) -> Table {
     let runs = if quick { 10 } else { 50 };
     let horizon = Time::new(HORIZON);
     let params = CheckParams::with_margin(horizon, 50);
-    let mut rng = StdRng::seed_from_u64(0xEA);
     let mut table = Table::new(
         "E10 — class lattice: containment compliance and strictness",
         &["check", "witness oracle", "verdict"],
     );
     // Containment compliance across the battery.
-    let mut violations = 0usize;
     let perfect = PerfectOracle::new(5, 3);
     let evp = EventuallyPerfectOracle::new(Time::new(80), 5, 3);
     let evs = EventuallyStrongOracle::new(4);
     let ranked = RankedOracle::new(5, 3);
     let marabout = MaraboutOracle::new();
-    for seed in 0..runs {
-        let f = FailurePattern::random(6, 5, Time::new(HORIZON / 2), &mut rng);
-        for report in [
-            class_report(&f, &perfect.generate(&f, horizon, seed), &params),
-            class_report(&f, &evp.generate(&f, horizon, seed), &params),
-            class_report(&f, &evs.generate(&f, horizon, seed), &params),
-            class_report(&f, &ranked.generate(&f, horizon, seed), &params),
-            class_report(&f, &marabout.generate(&f, horizon, seed), &params),
-        ] {
-            if respects_lattice(&report).is_err() {
-                violations += 1;
-            }
-        }
-    }
+    let violations: usize = Campaign::sweep(0..runs)
+        .map(|seed| {
+            let mut rng = seed_rng(0xEA, seed);
+            let f = FailurePattern::random(6, 5, Time::new(HORIZON / 2), &mut rng);
+            [
+                class_report(&f, &perfect.generate(&f, horizon, seed), &params),
+                class_report(&f, &evp.generate(&f, horizon, seed), &params),
+                class_report(&f, &evs.generate(&f, horizon, seed), &params),
+                class_report(&f, &ranked.generate(&f, horizon, seed), &params),
+                class_report(&f, &marabout.generate(&f, horizon, seed), &params),
+            ]
+            .iter()
+            .filter(|report| respects_lattice(report).is_err())
+            .count()
+        })
+        .into_iter()
+        .sum();
     table.push(vec![
         format!(
             "containment edges {:?} over {} histories",
@@ -95,7 +95,11 @@ pub fn run_experiment(quick: bool) -> Table {
 }
 
 fn verdict(ok: bool) -> String {
-    if ok { "strict (witness found)".into() } else { "FAILED".into() }
+    if ok {
+        "strict (witness found)".into()
+    } else {
+        "FAILED".into()
+    }
 }
 
 #[cfg(test)]

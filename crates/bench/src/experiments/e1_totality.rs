@@ -15,9 +15,8 @@ use rfd_algo::consensus::{
 };
 use rfd_core::oracles::{EventuallyStrongOracle, Oracle, PerfectOracle};
 use rfd_core::{FailurePattern, ProcessId, Time};
-use rfd_sim::{run, ticks_for_rounds, Adversary, SimConfig, StopCondition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rfd_sim::campaign::{seed_rng, Campaign, RunPlan};
+use rfd_sim::{ticks_for_rounds, Adversary, SimConfig, StopCondition};
 
 const ROUNDS: u64 = 600;
 
@@ -28,41 +27,52 @@ struct Outcome {
     runs: usize,
 }
 
+/// One seed's contribution to an [`Outcome`].
+struct SeedVerdict {
+    terminated: bool,
+    decided: bool,
+    total: bool,
+}
+
 fn sweep<C: ConsensusCore<Val = u64>>(
     n: usize,
-    oracle_history: impl Fn(&FailurePattern, u64) -> rfd_core::History<rfd_core::ProcessSet>,
+    stream: u64,
+    oracle_history: impl Fn(&FailurePattern, u64) -> rfd_core::History<rfd_core::ProcessSet> + Sync,
     adversary: Adversary,
     max_faulty: usize,
     seeds: u64,
-    rng: &mut StdRng,
 ) -> Outcome {
     let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
-    let mut outcome = Outcome {
-        terminated: 0,
-        total: 0,
-        decided_runs: 0,
-        runs: seeds as usize,
-    };
-    for seed in 0..seeds {
-        let pattern = FailurePattern::random(n, max_faulty, Time::new(ROUNDS), rng);
-        let history = oracle_history(&pattern, seed);
-        let automata = ConsensusAutomaton::<C>::fleet(&props);
-        let config = SimConfig::new(seed, ROUNDS)
-            .with_adversary(adversary.clone())
-            .with_stop(StopCondition::EachCorrectOutput(1));
-        let result = run(&pattern, &history, automata, &config);
-        let verdict = check_consensus(&pattern, &result.trace, &props);
-        if verdict.termination.is_ok() {
-            outcome.terminated += 1;
-        }
-        if !result.trace.events.is_empty() {
-            outcome.decided_runs += 1;
-            if result.trace.check_totality(&pattern).is_ok() {
-                outcome.total += 1;
+    let base = SimConfig::new(0, ROUNDS)
+        .with_adversary(adversary)
+        .with_stop(StopCondition::EachCorrectOutput(1));
+    let verdicts: Vec<SeedVerdict> = Campaign::new(base).seeds(0..seeds).run(
+        |seed, config| {
+            let mut rng = seed_rng(stream, seed);
+            let pattern = FailurePattern::random(n, max_faulty, Time::new(ROUNDS), &mut rng);
+            let oracle = oracle_history(&pattern, seed);
+            RunPlan {
+                automata: ConsensusAutomaton::<C>::fleet(&props),
+                pattern,
+                oracle,
+                config,
             }
-        }
+        },
+        |_seed, pattern, result| {
+            let verdict = check_consensus(pattern, &result.trace, &props);
+            SeedVerdict {
+                terminated: verdict.termination.is_ok(),
+                decided: !result.trace.events.is_empty(),
+                total: result.trace.check_totality(pattern).is_ok(),
+            }
+        },
+    );
+    Outcome {
+        terminated: verdicts.iter().filter(|v| v.terminated).count(),
+        total: verdicts.iter().filter(|v| v.decided && v.total).count(),
+        decided_runs: verdicts.iter().filter(|v| v.decided).count(),
+        runs: seeds as usize,
     }
-    outcome
 }
 
 /// Runs E1 and returns the result table.
@@ -71,20 +81,26 @@ pub fn run_experiment(quick: bool) -> Table {
     let seeds = if quick { 10 } else { 40 };
     let mut table = Table::new(
         "E1 — totality of consensus decisions (Lemma 4.1)",
-        &["algorithm", "detector", "n", "adversary", "terminated", "total decisions"],
+        &[
+            "algorithm",
+            "detector",
+            "n",
+            "adversary",
+            "terminated",
+            "total decisions",
+        ],
     );
-    let mut rng = StdRng::seed_from_u64(0xE1);
     let perfect = PerfectOracle::new(6, 3);
     let evs = EventuallyStrongOracle::new(8);
     for n in [4usize, 8] {
         let horizon = ticks_for_rounds(n, ROUNDS);
         let o = sweep::<FloodSetConsensus<u64>>(
             n,
+            0xE1_00 + n as u64,
             |p, s| perfect.generate(p, horizon, s),
             Adversary::None,
             n - 1,
             seeds,
-            &mut rng,
         );
         table.push(vec![
             "floodset".into(),
@@ -96,11 +112,11 @@ pub fn run_experiment(quick: bool) -> Table {
         ]);
         let o = sweep::<StrongConsensus<u64>>(
             n,
+            0xE1_10 + n as u64,
             |p, s| perfect.generate(p, horizon, s),
             Adversary::None,
             n - 1,
             seeds,
-            &mut rng,
         );
         table.push(vec![
             "ct-strong".into(),
@@ -116,11 +132,11 @@ pub fn run_experiment(quick: bool) -> Table {
         let straggler = ProcessId::new(n - 1);
         let o = sweep::<RotatingConsensus<u64>>(
             n,
+            0xE1_20 + n as u64,
             |p, s| evs.generate(p, horizon, s),
             Adversary::HoldFrom(straggler, horizon),
             0,
             seeds,
-            &mut rng,
         );
         table.push(vec![
             "ct-rotating".into(),
@@ -145,7 +161,10 @@ mod tests {
         // Realistic-detector algorithms: 100% total. ◇S baseline: 0%
         // total under the straggler adversary (it decides without p_{n-1}).
         assert_eq!(table.len(), 6);
-        let lines: Vec<&str> = text.lines().filter(|l| l.contains("floodset") || l.contains("ct-strong")).collect();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("floodset") || l.contains("ct-strong"))
+            .collect();
         for l in &lines {
             assert!(l.contains("100.0%"), "total column must be 100%: {l}");
         }

@@ -12,7 +12,8 @@ use rfd_algo::reduction::PerfectEmulation;
 use rfd_core::oracles::{Oracle, PerfectOracle};
 use rfd_core::properties::first_suspicion;
 use rfd_core::{class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time};
-use rfd_sim::{run, ticks_for_rounds, SimConfig};
+use rfd_sim::campaign::{Campaign, RunPlan};
+use rfd_sim::{ticks_for_rounds, SimConfig};
 
 const ROUNDS: u64 = 900;
 
@@ -22,53 +23,66 @@ pub fn run_experiment(quick: bool) -> Table {
     let seeds = if quick { 3 } else { 10 };
     let mut table = Table::new(
         "E2 — T_{D⇒P} reduction quality (Lemma 4.2 / Prop 4.3)",
-        &["n", "f", "emulated class P", "mean detection (ticks)", "mean instances/run"],
+        &[
+            "n",
+            "f",
+            "emulated class P",
+            "mean detection (ticks)",
+            "mean instances/run",
+        ],
     );
     let oracle = PerfectOracle::new(6, 3);
     for n in [4usize, 8] {
         for f in [0usize, 1, n / 2, n - 1] {
-            let mut perfect_count = 0usize;
-            let mut latencies: Vec<u64> = Vec::new();
-            let mut instances: Vec<u64> = Vec::new();
-            for seed in 0..seeds {
-                // Spread f crashes over the first half of the run.
-                let mut pattern = FailurePattern::new(n);
-                for k in 0..f {
-                    let at = Time::new(100 + (k as u64) * 150);
-                    pattern.set_crash(ProcessId::new(k), at);
-                }
-                let horizon = ticks_for_rounds(n, ROUNDS);
-                let history = oracle.generate(&pattern, horizon, seed);
-                let automata = PerfectEmulation::<FloodSetConsensus<u64>>::fleet(n);
-                let result = run(&pattern, &history, automata, &SimConfig::new(seed, ROUNDS));
-                let emulated = result.emulated.expect("output(P) exposed");
-                let end = result.trace.end_time;
-                let params = CheckParams::with_margin(end, end.ticks() / 10);
-                let report = class_report(&pattern, &emulated, &params);
-                if report.is_in(ClassId::Perfect) {
-                    perfect_count += 1;
-                }
-                // Detection latency of the emulation.
-                for k in 0..f {
-                    let crashed = ProcessId::new(k);
-                    let ct = pattern.crash_time(crashed).expect("scheduled");
-                    for obs in pattern.correct().iter() {
-                        if let Some(t) = first_suspicion(&emulated, obs, crashed, end) {
-                            latencies.push(t.since(ct));
-                        }
-                    }
-                }
-                instances.push(
-                    result
-                        .automata
-                        .iter()
-                        .enumerate()
-                        .filter(|(ix, _)| pattern.correct().contains(ProcessId::new(*ix)))
-                        .map(|(_, a)| a.decisions())
-                        .min()
-                        .unwrap_or(0),
-                );
+            // Spread f crashes over the first half of the run.
+            let mut pattern = FailurePattern::new(n);
+            for k in 0..f {
+                let at = Time::new(100 + (k as u64) * 150);
+                pattern.set_crash(ProcessId::new(k), at);
             }
+            let horizon = ticks_for_rounds(n, ROUNDS);
+            let per_seed: Vec<(bool, Vec<u64>, u64)> = Campaign::new(SimConfig::new(0, ROUNDS))
+                .seeds(0..seeds)
+                .run(
+                    |seed, config| RunPlan {
+                        pattern: pattern.clone(),
+                        oracle: oracle.generate(&pattern, horizon, seed),
+                        automata: PerfectEmulation::<FloodSetConsensus<u64>>::fleet(n),
+                        config,
+                    },
+                    |_seed, pattern, result| {
+                        let emulated = result.emulated.expect("output(P) exposed");
+                        let end = result.trace.end_time;
+                        let params = CheckParams::with_margin(end, end.ticks() / 10);
+                        let report = class_report(pattern, &emulated, &params);
+                        // Detection latency of the emulation.
+                        let mut latencies = Vec::new();
+                        for k in 0..f {
+                            let crashed = ProcessId::new(k);
+                            let ct = pattern.crash_time(crashed).expect("scheduled");
+                            for obs in pattern.correct().iter() {
+                                if let Some(t) = first_suspicion(&emulated, obs, crashed, end) {
+                                    latencies.push(t.since(ct));
+                                }
+                            }
+                        }
+                        let instances = result
+                            .automata
+                            .iter()
+                            .enumerate()
+                            .filter(|(ix, _)| pattern.correct().contains(ProcessId::new(*ix)))
+                            .map(|(_, a)| a.decisions())
+                            .min()
+                            .unwrap_or(0);
+                        (report.is_in(ClassId::Perfect), latencies, instances)
+                    },
+                );
+            let perfect_count = per_seed.iter().filter(|(p, _, _)| *p).count();
+            let latencies: Vec<u64> = per_seed
+                .iter()
+                .flat_map(|(_, l, _)| l.iter().copied())
+                .collect();
+            let instances: Vec<u64> = per_seed.iter().map(|(_, _, i)| *i).collect();
             let mean_latency = if latencies.is_empty() {
                 "n/a".to_string()
             } else {

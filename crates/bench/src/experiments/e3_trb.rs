@@ -10,37 +10,47 @@ use rfd_algo::reduction::TrbEmulation;
 use rfd_algo::trb::TrbProcess;
 use rfd_core::oracles::{Oracle, PerfectOracle};
 use rfd_core::{class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time};
+use rfd_sim::campaign::{Campaign, RunPlan};
 use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
 
 const ROUNDS: u64 = 700;
 
-fn trb_scenario(
-    n: usize,
-    crash_at: Option<Time>,
-    seeds: u64,
-) -> (usize, usize, usize, usize) {
+/// What one seeded TRB run produced: `(trb_holds, delivered)` where the
+/// delivery is `Some(Some(_))` for the message, `Some(None)` for nil.
+type TrbVerdict = (bool, Option<Option<u64>>);
+
+fn trb_scenario(n: usize, crash_at: Option<Time>, seeds: u64) -> (usize, usize, usize, usize) {
     let oracle = PerfectOracle::new(8, 4);
     let initiator = ProcessId::new(0);
-    let (mut ok, mut msg_runs, mut nil_runs) = (0usize, 0usize, 0usize);
-    for seed in 0..seeds {
-        let mut pattern = FailurePattern::new(n);
-        if let Some(t) = crash_at {
-            pattern.set_crash(initiator, t);
-        }
-        let history = oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed);
-        let automata = TrbProcess::fleet(n, initiator, 777u64);
-        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
-        let result = run(&pattern, &history, automata, &config);
-        let verdict = check_trb(&pattern, &result.trace, initiator, &777);
-        if verdict.is_trb() {
-            ok += 1;
-        }
-        match result.trace.events.first().map(|e| e.value.clone()) {
-            Some(Some(_)) => msg_runs += 1,
-            Some(None) => nil_runs += 1,
-            None => {}
-        }
+    let mut pattern = FailurePattern::new(n);
+    if let Some(t) = crash_at {
+        pattern.set_crash(initiator, t);
     }
+    let base = SimConfig::new(0, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+    let verdicts: Vec<TrbVerdict> = Campaign::new(base).seeds(0..seeds).run(
+        |seed, config| RunPlan {
+            pattern: pattern.clone(),
+            oracle: oracle.generate(&pattern, ticks_for_rounds(n, ROUNDS), seed),
+            automata: TrbProcess::fleet(n, initiator, 777u64),
+            config,
+        },
+        |_seed, pattern, result| {
+            let verdict = check_trb(pattern, &result.trace, initiator, &777);
+            (
+                verdict.is_trb(),
+                result.trace.events.first().map(|e| e.value),
+            )
+        },
+    );
+    let ok = verdicts.iter().filter(|(ok, _)| *ok).count();
+    let msg_runs = verdicts
+        .iter()
+        .filter(|(_, d)| matches!(d, Some(Some(_))))
+        .count();
+    let nil_runs = verdicts
+        .iter()
+        .filter(|(_, d)| matches!(d, Some(None)))
+        .count();
     (ok, msg_runs, nil_runs, seeds as usize)
 }
 
@@ -50,7 +60,13 @@ pub fn run_experiment(quick: bool) -> Table {
     let seeds = if quick { 6 } else { 25 };
     let mut table = Table::new(
         "E3 — terminating reliable broadcast over P (Prop 5.1)",
-        &["n", "scenario", "TRB holds", "delivered msg", "delivered nil"],
+        &[
+            "n",
+            "scenario",
+            "TRB holds",
+            "delivered msg",
+            "delivered nil",
+        ],
     );
     for n in [4usize, 8] {
         for (label, crash) in [
@@ -107,11 +123,17 @@ mod tests {
         let table = run_experiment(true);
         let text = table.render();
         assert_eq!(table.len(), 7);
-        for l in text.lines().filter(|l| l.starts_with("| 4") || l.starts_with("| 8")) {
+        for l in text
+            .lines()
+            .filter(|l| l.starts_with("| 4") || l.starts_with("| 8"))
+        {
             assert!(l.contains("100.0%"), "TRB must hold: {l}");
         }
         // Crash-before-send ⇒ nil always; correct initiator ⇒ msg always.
-        let before: Vec<&str> = text.lines().filter(|l| l.contains("crash before send")).collect();
+        let before: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("crash before send"))
+            .collect();
         for l in before {
             assert!(l.contains("| 0 "), "no msg deliveries expected: {l}");
         }

@@ -11,11 +11,44 @@ use rfd_algo::check::check_consensus;
 use rfd_algo::consensus::{ConsensusAutomaton, RankedConsensus};
 use rfd_core::oracles::{Oracle, RankedOracle};
 use rfd_core::{FailurePattern, ProcessId, Time};
-use rfd_sim::{run, ticks_for_rounds, Adversary, SimConfig, StopCondition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rfd_sim::campaign::{seed_rng, Campaign, RunPlan};
+use rfd_sim::{ticks_for_rounds, Adversary, SimConfig, StopCondition};
 
 const ROUNDS: u64 = 600;
+
+/// Sweeps one scenario, counting `(correct_restricted_ok, uniform_ok)`.
+fn sweep(
+    base: SimConfig,
+    pattern_of: impl Fn(u64) -> FailurePattern + Sync,
+    seeds: u64,
+) -> (usize, usize) {
+    let oracle = RankedOracle::new(5, 2);
+    let n = 4;
+    let props: Vec<u64> = vec![100, 200, 300, 400];
+    let horizon = ticks_for_rounds(n, ROUNDS);
+    let verdicts: Vec<(bool, bool)> = Campaign::new(base).seeds(0..seeds).run(
+        |seed, config| {
+            let pattern = pattern_of(seed);
+            RunPlan {
+                oracle: oracle.generate(&pattern, horizon, seed),
+                automata: ConsensusAutomaton::<RankedConsensus<u64>>::fleet(&props),
+                pattern,
+                config,
+            }
+        },
+        |_seed, pattern, result| {
+            let v = check_consensus(pattern, &result.trace, &props);
+            (
+                v.is_correct_restricted_consensus(),
+                v.is_uniform_consensus(),
+            )
+        },
+    );
+    (
+        verdicts.iter().filter(|(cr, _)| *cr).count(),
+        verdicts.iter().filter(|(_, uni)| *uni).count(),
+    )
+}
 
 /// Runs E4 and returns the result table.
 #[must_use]
@@ -23,30 +56,24 @@ pub fn run_experiment(quick: bool) -> Table {
     let seeds = if quick { 10 } else { 50 };
     let mut table = Table::new(
         "E4 — P< separates uniform from correct-restricted consensus (§6.2)",
-        &["scenario", "correct-restricted holds", "uniform holds", "uniform violations"],
+        &[
+            "scenario",
+            "correct-restricted holds",
+            "uniform holds",
+            "uniform violations",
+        ],
     );
-    let oracle = RankedOracle::new(5, 2);
     let n = 4;
-    let props: Vec<u64> = vec![100, 200, 300, 400];
-    let horizon = ticks_for_rounds(n, ROUNDS);
 
     // (a) Random patterns, no adversary.
-    let mut rng = StdRng::seed_from_u64(0xE4);
-    let (mut cr_ok, mut uni_ok) = (0usize, 0usize);
-    for seed in 0..seeds {
-        let pattern = FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng);
-        let history = oracle.generate(&pattern, horizon, seed);
-        let automata = ConsensusAutomaton::<RankedConsensus<u64>>::fleet(&props);
-        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
-        let result = run(&pattern, &history, automata, &config);
-        let v = check_consensus(&pattern, &result.trace, &props);
-        if v.is_correct_restricted_consensus() {
-            cr_ok += 1;
-        }
-        if v.is_uniform_consensus() {
-            uni_ok += 1;
-        }
-    }
+    let (cr_ok, uni_ok) = sweep(
+        SimConfig::new(0, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1)),
+        |seed| {
+            let mut rng = seed_rng(0xE4, seed);
+            FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng)
+        },
+        seeds,
+    );
     table.push(vec![
         "random patterns".into(),
         pct(cr_ok, seeds as usize),
@@ -56,23 +83,13 @@ pub fn run_experiment(quick: bool) -> Table {
 
     // (b) The witness schedule: p0 decides its own value, crashes, and
     // its announcement is held past p1's suspicion.
-    let (mut cr_ok, mut uni_ok) = (0usize, 0usize);
-    for seed in 0..seeds {
-        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(4));
-        let history = oracle.generate(&pattern, horizon, seed);
-        let automata = ConsensusAutomaton::<RankedConsensus<u64>>::fleet(&props);
-        let config = SimConfig::new(seed, ROUNDS)
+    let (cr_ok, uni_ok) = sweep(
+        SimConfig::new(0, ROUNDS)
             .with_adversary(Adversary::HoldFrom(ProcessId::new(0), Time::new(500)))
-            .with_stop(StopCondition::EachCorrectOutput(1));
-        let result = run(&pattern, &history, automata, &config);
-        let v = check_consensus(&pattern, &result.trace, &props);
-        if v.is_correct_restricted_consensus() {
-            cr_ok += 1;
-        }
-        if v.is_uniform_consensus() {
-            uni_ok += 1;
-        }
-    }
+            .with_stop(StopCondition::EachCorrectOutput(1)),
+        |_seed| FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(4)),
+        seeds,
+    );
     table.push(vec![
         "witness: p0 decides+crashes, announcement held".into(),
         pct(cr_ok, seeds as usize),
@@ -90,10 +107,7 @@ mod tests {
     fn e4_correct_restricted_always_uniform_breaks_in_witness() {
         let table = run_experiment(true);
         let text = table.render();
-        let witness: Vec<&str> = text
-            .lines()
-            .filter(|l| l.contains("witness"))
-            .collect();
+        let witness: Vec<&str> = text.lines().filter(|l| l.contains("witness")).collect();
         assert_eq!(witness.len(), 1);
         // Correct-restricted holds 100%, uniform 0% in the witness runs.
         assert!(witness[0].contains("100.0%"), "{}", witness[0]);

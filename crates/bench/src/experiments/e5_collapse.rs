@@ -14,8 +14,7 @@ use rfd_core::oracles::{
 };
 use rfd_core::realism::{check_realism, RealismCheck};
 use rfd_core::{class_report, CheckParams, ClassId, FailurePattern, Time};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rfd_sim::campaign::{seed_rng, Campaign};
 
 const HORIZON: u64 = 500;
 
@@ -30,54 +29,62 @@ struct OracleRow {
     realistic: bool,
 }
 
-fn classify<O: Oracle<Value = rfd_core::ProcessSet>>(
+/// Per-seed class membership bits: `(P, S, ◇P, ◇S, P<)`.
+type Membership = (bool, bool, bool, bool, bool);
+
+fn classify<O: Oracle<Value = rfd_core::ProcessSet> + Sync>(
     oracle: &O,
+    stream: u64,
     runs: usize,
-    rng: &mut StdRng,
 ) -> OracleRow {
     let horizon = Time::new(HORIZON);
     let params = CheckParams::with_margin(horizon, 50);
-    let mut row = OracleRow {
-        name: oracle.name(),
-        in_p: 0,
-        in_s: 0,
-        in_evp: 0,
-        in_evs: 0,
-        in_pl: 0,
-        runs,
-        realistic: false,
-    };
-    for seed in 0..runs as u64 {
-        let pattern = FailurePattern::random(6, 5, Time::new(HORIZON / 2), rng);
+    let memberships: Vec<Membership> = Campaign::sweep(0..runs as u64).map(|seed| {
+        let mut rng = seed_rng(stream, seed);
+        let pattern = FailurePattern::random(6, 5, Time::new(HORIZON / 2), &mut rng);
         let h = oracle.generate(&pattern, horizon, seed);
         let report = class_report(&pattern, &h, &params);
-        row.in_p += usize::from(report.is_in(ClassId::Perfect));
-        row.in_s += usize::from(report.is_in(ClassId::Strong));
-        row.in_evp += usize::from(report.is_in(ClassId::EventuallyPerfect));
-        row.in_evs += usize::from(report.is_in(ClassId::EventuallyStrong));
-        row.in_pl += usize::from(report.is_in(ClassId::PartiallyPerfect));
-    }
+        (
+            report.is_in(ClassId::Perfect),
+            report.is_in(ClassId::Strong),
+            report.is_in(ClassId::EventuallyPerfect),
+            report.is_in(ClassId::EventuallyStrong),
+            report.is_in(ClassId::PartiallyPerfect),
+        )
+    });
     let battery = RealismCheck::new(horizon, 4, 16);
-    row.realistic = check_realism(oracle, 5, 15, &battery, rng).is_ok();
-    row
+    let mut rng = seed_rng(stream ^ 0x5EA1, 0);
+    OracleRow {
+        name: oracle.name(),
+        in_p: memberships.iter().filter(|m| m.0).count(),
+        in_s: memberships.iter().filter(|m| m.1).count(),
+        in_evp: memberships.iter().filter(|m| m.2).count(),
+        in_evs: memberships.iter().filter(|m| m.3).count(),
+        in_pl: memberships.iter().filter(|m| m.4).count(),
+        runs,
+        realistic: check_realism(oracle, 5, 15, &battery, &mut rng).is_ok(),
+    }
 }
 
 /// Runs E5 and returns the result table.
 #[must_use]
 pub fn run_experiment(quick: bool) -> Table {
     let runs = if quick { 8 } else { 30 };
-    let mut rng = StdRng::seed_from_u64(0xE5);
     let mut table = Table::new(
         "E5 — the collapse S ∩ R ⊂ P (§6.3): class membership × realism",
         &["oracle", "P", "S", "◇P", "◇S", "P<", "realistic"],
     );
     let rows = vec![
-        classify(&PerfectOracle::new(5, 3), runs, &mut rng),
-        classify(&EventuallyPerfectOracle::new(Time::new(80), 5, 3), runs, &mut rng),
-        classify(&EventuallyStrongOracle::new(4), runs, &mut rng),
-        classify(&RankedOracle::new(5, 3), runs, &mut rng),
-        classify(&StrongOracle::new(4, Time::new(60)), runs, &mut rng),
-        classify(&MaraboutOracle::new(), runs, &mut rng),
+        classify(&PerfectOracle::new(5, 3), 0xE5_01, runs),
+        classify(
+            &EventuallyPerfectOracle::new(Time::new(80), 5, 3),
+            0xE5_02,
+            runs,
+        ),
+        classify(&EventuallyStrongOracle::new(4), 0xE5_03, runs),
+        classify(&RankedOracle::new(5, 3), 0xE5_04, runs),
+        classify(&StrongOracle::new(4, Time::new(60)), 0xE5_05, runs),
+        classify(&MaraboutOracle::new(), 0xE5_06, runs),
     ];
     for r in rows {
         table.push(vec![
@@ -87,7 +94,12 @@ pub fn run_experiment(quick: bool) -> Table {
             format!("{}/{}", r.in_evp, r.runs),
             format!("{}/{}", r.in_evs, r.runs),
             format!("{}/{}", r.in_pl, r.runs),
-            if r.realistic { "yes" } else { "NO (clairvoyant)" }.into(),
+            if r.realistic {
+                "yes"
+            } else {
+                "NO (clairvoyant)"
+            }
+            .into(),
         ]);
     }
     table
@@ -98,10 +110,9 @@ pub fn run_experiment(quick: bool) -> Table {
 #[must_use]
 pub fn collapse_holds(quick: bool) -> bool {
     let runs = if quick { 8 } else { 30 };
-    let mut rng = StdRng::seed_from_u64(0xE5);
-    let perfect = classify(&PerfectOracle::new(5, 3), runs, &mut rng);
-    let strong = classify(&StrongOracle::new(4, Time::new(60)), runs, &mut rng);
-    let marabout = classify(&MaraboutOracle::new(), runs, &mut rng);
+    let perfect = classify(&PerfectOracle::new(5, 3), 0xE5_01, runs);
+    let strong = classify(&StrongOracle::new(4, Time::new(60)), 0xE5_05, runs);
+    let marabout = classify(&MaraboutOracle::new(), 0xE5_06, runs);
     // Realistic & Strong ⇒ Perfect…
     let realistic_ok = perfect.realistic && perfect.in_s == runs && perfect.in_p == runs;
     // …and each Strong-not-Perfect oracle is non-realistic.

@@ -13,9 +13,8 @@ use rfd_algo::consensus::{ConsensusAutomaton, MaraboutConsensus};
 use rfd_core::oracles::{MaraboutOracle, Oracle, PerfectOracle};
 use rfd_core::realism::{check_realism, marabout_pair, RealismCheck};
 use rfd_core::{FailurePattern, ProcessId, Time};
-use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rfd_sim::campaign::{seed_rng, Campaign, RunPlan};
+use rfd_sim::{ticks_for_rounds, SimConfig, StopCondition};
 
 const ROUNDS: u64 = 500;
 
@@ -23,7 +22,7 @@ fn marabout_runs(
     use_marabout_oracle: bool,
     leader_crash: bool,
     seeds: u64,
-    rng: &mut StdRng,
+    stream: u64,
 ) -> (usize, usize, usize) {
     let n = 5;
     let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
@@ -31,29 +30,37 @@ fn marabout_runs(
     let marabout = MaraboutOracle::new();
     // Slow detection so the leader choice happens before suspicion.
     let realistic = PerfectOracle::new(50, 0);
-    let (mut terminated, mut agreed) = (0usize, 0usize);
-    for seed in 0..seeds {
-        let pattern = if leader_crash {
-            FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(2))
-        } else {
-            FailurePattern::random(n, n - 1, Time::new(ROUNDS), rng)
-        };
-        let history = if use_marabout_oracle {
-            marabout.generate(&pattern, horizon, seed)
-        } else {
-            realistic.generate(&pattern, horizon, seed)
-        };
-        let automata = ConsensusAutomaton::<MaraboutConsensus<u64>>::fleet(&props);
-        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
-        let result = run(&pattern, &history, automata, &config);
-        let v = check_consensus(&pattern, &result.trace, &props);
-        if v.termination.is_ok() {
-            terminated += 1;
-        }
-        if v.uniform_agreement.is_ok() && v.validity.is_ok() {
-            agreed += 1;
-        }
-    }
+    let base = SimConfig::new(0, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+    let verdicts: Vec<(bool, bool)> = Campaign::new(base).seeds(0..seeds).run(
+        |seed, config| {
+            let pattern = if leader_crash {
+                FailurePattern::new(n).with_crash(ProcessId::new(0), Time::new(2))
+            } else {
+                let mut rng = seed_rng(stream, seed);
+                FailurePattern::random(n, n - 1, Time::new(ROUNDS), &mut rng)
+            };
+            let oracle = if use_marabout_oracle {
+                marabout.generate(&pattern, horizon, seed)
+            } else {
+                realistic.generate(&pattern, horizon, seed)
+            };
+            RunPlan {
+                automata: ConsensusAutomaton::<MaraboutConsensus<u64>>::fleet(&props),
+                pattern,
+                oracle,
+                config,
+            }
+        },
+        |_seed, pattern, result| {
+            let v = check_consensus(pattern, &result.trace, &props);
+            (
+                v.termination.is_ok(),
+                v.uniform_agreement.is_ok() && v.validity.is_ok(),
+            )
+        },
+    );
+    let terminated = verdicts.iter().filter(|(t, _)| *t).count();
+    let agreed = verdicts.iter().filter(|(_, a)| *a).count();
     (terminated, agreed, seeds as usize)
 }
 
@@ -61,26 +68,30 @@ fn marabout_runs(
 #[must_use]
 pub fn run_experiment(quick: bool) -> Table {
     let seeds = if quick { 10 } else { 40 };
-    let mut rng = StdRng::seed_from_u64(0xE6);
     let mut table = Table::new(
         "E6 — the Marabout algorithm with and without clairvoyance (§6.1)",
-        &["oracle", "pattern", "terminates", "safe (agreement+validity)"],
+        &[
+            "oracle",
+            "pattern",
+            "terminates",
+            "safe (agreement+validity)",
+        ],
     );
-    let (t, a, r) = marabout_runs(true, false, seeds, &mut rng);
+    let (t, a, r) = marabout_runs(true, false, seeds, 0xE6_01);
     table.push(vec![
         "M (clairvoyant)".into(),
         "random, f ≤ n−1".into(),
         pct(t, r),
         pct(a, r),
     ]);
-    let (t, a, r) = marabout_runs(true, true, seeds, &mut rng);
+    let (t, a, r) = marabout_runs(true, true, seeds, 0xE6_02);
     table.push(vec![
         "M (clairvoyant)".into(),
         "leader crashes early".into(),
         pct(t, r),
         pct(a, r),
     ]);
-    let (t, a, r) = marabout_runs(false, true, seeds, &mut rng);
+    let (t, a, r) = marabout_runs(false, true, seeds, 0xE6_03);
     table.push(vec![
         "P (realistic)".into(),
         "leader crashes early".into(),
@@ -92,19 +103,31 @@ pub fn run_experiment(quick: bool) -> Table {
     let (f1, f2, t_pref) = marabout_pair(5, Time::new(10));
     let m_realistic =
         rfd_core::realism::check_pair(&MaraboutOracle::new(), &f1, &f2, t_pref, &battery).is_ok();
-    let p_realistic =
-        check_realism(&PerfectOracle::new(5, 3), 5, 15, &battery, &mut rng).is_ok();
+    let p_realistic = {
+        let mut rng = seed_rng(0xE6_04, 0);
+        check_realism(&PerfectOracle::new(5, 3), 5, 15, &battery, &mut rng).is_ok()
+    };
     table.push(vec![
         "M (clairvoyant)".into(),
         "§3.2.2 pattern pair".into(),
         "-".into(),
-        if m_realistic { "realistic" } else { "NOT realistic" }.into(),
+        if m_realistic {
+            "realistic"
+        } else {
+            "NOT realistic"
+        }
+        .into(),
     ]);
     table.push(vec![
         "P (realistic)".into(),
         "realism battery".into(),
         "-".into(),
-        if p_realistic { "realistic" } else { "NOT realistic" }.into(),
+        if p_realistic {
+            "realistic"
+        } else {
+            "NOT realistic"
+        }
+        .into(),
     ]);
     table
 }
@@ -128,7 +151,11 @@ mod tests {
             .lines()
             .filter(|l| l.contains("P (realistic)") && l.contains("leader"))
             .collect();
-        assert!(p_row[0].contains("0.0%"), "realistic leader-crash blocks: {}", p_row[0]);
+        assert!(
+            p_row[0].contains("0.0%"),
+            "realistic leader-crash blocks: {}",
+            p_row[0]
+        );
         assert!(text.contains("NOT realistic"));
     }
 }

@@ -7,10 +7,14 @@
 //! with loss; the adaptive estimators hold accuracy at a modest
 //! detection-time premium, with φ-accrual the most loss-tolerant.
 
+use crate::estimators::Estimators;
 use crate::table::Table;
 use rfd_net::clock::Nanos;
-use rfd_net::estimator::{ArrivalEstimator, ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual};
+use rfd_net::estimator::{
+    ArrivalEstimator, ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual,
+};
 use rfd_net::qos::{evaluate_qos, QosReport, QosScenario};
+use rfd_sim::Campaign;
 
 fn ms(v: u64) -> Nanos {
     Nanos::from_millis(v)
@@ -40,41 +44,16 @@ fn fmt_report(r: &QosReport) -> [String; 4] {
     ]
 }
 
-fn eval<E: ArrivalEstimator + Clone>(
+fn eval<E: ArrivalEstimator + Clone + Sync>(
     proto: E,
     loss: f64,
     seeds: u64,
     duration_ms: u64,
 ) -> QosReport {
     // Average across seeds by evaluating each and merging simple means.
-    let mut reports: Vec<QosReport> = Vec::new();
-    for seed in 0..seeds {
-        reports.push(evaluate_qos(proto.clone(), &scenario(loss, seed, duration_ms)));
-    }
-    let n = reports.len() as f64;
-    let det: Vec<u64> = reports
-        .iter()
-        .filter_map(|r| r.detection_time.map(|d| d.as_nanos()))
-        .collect();
-    QosReport {
-        detection_time: if det.is_empty() {
-            None
-        } else {
-            Some(Nanos::from_nanos(
-                det.iter().sum::<u64>() / det.len() as u64,
-            ))
-        },
-        mistakes: (reports.iter().map(|r| f64::from(r.mistakes)).sum::<f64>() / n) as u32,
-        mistake_rate: reports.iter().map(|r| r.mistake_rate).sum::<f64>() / n,
-        avg_mistake_duration: Nanos::from_nanos(
-            (reports
-                .iter()
-                .map(|r| r.avg_mistake_duration.as_nanos() as f64)
-                .sum::<f64>()
-                / n) as u64,
-        ),
-        query_accuracy: reports.iter().map(|r| r.query_accuracy).sum::<f64>() / n,
-    }
+    let reports: Vec<QosReport> = Campaign::sweep(0..seeds)
+        .map(|seed| evaluate_qos(proto.clone(), &scenario(loss, seed, duration_ms)));
+    mean_report(&reports)
 }
 
 /// Runs E7 and returns the result table.
@@ -83,7 +62,14 @@ pub fn run_experiment(quick: bool) -> Table {
     let (seeds, duration_ms) = if quick { (2, 20_000) } else { (5, 60_000) };
     let mut table = Table::new(
         "E7 — QoS of heartbeat estimators (period 100ms, delay 2–12ms)",
-        &["estimator", "loss", "T_D (detect)", "λ_M (mistakes)", "T_M (duration)", "P_A (accuracy)"],
+        &[
+            "estimator",
+            "loss",
+            "T_D (detect)",
+            "λ_M (mistakes)",
+            "T_M (duration)",
+            "P_A (accuracy)",
+        ],
     );
     for loss in [0.0, 0.05, 0.10, 0.20] {
         let rows: Vec<(&str, QosReport)> = vec![
@@ -97,11 +83,21 @@ pub fn run_experiment(quick: bool) -> Table {
             ),
             (
                 "chen(α=50ms)",
-                eval(ChenEstimator::new(ms(50), 32, ms(500)), loss, seeds, duration_ms),
+                eval(
+                    ChenEstimator::new(ms(50), 32, ms(500)),
+                    loss,
+                    seeds,
+                    duration_ms,
+                ),
             ),
             (
                 "jacobson(β=4)",
-                eval(JacobsonEstimator::new(4.0, ms(500)), loss, seeds, duration_ms),
+                eval(
+                    JacobsonEstimator::new(4.0, ms(500)),
+                    loss,
+                    seeds,
+                    duration_ms,
+                ),
             ),
             (
                 "φ-accrual(φ=3)",
@@ -132,17 +128,37 @@ pub fn run_burst_ablation(quick: bool) -> Table {
     let (seeds, duration_ms) = if quick { (2, 20_000) } else { (5, 60_000) };
     let mut table = Table::new(
         "E7b — Gilbert–Elliott burst-loss ablation (p_enter 2%, p_exit 20%, 90% in-burst loss)",
-        &["estimator", "T_D (detect)", "λ_M (mistakes)", "T_M (duration)", "P_A (accuracy)"],
+        &[
+            "estimator",
+            "T_D (detect)",
+            "λ_M (mistakes)",
+            "T_M (duration)",
+            "P_A (accuracy)",
+        ],
     );
     let burst = Some((0.02, 0.20, 0.90));
-    for (name, reports) in [
-        ("fixed-150ms", (0..seeds).map(|s| evaluate_qos(FixedTimeout::new(ms(150)), &burst_scenario(burst, s, duration_ms))).collect::<Vec<_>>()),
-        ("fixed-500ms", (0..seeds).map(|s| evaluate_qos(FixedTimeout::new(ms(500)), &burst_scenario(burst, s, duration_ms))).collect()),
-        ("chen(α=50ms)", (0..seeds).map(|s| evaluate_qos(ChenEstimator::new(ms(50), 32, ms(500)), &burst_scenario(burst, s, duration_ms))).collect()),
-        ("jacobson(β=4)", (0..seeds).map(|s| evaluate_qos(JacobsonEstimator::new(4.0, ms(500)), &burst_scenario(burst, s, duration_ms))).collect()),
-        ("φ-accrual(φ=3)", (0..seeds).map(|s| evaluate_qos(PhiAccrual::new(3.0, 64, ms(500)), &burst_scenario(burst, s, duration_ms))).collect()),
+    let burst_eval = |est: Estimators| {
+        let reports: Vec<QosReport> = Campaign::sweep(0..seeds)
+            .map(|s| evaluate_qos(est.clone(), &burst_scenario(burst, s, duration_ms)));
+        mean_report(&reports)
+    };
+    for (name, est) in [
+        ("fixed-150ms", Estimators::Fixed(FixedTimeout::new(ms(150)))),
+        ("fixed-500ms", Estimators::Fixed(FixedTimeout::new(ms(500)))),
+        (
+            "chen(α=50ms)",
+            Estimators::Chen(ChenEstimator::new(ms(50), 32, ms(500))),
+        ),
+        (
+            "jacobson(β=4)",
+            Estimators::Jacobson(JacobsonEstimator::new(4.0, ms(500))),
+        ),
+        (
+            "φ-accrual(φ=3)",
+            Estimators::Phi(PhiAccrual::new(3.0, 64, ms(500))),
+        ),
     ] {
-        let r = mean_report(&reports);
+        let r = burst_eval(est);
         let [td, lm, tm, pa] = fmt_report(&r);
         table.push(vec![name.into(), td, lm, tm, pa]);
     }
@@ -169,7 +185,9 @@ fn mean_report(reports: &[QosReport]) -> QosReport {
         detection_time: if det.is_empty() {
             None
         } else {
-            Some(Nanos::from_nanos(det.iter().sum::<u64>() / det.len() as u64))
+            Some(Nanos::from_nanos(
+                det.iter().sum::<u64>() / det.len() as u64,
+            ))
         },
         mistakes: (reports.iter().map(|r| f64::from(r.mistakes)).sum::<f64>() / n) as u32,
         mistake_rate: reports.iter().map(|r| r.mistake_rate).sum::<f64>() / n,

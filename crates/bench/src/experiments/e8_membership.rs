@@ -7,11 +7,13 @@
 //! exclusions (correct processes sacrificed to keep suspicions accurate
 //! by fiat).
 
+use crate::estimators::Estimators;
 use crate::table::Table;
 use rfd_core::{class_report, CheckParams, ClassId, ProcessId, Time};
 use rfd_net::clock::Nanos;
 use rfd_net::estimator::{ChenEstimator, FixedTimeout};
 use rfd_net::membership::{run_membership, MembershipOutcome, MembershipScenario};
+use rfd_sim::Campaign;
 
 fn ms(v: u64) -> Nanos {
     Nanos::from_millis(v)
@@ -44,42 +46,57 @@ pub fn run_experiment(quick: bool) -> Table {
     let duration_ms = if quick { 20_000 } else { 60_000 };
     let mut table = Table::new(
         "E8 — group membership emulating P (§1.3), 5 nodes, 2 crashes",
-        &["estimator", "loss", "emulated P", "view changes", "false exclusions", "messages"],
+        &[
+            "estimator",
+            "loss",
+            "emulated P",
+            "view changes",
+            "false exclusions",
+            "messages",
+        ],
     );
-    for (alpha_ms, loss) in [
-        (150u64, 0.0),
-        (150, 0.10),
-        (150, 0.30),
-        (400, 0.10),
-        (400, 0.30),
-    ] {
-        let chen = run_membership(
-            ChenEstimator::new(ms(alpha_ms), 16, ms(600)),
-            &churn_scenario(loss, 7, duration_ms),
-        );
+    // Each row is an independent 60-second virtual run — the campaign
+    // sweeps the row axis. The last row is the aggressive-timeout
+    // ablation: by-fiat accuracy may cost correct processes under heavy
+    // loss.
+    let chen = |alpha_ms: u64| Estimators::Chen(ChenEstimator::new(ms(alpha_ms), 16, ms(600)));
+    let rows: [(&str, Estimators, f64, u64); 6] = [
+        ("chen(α=150ms)", chen(150), 0.0, 7),
+        ("chen(α=150ms)", chen(150), 0.10, 7),
+        ("chen(α=150ms)", chen(150), 0.30, 7),
+        ("chen(α=400ms)", chen(400), 0.10, 7),
+        ("chen(α=400ms)", chen(400), 0.30, 7),
+        (
+            "fixed-120ms (aggressive)",
+            Estimators::Fixed(FixedTimeout::new(ms(120))),
+            0.30,
+            11,
+        ),
+    ];
+    let outcomes: Vec<(&str, f64, MembershipOutcome)> =
+        Campaign::sweep(0..rows.len() as u64).map(|row| {
+            let (name, estimator, loss, seed) = &rows[row as usize];
+            let outcome = run_membership(
+                estimator.clone(),
+                &churn_scenario(*loss, *seed, duration_ms),
+            );
+            (*name, *loss, outcome)
+        });
+    for (name, loss, outcome) in outcomes {
         table.push(vec![
-            format!("chen(α={alpha_ms}ms)"),
+            name.to_string(),
             format!("{:.0}%", loss * 100.0),
-            if emulation_is_perfect(&chen) { "yes" } else { "NO" }.into(),
-            chen.view_changes.to_string(),
-            chen.false_exclusions.to_string(),
-            chen.messages.to_string(),
+            if emulation_is_perfect(&outcome) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
+            outcome.view_changes.to_string(),
+            outcome.false_exclusions.to_string(),
+            outcome.messages.to_string(),
         ]);
     }
-    // The aggressive-timeout row: by-fiat accuracy may cost correct
-    // processes under heavy loss.
-    let aggressive = run_membership(
-        FixedTimeout::new(ms(120)),
-        &churn_scenario(0.30, 11, duration_ms),
-    );
-    table.push(vec![
-        "fixed-120ms (aggressive)".into(),
-        "30%".into(),
-        if emulation_is_perfect(&aggressive) { "yes" } else { "NO" }.into(),
-        aggressive.view_changes.to_string(),
-        aggressive.false_exclusions.to_string(),
-        aggressive.messages.to_string(),
-    ]);
     table
 }
 

@@ -14,7 +14,8 @@ use rfd_algo::consensus::{
 };
 use rfd_core::oracles::{EventuallyStrongOracle, Oracle, PerfectOracle};
 use rfd_core::{FailurePattern, ProcessId, Time};
-use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
+use rfd_sim::campaign::{Campaign, RunPlan};
+use rfd_sim::{ticks_for_rounds, SimConfig, StopCondition};
 
 const ROUNDS: u64 = 800;
 
@@ -29,10 +30,40 @@ struct Row {
 fn sweep<C: ConsensusCore<Val = u64>>(
     n: usize,
     f: usize,
-    history_of: impl Fn(&FailurePattern, u64) -> rfd_core::History<rfd_core::ProcessSet>,
+    history_of: impl Fn(&FailurePattern, u64) -> rfd_core::History<rfd_core::ProcessSet> + Sync,
     seeds: u64,
 ) -> Row {
     let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    // f crashes staggered over the early run.
+    let mut pattern = FailurePattern::new(n);
+    for k in 0..f {
+        pattern.set_crash(ProcessId::new(k), Time::new(20 + 30 * k as u64));
+    }
+    let base = SimConfig::new(0, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+    // Per seed: None if not terminated, else (last decision tick, msgs).
+    let per_seed: Vec<Option<(u64, u64)>> = Campaign::new(base).seeds(0..seeds).run(
+        |seed, config| RunPlan {
+            pattern: pattern.clone(),
+            oracle: history_of(&pattern, seed),
+            automata: ConsensusAutomaton::<C>::fleet(&props),
+            config,
+        },
+        |_seed, pattern, result| {
+            let verdict = check_consensus(pattern, &result.trace, &props);
+            verdict.termination.is_ok().then(|| {
+                let last_decision = result
+                    .trace
+                    .first_outputs(n)
+                    .into_iter()
+                    .flatten()
+                    .filter(|e| pattern.correct().contains(e.process))
+                    .map(|e| e.time.ticks())
+                    .max()
+                    .unwrap_or(0);
+                (last_decision, result.trace.messages_sent)
+            })
+        },
+    );
     let mut row = Row {
         terminated: 0,
         runs: seeds as usize,
@@ -40,32 +71,11 @@ fn sweep<C: ConsensusCore<Val = u64>>(
         latency_count: 0,
         msgs_sum: 0,
     };
-    for seed in 0..seeds {
-        // f crashes staggered over the early run.
-        let mut pattern = FailurePattern::new(n);
-        for k in 0..f {
-            pattern.set_crash(ProcessId::new(k), Time::new(20 + 30 * k as u64));
-        }
-        let history = history_of(&pattern, seed);
-        let automata = ConsensusAutomaton::<C>::fleet(&props);
-        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
-        let result = run(&pattern, &history, automata, &config);
-        let verdict = check_consensus(&pattern, &result.trace, &props);
-        if verdict.termination.is_ok() {
-            row.terminated += 1;
-            let last_decision = result
-                .trace
-                .first_outputs(n)
-                .into_iter()
-                .flatten()
-                .filter(|e| pattern.correct().contains(e.process))
-                .map(|e| e.time.ticks())
-                .max()
-                .unwrap_or(0);
-            row.latency_sum += last_decision;
-            row.latency_count += 1;
-            row.msgs_sum += result.trace.messages_sent;
-        }
+    for (latency, msgs) in per_seed.into_iter().flatten() {
+        row.terminated += 1;
+        row.latency_sum += latency;
+        row.latency_count += 1;
+        row.msgs_sum += msgs;
     }
     row
 }
@@ -77,7 +87,14 @@ pub fn run_experiment(quick: bool) -> Table {
     let n = 6;
     let mut table = Table::new(
         "E9 — consensus under the f sweep (n=6): the ◇S majority crossover",
-        &["algorithm", "detector", "f", "terminated", "mean latency (ticks)", "mean msgs"],
+        &[
+            "algorithm",
+            "detector",
+            "f",
+            "terminated",
+            "mean latency (ticks)",
+            "mean msgs",
+        ],
     );
     let perfect = PerfectOracle::new(6, 3);
     let evs = EventuallyStrongOracle::new(8);
@@ -87,7 +104,12 @@ pub fn run_experiment(quick: bool) -> Table {
             (
                 "floodset",
                 "P",
-                sweep::<FloodSetConsensus<u64>>(n, f, |p, s| perfect.generate(p, horizon, s), seeds),
+                sweep::<FloodSetConsensus<u64>>(
+                    n,
+                    f,
+                    |p, s| perfect.generate(p, horizon, s),
+                    seeds,
+                ),
             ),
             (
                 "ct-strong",
@@ -135,14 +157,19 @@ mod tests {
         let perfect = PerfectOracle::new(6, 3);
         let evs = EventuallyStrongOracle::new(8);
         // f = 2 < n/2: ◇S terminates.
-        let below = sweep::<RotatingConsensus<u64>>(n, 2, |p, s| evs.generate(p, horizon, s), seeds);
+        let below =
+            sweep::<RotatingConsensus<u64>>(n, 2, |p, s| evs.generate(p, horizon, s), seeds);
         assert_eq!(below.terminated, below.runs, "◇S must work below majority");
         // f = 3 = n/2: ◇S cannot terminate.
         let at = sweep::<RotatingConsensus<u64>>(n, 3, |p, s| evs.generate(p, horizon, s), seeds);
         assert_eq!(at.terminated, 0, "◇S must block at the majority boundary");
         // The P-based stack keeps terminating at f = n−1.
-        let p_max =
-            sweep::<FloodSetConsensus<u64>>(n, n - 1, |p, s| perfect.generate(p, horizon, s), seeds);
+        let p_max = sweep::<FloodSetConsensus<u64>>(
+            n,
+            n - 1,
+            |p, s| perfect.generate(p, horizon, s),
+            seeds,
+        );
         assert_eq!(p_max.terminated, p_max.runs, "P works for any f");
     }
 }

@@ -13,7 +13,8 @@ use rfd_algo::consensus::{
 };
 use rfd_core::oracles::{Oracle, PerfectOracle};
 use rfd_core::{FailurePattern, ProcessId, Time};
-use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
+use rfd_sim::campaign::{Campaign, RunPlan};
+use rfd_sim::{ticks_for_rounds, SimConfig, StopCondition};
 
 const ROUNDS: u64 = 800;
 
@@ -27,39 +28,46 @@ fn sweep<C: ConsensusCore<Val = u64>>(n: usize, f: usize, seeds: u64) -> Row {
     let oracle = PerfectOracle::new(6, 3);
     let horizon = ticks_for_rounds(n, ROUNDS);
     let props: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let mut pattern = FailurePattern::new(n);
+    for k in 0..f {
+        pattern.set_crash(ProcessId::new(k), Time::new(20 + 30 * k as u64));
+    }
+    let base = SimConfig::new(0, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
+    let per_seed: Vec<Option<u64>> = Campaign::new(base).seeds(0..seeds).run(
+        |seed, config| RunPlan {
+            pattern: pattern.clone(),
+            oracle: oracle.generate(&pattern, horizon, seed),
+            automata: ConsensusAutomaton::<C>::fleet(&props),
+            config,
+        },
+        |seed, pattern, result| {
+            let verdict = check_consensus(pattern, &result.trace, &props);
+            assert!(
+                verdict.uniform_agreement.is_ok() && verdict.validity.is_ok(),
+                "ablation must preserve safety: n={n} f={f} seed={seed}: {verdict:?}"
+            );
+            verdict.termination.is_ok().then(|| {
+                result
+                    .trace
+                    .first_outputs(n)
+                    .into_iter()
+                    .flatten()
+                    .filter(|e| pattern.correct().contains(e.process))
+                    .map(|e| e.time.ticks())
+                    .max()
+                    .unwrap_or(0)
+            })
+        },
+    );
     let mut row = Row {
         terminated: 0,
         latency_sum: 0,
         latency_count: 0,
     };
-    for seed in 0..seeds {
-        let mut pattern = FailurePattern::new(n);
-        for k in 0..f {
-            pattern.set_crash(ProcessId::new(k), Time::new(20 + 30 * k as u64));
-        }
-        let history = oracle.generate(&pattern, horizon, seed);
-        let automata = ConsensusAutomaton::<C>::fleet(&props);
-        let config = SimConfig::new(seed, ROUNDS).with_stop(StopCondition::EachCorrectOutput(1));
-        let result = run(&pattern, &history, automata, &config);
-        let verdict = check_consensus(&pattern, &result.trace, &props);
-        assert!(
-            verdict.uniform_agreement.is_ok() && verdict.validity.is_ok(),
-            "ablation must preserve safety: n={n} f={f} seed={seed}: {verdict:?}"
-        );
-        if verdict.termination.is_ok() {
-            row.terminated += 1;
-            let last = result
-                .trace
-                .first_outputs(n)
-                .into_iter()
-                .flatten()
-                .filter(|e| pattern.correct().contains(e.process))
-                .map(|e| e.time.ticks())
-                .max()
-                .unwrap_or(0);
-            row.latency_sum += last;
-            row.latency_count += 1;
-        }
+    for last in per_seed.into_iter().flatten() {
+        row.terminated += 1;
+        row.latency_sum += last;
+        row.latency_count += 1;
     }
     row
 }
@@ -71,7 +79,13 @@ pub fn run_experiment(quick: bool) -> Table {
     let n = 8;
     let mut table = Table::new(
         "E9b — early-stopping ablation (flood-set, n=8, P oracle)",
-        &["f", "exhaustive: latency", "early: latency", "speedup", "both terminated"],
+        &[
+            "f",
+            "exhaustive: latency",
+            "early: latency",
+            "speedup",
+            "both terminated",
+        ],
     );
     for f in [0usize, 1, 2, 4, 7] {
         let full = sweep::<FloodSetConsensus<u64>>(n, f, seeds);
@@ -89,10 +103,7 @@ pub fn run_experiment(quick: bool) -> Table {
             format!("{mf:.0} ticks"),
             format!("{me:.0} ticks"),
             format!("{:.2}×", mf / me),
-            pct(
-                full.terminated.min(early.terminated),
-                seeds as usize,
-            ),
+            pct(full.terminated.min(early.terminated), seeds as usize),
         ]);
     }
     table

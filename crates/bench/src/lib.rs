@@ -24,7 +24,9 @@
 
 #![warn(missing_docs)]
 
+pub mod estimators;
 pub mod experiments;
 pub mod table;
 
+pub use estimators::Estimators;
 pub use table::Table;

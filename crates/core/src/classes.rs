@@ -109,7 +109,6 @@ impl ClassReport {
     }
 
     /// The (completeness, accuracy) verdicts that define `class`.
-    #[must_use]
     pub fn class_parts(&self, class: ClassId) -> (&PropertyResult, &PropertyResult) {
         match class {
             ClassId::Perfect => (&self.strong_completeness, &self.strong_accuracy),
@@ -117,9 +116,7 @@ impl ClassReport {
             ClassId::EventuallyPerfect => {
                 (&self.strong_completeness, &self.eventual_strong_accuracy)
             }
-            ClassId::EventuallyStrong => {
-                (&self.strong_completeness, &self.eventual_weak_accuracy)
-            }
+            ClassId::EventuallyStrong => (&self.strong_completeness, &self.eventual_weak_accuracy),
             ClassId::PartiallyPerfect => (&self.partial_completeness, &self.strong_accuracy),
         }
     }

@@ -113,8 +113,7 @@ mod tests {
         let e = EventuallyStrongOracle::new(3).generate(&f3, horizon, 0);
         let report3 = class_report(&f3, &e, &params);
         assert!(
-            report3.is_in(ClassId::EventuallyStrong)
-                && !report3.is_in(ClassId::EventuallyPerfect)
+            report3.is_in(ClassId::EventuallyStrong) && !report3.is_in(ClassId::EventuallyPerfect)
         );
     }
 }

@@ -59,8 +59,7 @@ impl EventuallyPerfectOracle {
             self.base_delay
         } else {
             self.base_delay
-                + mix(seed, observer.index() as u64, crashed.index() as u64)
-                    % (self.jitter + 1)
+                + mix(seed, observer.index() as u64, crashed.index() as u64) % (self.jitter + 1)
         }
     }
 
@@ -79,7 +78,7 @@ impl EventuallyPerfectOracle {
         if self.gst == Time::ZERO {
             return events;
         }
-        for observer_ix in 0..n {
+        for (observer_ix, observer_events) in events.iter_mut().enumerate() {
             for k in 0..self.mistakes_per_observer {
                 let r = mix(seed ^ 0xABCD, observer_ix as u64, k as u64);
                 let target = ProcessId::new((r % n as u64) as usize);
@@ -103,14 +102,17 @@ impl EventuallyPerfectOracle {
                 let removal_blocked = pattern
                     .crash_time(target)
                     .map(|ct| {
-                        let det =
-                            ct.advance(self.detection_delay(seed, ProcessId::new(observer_ix), target));
+                        let det = ct.advance(self.detection_delay(
+                            seed,
+                            ProcessId::new(observer_ix),
+                            target,
+                        ));
                         det <= end
                     })
                     .unwrap_or(false);
-                events[observer_ix].push((start, Edit::Add(target)));
+                observer_events.push((start, Edit::Add(target)));
                 if !removal_blocked {
-                    events[observer_ix].push((end, Edit::Remove(target)));
+                    observer_events.push((end, Edit::Remove(target)));
                 }
             }
         }
@@ -131,16 +133,14 @@ impl Oracle for EventuallyPerfectOracle {
         "eventually-perfect"
     }
 
-    fn generate(
-        &self,
-        pattern: &FailurePattern,
-        horizon: Time,
-        seed: u64,
-    ) -> History<ProcessSet> {
+    fn generate(&self, pattern: &FailurePattern, horizon: Time, seed: u64) -> History<ProcessSet> {
         let mut events = perfect_edits(pattern, horizon, |observer, crashed| {
             self.detection_delay(seed, observer, crashed)
         });
-        for (observer_ix, mut list) in self.mistake_edits(pattern, horizon, seed).into_iter().enumerate()
+        for (observer_ix, mut list) in self
+            .mistake_edits(pattern, horizon, seed)
+            .into_iter()
+            .enumerate()
         {
             events[observer_ix].append(&mut list);
         }
@@ -178,12 +178,7 @@ impl Oracle for EventuallyStrongOracle {
         "eventually-strong"
     }
 
-    fn generate(
-        &self,
-        pattern: &FailurePattern,
-        horizon: Time,
-        _seed: u64,
-    ) -> History<ProcessSet> {
+    fn generate(&self, pattern: &FailurePattern, horizon: Time, _seed: u64) -> History<ProcessSet> {
         let n = pattern.num_processes();
         // Immunity transition times: the immune process is the lowest-index
         // one not *known* crashed (crash time + detection delay elapsed).

@@ -83,7 +83,9 @@ mod tests {
             let report = class_report(&f, &h, &params);
             assert!(report.is_in(ClassId::Strong), "{f:?}");
             assert!(report.is_in(ClassId::EventuallyPerfect), "{f:?}");
-            if f.num_faulty() > 0 && f.iter().any(|(_, ct)| matches!(ct, Some(c) if c > Time::ZERO))
+            if f.num_faulty() > 0
+                && f.iter()
+                    .any(|(_, ct)| matches!(ct, Some(c) if c > Time::ZERO))
             {
                 // Suspecting a process before its (positive-time) crash
                 // violates strong accuracy.

@@ -57,12 +57,7 @@ pub trait Oracle {
     /// Generates one history of `D(pattern)` covering `[0, horizon]`.
     ///
     /// Implementations must be deterministic in `(pattern, horizon, seed)`.
-    fn generate(
-        &self,
-        pattern: &FailurePattern,
-        horizon: Time,
-        seed: u64,
-    ) -> History<Self::Value>;
+    fn generate(&self, pattern: &FailurePattern, horizon: Time, seed: u64) -> History<Self::Value>;
 }
 
 /// Splitmix64-style mixer for deterministic per-(seed, key) jitter.
@@ -131,11 +126,11 @@ pub(crate) fn perfect_edits(
     let mut events: Vec<Vec<(Time, Edit)>> = vec![Vec::new(); n];
     for (crashed, ct) in pattern.iter() {
         let Some(ct) = ct else { continue };
-        for observer_ix in 0..n {
+        for (observer_ix, observer_events) in events.iter_mut().enumerate() {
             let observer = ProcessId::new(observer_ix);
             let at = ct.advance(delay_of(observer, crashed));
             if at <= horizon {
-                events[observer_ix].push((at, Edit::Add(crashed)));
+                observer_events.push((at, Edit::Add(crashed)));
             }
         }
     }

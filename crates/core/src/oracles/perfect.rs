@@ -62,12 +62,7 @@ impl Oracle for PerfectOracle {
         "perfect"
     }
 
-    fn generate(
-        &self,
-        pattern: &FailurePattern,
-        horizon: Time,
-        seed: u64,
-    ) -> History<ProcessSet> {
+    fn generate(&self, pattern: &FailurePattern, horizon: Time, seed: u64) -> History<ProcessSet> {
         let events = perfect_edits(pattern, horizon, |observer, crashed| {
             let j = if self.jitter == 0 {
                 0

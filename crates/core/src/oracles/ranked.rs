@@ -58,20 +58,14 @@ impl Oracle for RankedOracle {
         "partially-perfect"
     }
 
-    fn generate(
-        &self,
-        pattern: &FailurePattern,
-        horizon: Time,
-        seed: u64,
-    ) -> History<ProcessSet> {
+    fn generate(&self, pattern: &FailurePattern, horizon: Time, seed: u64) -> History<ProcessSet> {
         let far = horizon.next().advance(1);
         let events = perfect_edits(pattern, horizon, |observer, crashed| {
             if observer.index() > crashed.index() {
                 let j = if self.jitter == 0 {
                     0
                 } else {
-                    mix(seed, observer.index() as u64, crashed.index() as u64)
-                        % (self.jitter + 1)
+                    mix(seed, observer.index() as u64, crashed.index() as u64) % (self.jitter + 1)
                 };
                 self.base_delay + j
             } else {

@@ -105,10 +105,7 @@ impl Oracle for ScribeOracle {
 #[must_use]
 pub fn scribe_suspects(history: &History<PatternPrefix>) -> History<ProcessSet> {
     let n = history.num_processes();
-    let mut out = History::new(
-        n,
-        history.value(ProcessId::new(0), Time::ZERO).crashed(),
-    );
+    let mut out = History::new(n, history.value(ProcessId::new(0), Time::ZERO).crashed());
     for ix in 0..n {
         let pid = ProcessId::new(ix);
         for (t, prefix) in history.changes(pid) {

@@ -53,12 +53,7 @@ impl Oracle for StrongOracle {
         "strong-clairvoyant"
     }
 
-    fn generate(
-        &self,
-        pattern: &FailurePattern,
-        horizon: Time,
-        seed: u64,
-    ) -> History<ProcessSet> {
+    fn generate(&self, pattern: &FailurePattern, horizon: Time, seed: u64) -> History<ProcessSet> {
         let n = pattern.num_processes();
         // Future peek: the immune process is the lowest-index CORRECT one.
         let immune = pattern.correct().min();
@@ -66,7 +61,7 @@ impl Oracle for StrongOracle {
         // Before the window closes, each observer briefly (and falsely)
         // suspects every correct process except the immune one — the
         // paper's "some process is falsely suspected" premise.
-        for observer_ix in 0..n {
+        for (observer_ix, observer_events) in events.iter_mut().enumerate() {
             for target in pattern.correct().iter() {
                 if Some(target) == immune {
                     continue;
@@ -76,8 +71,8 @@ impl Oracle for StrongOracle {
                 let start = Time::new(r % (win / 2).max(1));
                 let end = start.advance(1 + r % (win / 2).max(1)).min(horizon);
                 if start < end {
-                    events[observer_ix].push((start, Edit::Add(target)));
-                    events[observer_ix].push((end, Edit::Remove(target)));
+                    observer_events.push((start, Edit::Add(target)));
+                    observer_events.push((end, Edit::Remove(target)));
                 }
             }
         }

@@ -51,8 +51,7 @@ impl WeakWitnessOracle {
         if candidates.is_empty() {
             return None;
         }
-        let pick = mix(seed, crashed.index() as u64, 0x5EED) as usize
-            % candidates.len();
+        let pick = mix(seed, crashed.index() as u64, 0x5EED) as usize % candidates.len();
         Some(candidates[pick])
     }
 }
@@ -70,12 +69,7 @@ impl Oracle for WeakWitnessOracle {
         "weak-witness"
     }
 
-    fn generate(
-        &self,
-        pattern: &FailurePattern,
-        horizon: Time,
-        seed: u64,
-    ) -> History<ProcessSet> {
+    fn generate(&self, pattern: &FailurePattern, horizon: Time, seed: u64) -> History<ProcessSet> {
         let n = pattern.num_processes();
         let mut events: Vec<Vec<(Time, Edit)>> = vec![Vec::new(); n];
         for (crashed, ct) in pattern.iter() {
@@ -156,7 +150,10 @@ mod tests {
             .with_crash(p(1), Time::new(12));
         for seed in 0..50 {
             let w = oracle.witness_of(&f, p(0), seed).unwrap();
-            assert!(!f.is_crashed(w, Time::new(14)), "seed {seed}: dead witness {w}");
+            assert!(
+                !f.is_crashed(w, Time::new(14)),
+                "seed {seed}: dead witness {w}"
+            );
         }
     }
 
@@ -164,6 +161,9 @@ mod tests {
     fn witness_choice_is_deterministic_per_seed() {
         let oracle = WeakWitnessOracle::new(4);
         let f = FailurePattern::new(5).with_crash(p(2), Time::new(10));
-        assert_eq!(oracle.witness_of(&f, p(2), 7), oracle.witness_of(&f, p(2), 7));
+        assert_eq!(
+            oracle.witness_of(&f, p(2), 7),
+            oracle.witness_of(&f, p(2), 7)
+        );
     }
 }

@@ -43,7 +43,10 @@ impl FailurePattern {
     /// Panics if `n == 0` or `n > MAX_PROCESSES`.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(n > 0 && n <= MAX_PROCESSES, "process count {n} out of range");
+        assert!(
+            n > 0 && n <= MAX_PROCESSES,
+            "process count {n} out of range"
+        );
         Self {
             n,
             crash_times: vec![None; n],
@@ -268,7 +271,9 @@ mod tests {
         assert!(!f.is_crashed(p(2), Time::new(6)));
         assert!(f.is_crashed(p(2), Time::new(7)));
         assert!(f.is_crashed(p(2), Time::new(1_000_000)));
-        assert!(f.crashed_at(Time::new(6)).is_subset(&f.crashed_at(Time::new(8))));
+        assert!(f
+            .crashed_at(Time::new(6))
+            .is_subset(&f.crashed_at(Time::new(8))));
     }
 
     #[test]

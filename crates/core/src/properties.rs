@@ -535,8 +535,26 @@ mod tests {
             Some(Time::new(10))
         );
         assert_eq!(first_suspicion(&h, p(0), p(1), Time::new(9)), None);
-        assert!(suspected_throughout(&h, p(0), p(1), Time::new(10), Time::new(19)));
-        assert!(!suspected_throughout(&h, p(0), p(1), Time::new(10), Time::new(25)));
-        assert!(suspected_throughout(&h, p(0), p(1), Time::new(30), Time::new(999)));
+        assert!(suspected_throughout(
+            &h,
+            p(0),
+            p(1),
+            Time::new(10),
+            Time::new(19)
+        ));
+        assert!(!suspected_throughout(
+            &h,
+            p(0),
+            p(1),
+            Time::new(10),
+            Time::new(25)
+        ));
+        assert!(suspected_throughout(
+            &h,
+            p(0),
+            p(1),
+            Time::new(30),
+            Time::new(999)
+        ));
     }
 }

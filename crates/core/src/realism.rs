@@ -235,6 +235,12 @@ mod tests {
     fn check_pair_rejects_non_agreeing_patterns() {
         let f1 = FailurePattern::new(3).with_crash(crate::ProcessId::new(0), Time::new(1));
         let f2 = FailurePattern::new(3);
-        let _ = check_pair(&PerfectOracle::default(), &f1, &f2, Time::new(5), &battery());
+        let _ = check_pair(
+            &PerfectOracle::default(),
+            &f1,
+            &f2,
+            Time::new(5),
+            &battery(),
+        );
     }
 }

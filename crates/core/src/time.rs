@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(Time::ZERO < t);
 /// assert_eq!(t.next(), Time::new(11));
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Time(u64);
 
 impl Time {

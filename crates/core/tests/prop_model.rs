@@ -123,9 +123,7 @@ proptest! {
         // The value at any probe equals the last change at or before it.
         for probe in [0u64, 1, 50, 250, 499, 1_000] {
             let expected = sorted
-                .iter()
-                .filter(|(t, _)| *t <= probe)
-                .next_back()   // NOTE: relies on stable sort order below
+                .iter().rfind(|(t, _)| *t <= probe)   // NOTE: relies on stable sort order below
                 .map(|(_, v)| *v);
             // Recompute properly: last change ≤ probe by time.
             let expected = sorted

@@ -19,7 +19,11 @@ fn pattern_survives_serde_roundtrip() {
 #[test]
 fn history_survives_serde_roundtrip() {
     let mut h: History<ProcessSet> = History::new(3, ProcessSet::empty());
-    h.set_from(ProcessId::new(0), Time::new(5), ProcessSet::singleton(ProcessId::new(2)));
+    h.set_from(
+        ProcessId::new(0),
+        Time::new(5),
+        ProcessSet::singleton(ProcessId::new(2)),
+    );
     h.set_from(ProcessId::new(2), Time::new(9), ProcessSet::full(3));
     let json = serde_json::to_string(&h).expect("serialize");
     let back: History<ProcessSet> = serde_json::from_str(&json).expect("deserialize");
@@ -28,7 +32,10 @@ fn history_survives_serde_roundtrip() {
 
 #[test]
 fn process_set_serde_roundtrip() {
-    let s: ProcessSet = [0usize, 7, 127].iter().map(|&i| ProcessId::new(i)).collect();
+    let s: ProcessSet = [0usize, 7, 127]
+        .iter()
+        .map(|&i| ProcessId::new(i))
+        .collect();
     let json = serde_json::to_string(&s).expect("serialize");
     let back: ProcessSet = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(s, back);
@@ -56,7 +63,9 @@ fn two_process_minimum_system() {
     // there and smaller systems make good unit fixtures).
     let f = FailurePattern::new(2).with_crash(ProcessId::new(0), Time::new(5));
     let h = PerfectOracle::new(2, 0).generate(&f, Time::new(100), 0);
-    assert!(h.value(ProcessId::new(1), Time::new(7)).contains(ProcessId::new(0)));
+    assert!(h
+        .value(ProcessId::new(1), Time::new(7))
+        .contains(ProcessId::new(0)));
 }
 
 #[test]

@@ -13,9 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// A point in time, in nanoseconds since an arbitrary origin.
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Nanos(u64);
 
 impl Nanos {

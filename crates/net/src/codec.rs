@@ -124,7 +124,8 @@ pub fn members_to_set(members: u128, n: usize) -> ProcessSet {
 /// Converts a [`ProcessSet`] to a member bitmap.
 #[must_use]
 pub fn set_to_members(set: ProcessSet) -> u128 {
-    set.iter().fold(0u128, |acc, pid| acc | (1u128 << pid.index()))
+    set.iter()
+        .fold(0u128, |acc, pid| acc | (1u128 << pid.index()))
 }
 
 #[cfg(test)]
@@ -153,7 +154,10 @@ mod tests {
     #[test]
     fn junk_is_rejected() {
         assert_eq!(decode(b""), Err(DecodeError::Truncated));
-        assert_eq!(decode(b"\x00\x01\x05junkjunkjunk"), Err(DecodeError::Malformed));
+        assert_eq!(
+            decode(b"\x00\x01\x05junkjunkjunk"),
+            Err(DecodeError::Malformed)
+        );
         // Right magic, bad tag.
         assert_eq!(decode(&[0xFD, 0x02, 9, 0, 0]), Err(DecodeError::Malformed));
         // Right magic and tag, short body.
@@ -162,10 +166,7 @@ mod tests {
 
     #[test]
     fn member_bitmap_roundtrip() {
-        let set: ProcessSet = [0usize, 2, 5]
-            .iter()
-            .map(|&i| ProcessId::new(i))
-            .collect();
+        let set: ProcessSet = [0usize, 2, 5].iter().map(|&i| ProcessId::new(i)).collect();
         assert_eq!(members_to_set(set_to_members(set), 8), set);
     }
 }

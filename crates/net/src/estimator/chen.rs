@@ -32,7 +32,10 @@ impl ChenEstimator {
     /// Panics if `window < 2` or `bootstrap` is zero.
     #[must_use]
     pub fn new(alpha: Nanos, window: usize, bootstrap: Nanos) -> Self {
-        assert!(bootstrap > Nanos::ZERO, "bootstrap timeout must be positive");
+        assert!(
+            bootstrap > Nanos::ZERO,
+            "bootstrap timeout must be positive"
+        );
         Self {
             window: ArrivalWindow::new(window),
             alpha,

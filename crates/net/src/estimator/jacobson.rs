@@ -29,7 +29,10 @@ impl JacobsonEstimator {
     #[must_use]
     pub fn new(beta: f64, bootstrap: Nanos) -> Self {
         assert!(beta > 0.0, "beta must be positive");
-        assert!(bootstrap > Nanos::ZERO, "bootstrap timeout must be positive");
+        assert!(
+            bootstrap > Nanos::ZERO,
+            "bootstrap timeout must be positive"
+        );
         Self {
             srtt: None,
             rttvar: 0.0,

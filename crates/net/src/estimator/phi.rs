@@ -31,7 +31,10 @@ impl PhiAccrual {
     #[must_use]
     pub fn new(threshold: f64, window: usize, bootstrap: Nanos) -> Self {
         assert!(threshold > 0.0, "threshold must be positive");
-        assert!(bootstrap > Nanos::ZERO, "bootstrap timeout must be positive");
+        assert!(
+            bootstrap > Nanos::ZERO,
+            "bootstrap timeout must be positive"
+        );
         Self {
             window: ArrivalWindow::new(window),
             threshold,
@@ -54,9 +57,7 @@ impl PhiAccrual {
         };
         let elapsed = now.saturating_sub(last).as_nanos() as f64;
         let (mean, std) = match (self.window.mean(), self.window.variance()) {
-            (Some(m), Some(v)) if self.window.len() >= 2 => {
-                (m, v.sqrt().max(self.min_std))
-            }
+            (Some(m), Some(v)) if self.window.len() >= 2 => (m, v.sqrt().max(self.min_std)),
             _ => {
                 // Bootstrap: treat the bootstrap timeout as mean with a
                 // generous deviation.

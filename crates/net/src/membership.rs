@@ -146,6 +146,17 @@ where
                 Err(_) => {}
             }
         }
+        // Coordinator duty: exclude suspected members. The acting
+        // coordinator is the lowest-index member *this node does not
+        // suspect*; when the nominal coordinator crashes, duty fails
+        // over to the next survivor.
+        let suspects_now = self.detector.suspects(now);
+        let acting_coordinator = self
+            .view
+            .members
+            .difference(suspects_now)
+            .min()
+            .unwrap_or(self.transport.me());
         // Heartbeat the current members.
         if now >= self.next_beat {
             let payload = encode(&WireMsg::Heartbeat(Heartbeat {
@@ -159,19 +170,25 @@ where
                     self.transport.send(to, payload.clone());
                 }
             }
+            // Re-announce the installed view each period: announcements
+            // travel over the same lossy channel as everything else, and a
+            // member that misses a one-shot announcement would otherwise
+            // stay on the stale view forever (breaking the emulated
+            // detector's strong completeness).
+            if acting_coordinator == self.transport.me() && self.view.id > 0 {
+                let announce = encode(&WireMsg::ViewChange(ViewChange {
+                    view_id: self.view.id,
+                    members: set_to_members(self.view.members),
+                }));
+                for ix in 0..self.n {
+                    let to = ProcessId::new(ix);
+                    if to != self.transport.me() {
+                        self.transport.send(to, announce.clone());
+                    }
+                }
+            }
             self.next_beat = now.saturating_add(self.period);
         }
-        // Coordinator duty: exclude suspected members. The acting
-        // coordinator is the lowest-index member *this node does not
-        // suspect*; when the nominal coordinator crashes, duty fails
-        // over to the next survivor.
-        let suspects_now = self.detector.suspects(now);
-        let acting_coordinator = self
-            .view
-            .members
-            .difference(suspects_now)
-            .min()
-            .unwrap_or(self.transport.me());
         if acting_coordinator == self.transport.me() {
             let suspected = suspects_now.intersection(self.view.members);
             if !suspected.is_empty() {
@@ -351,10 +368,7 @@ mod tests {
         assert_eq!(outcome.false_exclusions, 0);
         // The emulated history is a Perfect history for the ms-scale
         // pattern (margin generous vs detection latency).
-        let params = rfd_core::CheckParams::with_margin(
-            Time::new(outcome.duration_ms),
-            5_000,
-        );
+        let params = rfd_core::CheckParams::with_margin(Time::new(outcome.duration_ms), 5_000);
         let report = rfd_core::class_report(&outcome.pattern, &outcome.emulated, &params);
         assert!(
             report.is_in(rfd_core::ClassId::Perfect),
@@ -375,10 +389,9 @@ mod tests {
         assert_eq!(outcome.false_exclusions, 0);
         // p0 (the initial coordinator) must be excluded: the new
         // coordinator p1 installed a view without it.
-        let final_suspects = outcome
+        let final_suspects = *outcome
             .emulated
-            .value(ProcessId::new(1), Time::new(outcome.duration_ms - 1))
-            .clone();
+            .value(ProcessId::new(1), Time::new(outcome.duration_ms - 1));
         assert!(final_suspects.contains(ProcessId::new(0)));
     }
 

@@ -83,8 +83,7 @@ impl QosTracker {
                     let m_end = ep_end.min(truth_horizon);
                     if m_end > m_start || (start < truth_horizon && end_ep.is_none()) {
                         mistakes += 1;
-                        mistake_time =
-                            mistake_time.saturating_add(m_end.saturating_sub(m_start));
+                        mistake_time = mistake_time.saturating_add(m_end.saturating_sub(m_start));
                     }
                 }
             }
@@ -275,8 +274,12 @@ mod tests {
         let chen = evaluate_qos(ChenEstimator::new(ms(100), 16, ms(400)), &scenario);
         let jac = evaluate_qos(JacobsonEstimator::new(4.0, ms(400)), &scenario);
         let phi = evaluate_qos(PhiAccrual::new(3.0, 32, ms(400)), &scenario);
-        for (name, r) in [("fixed", &fixed), ("chen", &chen), ("jacobson", &jac), ("phi", &phi)]
-        {
+        for (name, r) in [
+            ("fixed", &fixed),
+            ("chen", &chen),
+            ("jacobson", &jac),
+            ("phi", &phi),
+        ] {
             assert_eq!(r.mistakes, 0, "{name}: {r:?}");
             assert!(r.query_accuracy > 0.999, "{name}: {r:?}");
         }
@@ -293,9 +296,15 @@ mod tests {
         let chen = evaluate_qos(ChenEstimator::new(ms(100), 16, ms(400)), &scenario);
         let jac = evaluate_qos(JacobsonEstimator::new(4.0, ms(400)), &scenario);
         let phi = evaluate_qos(PhiAccrual::new(3.0, 32, ms(400)), &scenario);
-        for (name, r) in [("fixed", &fixed), ("chen", &chen), ("jacobson", &jac), ("phi", &phi)]
-        {
-            let td = r.detection_time.unwrap_or_else(|| panic!("{name} missed the crash"));
+        for (name, r) in [
+            ("fixed", &fixed),
+            ("chen", &chen),
+            ("jacobson", &jac),
+            ("phi", &phi),
+        ] {
+            let td = r
+                .detection_time
+                .unwrap_or_else(|| panic!("{name} missed the crash"));
             assert!(
                 td.as_millis() < 2_000,
                 "{name}: detection took {td} (report {r:?})"

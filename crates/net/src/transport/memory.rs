@@ -295,7 +295,11 @@ impl InMemoryNetwork {
         }
         let lo = g.config.min_delay.as_nanos();
         let hi = g.config.max_delay.as_nanos().max(lo);
-        let delay = if hi > lo { g.rng.gen_range(lo..=hi) } else { lo };
+        let delay = if hi > lo {
+            g.rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
         let due = now.saturating_add(Nanos::from_nanos(delay));
         let seq = g.seq;
         g.seq += 1;

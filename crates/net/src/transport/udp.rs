@@ -27,10 +27,9 @@ impl UdpTransport {
     ///
     /// Returns any socket bind/configuration error.
     pub fn bind(me: ProcessId, peers: Vec<SocketAddr>) -> std::io::Result<Self> {
-        let addr = peers
-            .get(me.index())
-            .copied()
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "me out of range"))?;
+        let addr = peers.get(me.index()).copied().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "me out of range")
+        })?;
         let socket = UdpSocket::bind(addr)?;
         socket.set_nonblocking(true)?;
         Ok(Self {

@@ -28,7 +28,10 @@ impl DeliveryModel {
     /// Panics if `min_delay > max_delay`.
     #[must_use]
     pub fn uniform(min_delay: u64, max_delay: u64) -> Self {
-        assert!(min_delay <= max_delay, "min_delay must not exceed max_delay");
+        assert!(
+            min_delay <= max_delay,
+            "min_delay must not exceed max_delay"
+        );
         Self {
             min_delay,
             max_delay,

@@ -7,10 +7,19 @@
 //! bounded random delay (channel reliability), injects crashes from a
 //! [`FailurePattern`], feeds detector values from a pre-generated oracle
 //! [`History`], and records decisions with their causal pasts.
+//!
+//! The round-driving loop lives in the reusable [`Scheduler`]: the
+//! one-shot [`run`] drives it to completion under the configured
+//! [`StopCondition`], while callers with bespoke early-exit predicates
+//! use [`Scheduler::run_until`] or drive [`Scheduler::step_round`]
+//! directly. Message delivery is heap-ordered per process (see
+//! [`crate::queue::EventQueue`]) rather than the former O(inbox) linear
+//! rescan per receive.
 
 use crate::automaton::{Automaton, StepContext};
 use crate::delivery::{Adversary, DeliveryModel};
-use crate::message::{Envelope, Pending};
+use crate::message::Envelope;
+use crate::queue::EventQueue;
 use crate::trace::{OutputEvent, Trace};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -26,6 +35,22 @@ pub enum StopCondition {
     /// Stop early once every correct process has produced at least this
     /// many output events.
     EachCorrectOutput(usize),
+}
+
+impl StopCondition {
+    /// Whether the condition is met on the trace so far. The
+    /// [`Scheduler`] consults this after every round; bespoke predicates
+    /// plug in through [`Scheduler::run_until`] instead.
+    #[must_use]
+    pub fn is_met<O: Clone>(&self, pattern: &FailurePattern, trace: &Trace<O>) -> bool {
+        match *self {
+            StopCondition::RoundBudget => false,
+            StopCondition::EachCorrectOutput(k) => pattern
+                .correct()
+                .iter()
+                .all(|pid| trace.outputs_of(pid).count() >= k),
+        }
+    }
 }
 
 /// Engine configuration.
@@ -77,10 +102,20 @@ impl SimConfig {
         self.stop = stop;
         self
     }
+
+    /// The same configuration with another seed (used by
+    /// [`crate::campaign::Campaign`] to fan one base configuration out
+    /// over a seed sweep).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 /// Upper bound on the global time consumed by `rounds` rounds with `n`
-/// processes — use it as the oracle-history horizon.
+/// processes — use it as the oracle-history horizon. Saturates at
+/// [`Time::MAX`] instead of overflowing.
 #[must_use]
 pub fn ticks_for_rounds(n: usize, rounds: u64) -> Time {
     Time::new((n as u64).saturating_mul(rounds).saturating_add(1))
@@ -99,8 +134,244 @@ pub struct RunResult<A: Automaton> {
     pub automata: Vec<A>,
 }
 
+/// The reusable round-driving loop: owns all run state and advances it
+/// one round at a time.
+///
+/// [`run`] is the one-shot wrapper. Driving the scheduler manually
+/// supports early-exit predicates beyond [`StopCondition`]:
+///
+/// ```
+/// use rfd_sim::{Automaton, Envelope, Scheduler, SimConfig, StepContext};
+/// use rfd_core::{FailurePattern, History, ProcessSet};
+///
+/// struct Quiet;
+/// impl Automaton for Quiet {
+///     type Msg = ();
+///     type Output = ();
+///     fn on_step(&mut self, _: Option<&Envelope<()>>, _: &mut StepContext<(), ()>) {}
+/// }
+///
+/// let pattern = FailurePattern::new(2);
+/// let silent = History::new(2, ProcessSet::empty());
+/// let config = SimConfig::new(1, 1_000);
+/// let result = Scheduler::new(&pattern, &silent, vec![Quiet, Quiet], &config)
+///     .run_until(|s| s.trace().steps >= 10); // custom predicate
+/// assert!(result.trace.rounds < 1_000);
+/// ```
+pub struct Scheduler<'a, A: Automaton> {
+    pattern: &'a FailurePattern,
+    oracle: &'a History<ProcessSet>,
+    config: SimConfig,
+    rng: StdRng,
+    time: Time,
+    next_msg_id: u64,
+    queues: Vec<EventQueue<A::Msg>>,
+    heard: Vec<ProcessSet>,
+    order: Vec<usize>,
+    trace: Trace<A::Output>,
+    emulated: Option<History<ProcessSet>>,
+    automata: Vec<A>,
+}
+
+impl<'a, A: Automaton> Scheduler<'a, A> {
+    /// Creates a scheduler over `automata` (one per process) under
+    /// `pattern`, feeding detector values from `oracle_history`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of automata differs from the pattern's
+    /// process count, or if the oracle history covers fewer processes.
+    #[must_use]
+    pub fn new(
+        pattern: &'a FailurePattern,
+        oracle_history: &'a History<ProcessSet>,
+        automata: Vec<A>,
+        config: &SimConfig,
+    ) -> Self {
+        let n = pattern.num_processes();
+        assert_eq!(automata.len(), n, "need exactly one automaton per process");
+        assert_eq!(
+            oracle_history.num_processes(),
+            n,
+            "oracle history process count mismatch"
+        );
+        Self {
+            pattern,
+            oracle: oracle_history,
+            config: config.clone(),
+            rng: StdRng::seed_from_u64(config.seed),
+            time: Time::ZERO,
+            next_msg_id: 0,
+            queues: (0..n).map(|_| EventQueue::new()).collect(),
+            heard: (0..n)
+                .map(|ix| ProcessSet::singleton(ProcessId::new(ix)))
+                .collect(),
+            order: (0..n).collect(),
+            trace: Trace {
+                events: Vec::new(),
+                messages_sent: 0,
+                messages_delivered: 0,
+                steps: 0,
+                end_time: Time::ZERO,
+                rounds: 0,
+            },
+            emulated: None,
+            automata,
+        }
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &Trace<A::Output> {
+        &self.trace
+    }
+
+    /// The current global time.
+    #[must_use]
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.trace.rounds
+    }
+
+    /// The failure pattern driving this run.
+    #[must_use]
+    pub fn pattern(&self) -> &FailurePattern {
+        self.pattern
+    }
+
+    /// Whether the configured [`StopCondition`] is met.
+    #[must_use]
+    pub fn stop_condition_met(&self) -> bool {
+        self.config.stop.is_met(self.pattern, &self.trace)
+    }
+
+    /// Executes one round (one step per alive process, in a freshly
+    /// shuffled order). Returns `false` — without executing anything —
+    /// once the round budget is exhausted.
+    pub fn step_round(&mut self) -> bool {
+        if self.trace.rounds >= self.config.max_rounds {
+            return false;
+        }
+        self.trace.rounds += 1;
+        self.order.shuffle(&mut self.rng);
+        for slot in 0..self.order.len() {
+            let ix = self.order[slot];
+            let pid = ProcessId::new(ix);
+            if self.pattern.is_crashed(pid, self.time) {
+                // A crashed process performs no action after its crash
+                // time; global time does not advance for skipped slots.
+                continue;
+            }
+            self.step_process(ix, pid);
+        }
+        true
+    }
+
+    /// One atomic step of process `ix`: receive ∥ query detector ∥
+    /// transition + send (§2.3).
+    fn step_process(&mut self, ix: usize, pid: ProcessId) {
+        let n = self.queues.len();
+        // Receive: the (due, id)-minimal due message, λ if none.
+        let input = self.queues[ix].pop_due(self.time);
+        if input.is_some() {
+            self.trace.messages_delivered += 1;
+        }
+        if let Some(env) = &input {
+            self.heard[ix] |= env.causal_past;
+        }
+        let suspects = *self.oracle.value(pid, self.time);
+        let mut ctx: StepContext<A::Msg, A::Output> = StepContext::new(pid, n, suspects);
+        self.automata[ix].on_step(input.as_ref(), &mut ctx);
+        // Effects: sends...
+        let causal = self.heard[ix];
+        let StepContext {
+            outbox, outputs, ..
+        } = ctx;
+        for (to, payload) in outbox {
+            let delay = self
+                .rng
+                .gen_range(self.config.delivery.min_delay..=self.config.delivery.max_delay);
+            let mut due = self.time.advance(delay.max(1));
+            if let Some(earliest) = self.config.adversary.earliest(pid, to) {
+                due = due.max(earliest);
+            }
+            self.queues[to.index()].push(
+                Envelope {
+                    id: self.next_msg_id,
+                    from: pid,
+                    to,
+                    payload,
+                    sent_at: self.time,
+                    causal_past: causal,
+                },
+                due,
+            );
+            self.next_msg_id += 1;
+            self.trace.messages_sent += 1;
+        }
+        // ...outputs...
+        for value in outputs {
+            self.trace.events.push(OutputEvent {
+                process: pid,
+                time: self.time,
+                value,
+                causal_past: causal,
+            });
+        }
+        // ...and the emulated detector output.
+        if let Some(suspected) = self.automata[ix].emulated_suspects() {
+            let h = self
+                .emulated
+                .get_or_insert_with(|| History::new(n, ProcessSet::empty()));
+            h.set_from(pid, self.time, suspected);
+        }
+        self.trace.steps += 1;
+        self.time = self.time.next();
+    }
+
+    /// Drives rounds until the budget runs out, the configured
+    /// [`StopCondition`] fires, or `stop` returns `true` (checked after
+    /// each round).
+    pub fn run_until<F: FnMut(&Self) -> bool>(mut self, mut stop: F) -> RunResult<A> {
+        while self.step_round() {
+            if self.stop_condition_met() || stop(&self) {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Finalizes the run and returns the result.
+    #[must_use]
+    pub fn finish(mut self) -> RunResult<A> {
+        self.trace.end_time = self.time;
+        RunResult {
+            trace: self.trace,
+            emulated: self.emulated,
+            automata: self.automata,
+        }
+    }
+}
+
+impl<A: Automaton> std::fmt::Debug for Scheduler<'_, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("time", &self.time)
+            .field("rounds", &self.trace.rounds)
+            .field("steps", &self.trace.steps)
+            .field("max_rounds", &self.config.max_rounds)
+            .finish()
+    }
+}
+
 /// Executes a run of `automata` (one per process) under `pattern`,
-/// feeding failure detector values from `oracle_history`.
+/// feeding failure detector values from `oracle_history`, to completion
+/// under `config`'s round budget and stop condition.
 ///
 /// # Panics
 ///
@@ -109,132 +380,10 @@ pub struct RunResult<A: Automaton> {
 pub fn run<A: Automaton>(
     pattern: &FailurePattern,
     oracle_history: &History<ProcessSet>,
-    mut automata: Vec<A>,
+    automata: Vec<A>,
     config: &SimConfig,
 ) -> RunResult<A> {
-    let n = pattern.num_processes();
-    assert_eq!(automata.len(), n, "need exactly one automaton per process");
-    assert_eq!(
-        oracle_history.num_processes(),
-        n,
-        "oracle history process count mismatch"
-    );
-
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut time = Time::ZERO;
-    let mut next_msg_id: u64 = 0;
-    let mut inboxes: Vec<Vec<Pending<A::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut heard: Vec<ProcessSet> = (0..n)
-        .map(|ix| ProcessSet::singleton(ProcessId::new(ix)))
-        .collect();
-    let mut trace = Trace {
-        events: Vec::new(),
-        messages_sent: 0,
-        messages_delivered: 0,
-        steps: 0,
-        end_time: Time::ZERO,
-        rounds: 0,
-    };
-    let mut emulated: Option<History<ProcessSet>> = None;
-    let mut order: Vec<usize> = (0..n).collect();
-
-    'rounds: for round in 0..config.max_rounds {
-        trace.rounds = round + 1;
-        order.shuffle(&mut rng);
-        for &ix in &order {
-            let pid = ProcessId::new(ix);
-            if pattern.is_crashed(pid, time) {
-                // A crashed process performs no action after its crash
-                // time; global time does not advance for skipped slots.
-                continue;
-            }
-            // Receive: oldest due message, λ if none.
-            let input = take_due(&mut inboxes[ix], time);
-            if input.is_some() {
-                trace.messages_delivered += 1;
-            }
-            if let Some(env) = &input {
-                heard[ix] |= env.causal_past;
-            }
-            let suspects = *oracle_history.value(pid, time);
-            let mut ctx: StepContext<A::Msg, A::Output> = StepContext::new(pid, n, suspects);
-            automata[ix].on_step(input.as_ref(), &mut ctx);
-            // Effects: sends...
-            let causal = heard[ix];
-            let StepContext { outbox, outputs, .. } = ctx;
-            for (to, payload) in outbox {
-                let delay = rng.gen_range(config.delivery.min_delay..=config.delivery.max_delay);
-                let mut due = time.advance(delay.max(1));
-                if let Some(earliest) = config.adversary.earliest(pid, to) {
-                    due = due.max(earliest);
-                }
-                inboxes[to.index()].push(Pending {
-                    envelope: Envelope {
-                        id: next_msg_id,
-                        from: pid,
-                        to,
-                        payload,
-                        sent_at: time,
-                        causal_past: causal,
-                    },
-                    due,
-                });
-                next_msg_id += 1;
-                trace.messages_sent += 1;
-            }
-            // ...outputs...
-            for value in outputs {
-                trace.events.push(OutputEvent {
-                    process: pid,
-                    time,
-                    value,
-                    causal_past: causal,
-                });
-            }
-            // ...and the emulated detector output.
-            if let Some(suspected) = automata[ix].emulated_suspects() {
-                let h = emulated.get_or_insert_with(|| History::new(n, ProcessSet::empty()));
-                h.set_from(pid, time, suspected);
-            }
-            trace.steps += 1;
-            time = time.next();
-        }
-        if let StopCondition::EachCorrectOutput(k) = config.stop {
-            let done = pattern
-                .correct()
-                .iter()
-                .all(|pid| trace.outputs_of(pid).count() >= k);
-            if done {
-                break 'rounds;
-            }
-        }
-    }
-    trace.end_time = time;
-    RunResult {
-        trace,
-        emulated,
-        automata,
-    }
-}
-
-/// Removes and returns the due message with the smallest `(due, id)`.
-fn take_due<M>(inbox: &mut Vec<Pending<M>>, now: Time) -> Option<Envelope<M>> {
-    let mut best: Option<usize> = None;
-    for (i, p) in inbox.iter().enumerate() {
-        if p.due <= now {
-            let better = match best {
-                None => true,
-                Some(b) => {
-                    let bb = &inbox[b];
-                    (p.due, p.envelope.id) < (bb.due, bb.envelope.id)
-                }
-            };
-            if better {
-                best = Some(i);
-            }
-        }
-    }
-    best.map(|i| inbox.swap_remove(i).envelope)
+    Scheduler::new(pattern, oracle_history, automata, config).run_until(|_| false)
 }
 
 #[cfg(test)]
@@ -313,11 +462,7 @@ mod tests {
         impl Automaton for Chain {
             type Msg = u8;
             type Output = u8;
-            fn on_step(
-                &mut self,
-                input: Option<&Envelope<u8>>,
-                ctx: &mut StepContext<u8, u8>,
-            ) {
+            fn on_step(&mut self, input: Option<&Envelope<u8>>, ctx: &mut StepContext<u8, u8>) {
                 let me = ctx.me().index();
                 if me == 0 && !self.sent {
                     self.sent = true;
@@ -375,8 +520,7 @@ mod tests {
     fn early_stop_condition_halts_run() {
         let n = 3;
         let pattern = FailurePattern::new(n);
-        let budget = SimConfig::new(9, 10_000)
-            .with_stop(StopCondition::EachCorrectOutput(1));
+        let budget = SimConfig::new(9, 10_000).with_stop(StopCondition::EachCorrectOutput(1));
         let result = run(&pattern, &silent_history(n), gossip_automata(n), &budget);
         assert!(result.trace.rounds < 10_000, "should stop early");
     }
@@ -395,5 +539,46 @@ mod tests {
             assert_eq!(x.process, y.process);
             assert_eq!(x.time, y.time);
         }
+    }
+
+    #[test]
+    fn manual_scheduler_driving_matches_run() {
+        let n = 4;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(21, 150);
+        let via_run = run(&pattern, &silent_history(n), gossip_automata(n), &config);
+        let silent = silent_history(n);
+        let mut s = Scheduler::new(&pattern, &silent, gossip_automata(n), &config);
+        while s.step_round() {}
+        let manual = s.finish();
+        assert_eq!(via_run.trace.steps, manual.trace.steps);
+        assert_eq!(via_run.trace.messages_sent, manual.trace.messages_sent);
+        assert_eq!(via_run.trace.events.len(), manual.trace.events.len());
+        assert_eq!(via_run.trace.end_time, manual.trace.end_time);
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let n = 3;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(2, 10_000);
+        let result = Scheduler::new(&pattern, &silent_history(n), gossip_automata(n), &config)
+            .run_until(|s| s.trace().messages_delivered >= 2);
+        assert!(
+            result.trace.rounds < 10_000,
+            "predicate should stop the run"
+        );
+        assert!(result.trace.messages_delivered >= 2);
+    }
+
+    #[test]
+    fn ticks_for_rounds_saturates_at_u64_max() {
+        // Regression: the horizon helper must saturate, not overflow, at
+        // the extremes of the round budget.
+        assert_eq!(ticks_for_rounds(4, u64::MAX), Time::MAX);
+        assert_eq!(ticks_for_rounds(128, u64::MAX), Time::MAX);
+        assert_eq!(ticks_for_rounds(1, u64::MAX), Time::MAX);
+        assert_eq!(ticks_for_rounds(3, 0), Time::new(1));
+        assert_eq!(ticks_for_rounds(2, 5), Time::new(11));
     }
 }

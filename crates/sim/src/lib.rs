@@ -47,13 +47,19 @@
 #![warn(missing_debug_implementations)]
 
 mod automaton;
+pub mod campaign;
 mod delivery;
 mod engine;
 mod message;
+mod queue;
 mod trace;
 
 pub use automaton::{Automaton, StepContext};
+pub use campaign::{Campaign, RunPlan};
 pub use delivery::{Adversary, DeliveryModel};
-pub use engine::{run, ticks_for_rounds, RunResult, SimConfig, StopCondition};
+pub use engine::{run, ticks_for_rounds, RunResult, Scheduler, SimConfig, StopCondition};
 pub use message::Envelope;
+#[doc(hidden)]
+pub use queue::take_due_linear_reference;
+pub use queue::EventQueue;
 pub use trace::{OutputEvent, TotalityViolation, Trace};

@@ -27,14 +27,6 @@ pub struct Envelope<M> {
     pub causal_past: ProcessSet,
 }
 
-/// A message waiting in the buffer with its scheduled delivery time.
-#[derive(Clone, Debug)]
-pub(crate) struct Pending<M> {
-    pub envelope: Envelope<M>,
-    /// Earliest global time at which delivery may occur.
-    pub due: Time,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,7 @@
 //! Run traces: output events with causal metadata, and run statistics.
 
-use rfd_core::{FailurePattern, ProcessId, ProcessSet, Time};
 use core::fmt;
+use rfd_core::{FailurePattern, ProcessId, ProcessSet, Time};
 
 /// An output event (e.g. a consensus decision) recorded during a run,
 /// together with the causal metadata needed by the paper's arguments.

@@ -37,8 +37,8 @@ fn hold_to_starves_only_the_target() {
     let n = 3;
     let pattern = FailurePattern::new(n);
     let release = Time::new(200);
-    let config = SimConfig::new(3, 400)
-        .with_adversary(Adversary::HoldTo(ProcessId::new(0), release));
+    let config =
+        SimConfig::new(3, 400).with_adversary(Adversary::HoldTo(ProcessId::new(0), release));
     let result = run(&pattern, &silent(n), fleet(n), &config);
     // p0 receives everything only after the release time…
     for ev in result.trace.outputs_of(ProcessId::new(0)) {
@@ -60,8 +60,8 @@ fn isolate_cuts_both_directions_until_release() {
     let n = 3;
     let pattern = FailurePattern::new(n);
     let release = Time::new(150);
-    let config = SimConfig::new(5, 400)
-        .with_adversary(Adversary::Isolate(ProcessId::new(2), release));
+    let config =
+        SimConfig::new(5, 400).with_adversary(Adversary::Isolate(ProcessId::new(2), release));
     let result = run(&pattern, &silent(n), fleet(n), &config);
     // Nothing crosses the cut before the release.
     for ev in &result.trace.events {
@@ -92,8 +92,8 @@ fn adversary_does_not_leak_messages_to_crashed_targets() {
     // simply never delivered — consistent with crash-stop semantics.
     let n = 2;
     let pattern = FailurePattern::new(n).with_crash(ProcessId::new(1), Time::new(50));
-    let config = SimConfig::new(7, 300)
-        .with_adversary(Adversary::HoldTo(ProcessId::new(1), Time::new(200)));
+    let config =
+        SimConfig::new(7, 300).with_adversary(Adversary::HoldTo(ProcessId::new(1), Time::new(200)));
     let result = run(&pattern, &silent(n), fleet(n), &config);
     assert_eq!(result.trace.outputs_of(ProcessId::new(1)).count(), 0);
 }

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --example detector_zoo`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use realistic_failure_detectors::core::oracles::{
     scribe_suspects, EventuallyPerfectOracle, EventuallyStrongOracle, MaraboutOracle, Oracle,
     PerfectOracle, RankedOracle, ScribeOracle, StrongOracle, WeakWitnessOracle,
@@ -15,8 +17,6 @@ use realistic_failure_detectors::core::realism::{check_realism, RealismCheck};
 use realistic_failure_detectors::core::{
     class_report, CheckParams, ClassId, FailurePattern, ProcessId, Time,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn classify<O: Oracle<Value = realistic_failure_detectors::core::ProcessSet>>(
     oracle: &O,
@@ -53,10 +53,19 @@ fn main() {
             "eventually-perfect",
             classify(&EventuallyPerfectOracle::new(Time::new(80), 5, 3), runs),
         ),
-        ("eventually-strong", classify(&EventuallyStrongOracle::new(4), runs)),
-        ("partially-perfect", classify(&RankedOracle::new(5, 3), runs)),
+        (
+            "eventually-strong",
+            classify(&EventuallyStrongOracle::new(4), runs),
+        ),
+        (
+            "partially-perfect",
+            classify(&RankedOracle::new(5, 3), runs),
+        ),
         ("weak-witness", classify(&WeakWitnessOracle::new(5), runs)),
-        ("strong-clairvoyant", classify(&StrongOracle::new(4, Time::new(60)), runs)),
+        (
+            "strong-clairvoyant",
+            classify(&StrongOracle::new(4, Time::new(60)), runs),
+        ),
         ("marabout", classify(&MaraboutOracle::new(), runs)),
     ];
     for (name, (cells, realistic)) in &rows {
@@ -70,15 +79,15 @@ fn main() {
     let pattern = FailurePattern::new(4).with_crash(ProcessId::new(1), Time::new(40));
     let notes = ScribeOracle::new().generate(&pattern, Time::new(200), 0);
     let projected = scribe_suspects(&notes);
-    let report = class_report(
-        &pattern,
-        &projected,
-        &CheckParams::new(Time::new(200)),
-    );
+    let report = class_report(&pattern, &projected, &CheckParams::new(Time::new(200)));
     println!(
         "\n{:>20}  projected onto suspect sets: P:{}   (the paper's §3.2.1 example)",
         "scribe",
-        if report.is_in(ClassId::Perfect) { "yes" } else { "no" }
+        if report.is_in(ClassId::Perfect) {
+            "yes"
+        } else {
+            "no"
+        }
     );
 
     // The §6.3 collapse, read off the rows above.
@@ -88,5 +97,7 @@ fn main() {
         .map(|(_, (_, r))| *r)
         .unwrap();
     assert!(!strong_clairvoyant_realistic);
-    println!("\ncollapse check: every oracle that is Strong-but-not-Perfect above is non-realistic ✓");
+    println!(
+        "\ncollapse check: every oracle that is Strong-but-not-Perfect above is non-realistic ✓"
+    );
 }

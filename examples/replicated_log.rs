@@ -74,5 +74,8 @@ fn main() {
         apply(&mut balances, cmd);
     }
     println!("balances after replay: {balances:?}");
-    println!("all {} survivors agree on the log and the state", correct.len());
+    println!(
+        "all {} survivors agree on the log and the state",
+        correct.len()
+    );
 }

@@ -66,7 +66,10 @@ fn main() -> std::io::Result<()> {
         suspects0.contains(victim) && suspects1.contains(victim),
         "both survivors must have detected the kill"
     );
-    assert!(!suspects0.contains(ProcessId::new(1)), "p1 is alive and trusted");
+    assert!(
+        !suspects0.contains(ProcessId::new(1)),
+        "p1 is alive and trusted"
+    );
     println!("crash detected by every survivor; no false suspicion of live nodes");
     Ok(())
 }

@@ -1,6 +1,8 @@
 //! The paper's storyline as one cross-crate integration test file,
 //! exercised through the facade crate's public API.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use realistic_failure_detectors::algo::check::{check_consensus, check_trb};
 use realistic_failure_detectors::algo::consensus::{
     ConsensusAutomaton, FloodSetConsensus, RankedConsensus, RotatingConsensus, StrongConsensus,
@@ -17,8 +19,6 @@ use realistic_failure_detectors::core::{
 use realistic_failure_detectors::sim::{
     run, ticks_for_rounds, Adversary, SimConfig, StopCondition,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const ROUNDS: u64 = 700;
 
@@ -74,7 +74,11 @@ fn narrative_perfect_is_the_fixed_point() {
     let red = run(&pattern, &history, automata, &SimConfig::new(12, ROUNDS));
     let emulated = red.emulated.expect("output(P)");
     let end = red.trace.end_time;
-    let report = class_report(&pattern, &emulated, &CheckParams::with_margin(end, end.ticks() / 10));
+    let report = class_report(
+        &pattern,
+        &emulated,
+        &CheckParams::with_margin(end, end.ticks() / 10),
+    );
     assert!(report.is_in(ClassId::Perfect), "{report:?}");
 }
 
@@ -100,8 +104,11 @@ fn narrative_trb_round_trip() {
     let result = run(&pattern, &history, automata, &SimConfig::new(22, rounds));
     let emulated = result.emulated.expect("output(P)");
     let end = result.trace.end_time;
-    let report =
-        class_report(&pattern, &emulated, &CheckParams::with_margin(end, end.ticks() / 8));
+    let report = class_report(
+        &pattern,
+        &emulated,
+        &CheckParams::with_margin(end, end.ticks() / 8),
+    );
     assert!(report.is_in(ClassId::Perfect), "{report:?}");
 }
 

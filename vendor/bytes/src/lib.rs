@@ -1,0 +1,284 @@
+//! Vendored, API-compatible subset of the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`], [`Buf`] and [`BufMut`] with the
+//! big-endian integer accessors the workspace codec uses. [`Bytes`] is a
+//! cheaply clonable, reference-counted immutable byte buffer; the
+//! zero-copy slicing machinery of the real crate is not reproduced.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice.
+    #[must_use]
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self { data: bytes.into() }
+    }
+
+    /// Copies a slice into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Buffer length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer for building messages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with the given capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Buffer length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte cursor; integer accessors are big-endian
+/// (network order), matching the real crate.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `n` bytes, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_array::<1>()[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.copy_to_array())
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.copy_to_array())
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.copy_to_array())
+    }
+
+    /// Reads a big-endian `u128`.
+    fn get_u128(&mut self) -> u128 {
+        u128::from_be_bytes(self.copy_to_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow: {} < {N}", self.len());
+        let (head, tail) = self.split_at(N);
+        let out = head.try_into().expect("exact length split");
+        *self = tail;
+        out
+    }
+}
+
+/// Write access to a byte sink; integer writers are big-endian (network
+/// order), matching the real crate.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u128`.
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_roundtrip_through_bytesmut() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u16(0xFD02);
+        b.put_u8(7);
+        b.put_u64(0xDEAD_BEEF);
+        b.put_u128(42);
+        let frozen = b.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u16(), 0xFD02);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u64(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u128(), 42);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_cursor_advances() {
+        let data = [0u8, 1, 2, 3];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u16(), 1);
+        assert_eq!(cursor.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn short_read_panics() {
+        let mut cursor: &[u8] = &[1u8];
+        let _ = cursor.get_u64();
+    }
+
+    #[test]
+    fn bytes_clone_is_cheap_and_equal() {
+        let a = Bytes::copy_from_slice(b"hello");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&b[..], b"hello");
+    }
+}

@@ -1,0 +1,89 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro
+//! (including `#![proptest_config(…)]`), range / tuple / `any` /
+//! `prop_map` / `prop::collection::vec` strategies, and the
+//! `prop_assert*` macros. Cases are sampled deterministically (the RNG is
+//! derived from the test's module path and case index), so failures
+//! reproduce without persistence files. Shrinking is not implemented: a
+//! failing case panics with the sampled inputs via the assertion message.
+//!
+//! The default case count is 64 (the workspace's property tests are
+//! simulation-heavy); set `PROPTEST_CASES` to override.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` namespace as re-exported by the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in 0..10u32) {…} }`.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident (
+        $($arg:pat in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __config.effective_cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __rng,
+                    );)*
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @run ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}

@@ -1,0 +1,281 @@
+//! Vendored, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the narrow surface it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] /
+//! [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a
+//! deterministic, high-quality PRNG. It is **not** the same stream as the
+//! upstream `StdRng` (ChaCha12); everything in this workspace only relies
+//! on determinism for a fixed seed, never on a specific stream.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A random number generator core: a source of uniform `u64` words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state);
+            let bytes = word.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples a value of type `T` from its standard distribution.
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! Sampling distributions (uniform ranges and the standard
+    //! distribution of the primitive types).
+
+    use super::RngCore;
+
+    /// Types sampleable "by default" via [`super::Rng::gen`].
+    pub trait Standard: Sized {
+        /// Samples one value.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform sampling over ranges.
+
+        use crate::RngCore;
+        use core::ops::{Range, RangeInclusive};
+
+        /// A type with a uniform sampler over an interval.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Samples uniformly from `[lo, hi]` (both inclusive).
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+                    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        debug_assert!(lo <= hi);
+                        let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                        if span == u128::MAX {
+                            // Full 128-bit range: one draw of 128 bits.
+                            let word = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                            return word as $t;
+                        }
+                        let span = span + 1;
+                        // Multiply-shift bounded sampling with one rejection
+                        // round cap: bias is < 2^-64 for the small spans used
+                        // here, and determinism — the only property the
+                        // workspace relies on — is exact.
+                        let word = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                        let offset = (word % span) as i128;
+                        ((lo as i128).wrapping_add(offset)) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for u128 {
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = hi.wrapping_sub(lo);
+                let word = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                if span == u128::MAX {
+                    word
+                } else {
+                    lo.wrapping_add(word % (span + 1))
+                }
+            }
+        }
+
+        impl SampleUniform for f64 {
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + unit * (hi - lo)
+            }
+        }
+
+        /// Range expressions accepted by [`crate::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            /// Samples one value from the range.
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + HasPrev> SampleRange<T> for Range<T> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                T::sample_inclusive(self.start, self.end.prev(), rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample from an empty range");
+                T::sample_inclusive(lo, hi, rng)
+            }
+        }
+
+        /// Integer predecessor, used to turn `lo..hi` into `lo..=hi-1`.
+        pub trait HasPrev {
+            /// The immediately preceding value.
+            fn prev(self) -> Self;
+        }
+
+        macro_rules! impl_has_prev {
+            ($($t:ty),*) => {$(
+                impl HasPrev for $t {
+                    fn prev(self) -> Self { self - 1 }
+                }
+            )*};
+        }
+
+        impl_has_prev!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=3);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

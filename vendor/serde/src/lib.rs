@@ -1,0 +1,424 @@
+//! Vendored, API-compatible subset of `serde`.
+//!
+//! The build environment has no registry access, so the workspace ships
+//! this minimal serialization framework: a JSON-like [`Value`] tree as
+//! the data model, [`Serialize`]/[`Deserialize`] traits over it, and
+//! `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! sibling `serde_derive` proc-macro crate) covering the shapes used in
+//! this workspace — named structs, tuple/newtype structs, generic
+//! structs, and unit-variant enums.
+//!
+//! The wire format lives in the sibling `serde_json` crate. This is not
+//! the real serde's zero-copy visitor architecture; round-tripping
+//! fidelity (including full `u128` precision) is what the workspace
+//! needs, and that is exact.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The data model: a JSON-like tree with exact integers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer (exact up to `u128`).
+    UInt(u128),
+    /// A negative integer (exact down to `i128::MIN`).
+    Int(i128),
+    /// A binary float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a map field by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a map or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected a map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Views the value as a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a sequence.
+    pub fn seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::new(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Indexes into a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a sequence or is too short.
+    pub fn element(&self, ix: usize) -> Result<&Value, Error> {
+        self.seq()?
+            .get(ix)
+            .ok_or_else(|| Error::new(format!("sequence too short: no element {ix}")))
+    }
+
+    /// A short name for the variant, used in error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- scalars
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u128::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::new(format!("{u} out of range for {}", stringify!($t)))),
+                    other => Err(Error::new(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, u128);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u128)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::UInt(u) => {
+                usize::try_from(*u).map_err(|_| Error::new(format!("{u} out of range for usize")))
+            }
+            other => Err(Error::new(format!(
+                "expected usize, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i128::from(*self);
+                if v >= 0 {
+                    Value::UInt(v as u128)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::UInt(u) => i128::try_from(*u)
+                        .map_err(|_| Error::new(format!("{u} out of range for {}", stringify!($t))))?,
+                    Value::Int(i) => *i,
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected {}, found {}", stringify!($t), other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::new(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        i64::from_value(v).map(|x| x as isize)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_precision_loss)]
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::new(format!("expected f64, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected a single-character string")),
+        }
+    }
+}
+
+// -------------------------------------------------------------- compounds
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $ix:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$ix.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::from_value(v.element($ix)?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(u128::from_value(&u128::MAX.to_value()).unwrap(), u128::MAX);
+    }
+
+    #[test]
+    fn options_and_vecs_roundtrip() {
+        let v: Vec<Option<u64>> = vec![Some(1), None, Some(3)];
+        let back = Vec::<Option<u64>>::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let t = (1u8, String::from("x"));
+        let back = <(u8, String)>::from_value(&t.to_value()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+}

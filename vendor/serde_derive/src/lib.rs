@@ -1,0 +1,412 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the environment
+//! has no registry access, hence no `syn`/`quote`). Supported input
+//! shapes — exactly the ones appearing in this workspace:
+//!
+//! * named-field structs, optionally generic (`struct H<R> { … }`);
+//! * tuple and newtype structs (`struct Time(u64);`);
+//! * unit structs;
+//! * enums whose variants all carry no data (`enum ClassId { A, B }`).
+//!
+//! Anything else produces a compile error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed skeleton of a type definition.
+struct TypeDef {
+    name: String,
+    /// Generic parameter names (type params only; no lifetimes/consts
+    /// appear in this workspace).
+    generics: Vec<GenericParam>,
+    body: Body,
+}
+
+struct GenericParam {
+    name: String,
+    /// Inline bounds from the definition (e.g. `Clone` in `<R: Clone>`),
+    /// re-emitted on the generated impl.
+    bounds: String,
+}
+
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let def = match parse(input) {
+        Ok(def) => def,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error tokens")
+        }
+    };
+    let code = if serialize {
+        render_serialize(&def)
+    } else {
+        render_deserialize(&def)
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive generated invalid code: {e}\");")
+            .parse()
+            .expect("compile_error tokens")
+    })
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse(input: TokenStream) -> Result<TypeDef, String> {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kw = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    pos += 1;
+    let generics = parse_generics(&tokens, &mut pos)?;
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err("`where` clauses are not supported by the vendored serde_derive".to_string());
+    }
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::UnitEnum(parse_unit_variants(g.stream())?)
+            }
+            other => return Err(format!("expected an enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+    // Consume the body token so trailing tokens do not confuse anyone.
+    let _ = tokens.drain(..);
+    Ok(TypeDef {
+        name,
+        generics,
+        body,
+    })
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]`: the bracket group follows.
+                *pos += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<Vec<GenericParam>, String> {
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Ok(Vec::new());
+    }
+    *pos += 1;
+    // Collect raw tokens of the parameter list at depth 0.
+    let mut depth = 0usize;
+    let mut raw: Vec<TokenTree> = Vec::new();
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                raw.push(tokens[*pos].clone());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                if depth == 0 {
+                    *pos += 1;
+                    break;
+                }
+                depth -= 1;
+                raw.push(tokens[*pos].clone());
+            }
+            Some(t) => raw.push(t.clone()),
+            None => return Err("unterminated generic parameter list".to_string()),
+        }
+        *pos += 1;
+    }
+    // Split on top-level commas into parameters.
+    let mut params = Vec::new();
+    for chunk in split_top_level(&raw) {
+        if chunk.is_empty() {
+            continue;
+        }
+        if matches!(&chunk[0], TokenTree::Punct(p) if p.as_char() == '\'') {
+            return Err(
+                "lifetime parameters are not supported by the vendored serde_derive".to_string(),
+            );
+        }
+        let name = match &chunk[0] {
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                return Err(
+                    "const generic parameters are not supported by the vendored serde_derive"
+                        .to_string(),
+                )
+            }
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unexpected generic parameter token: {other:?}")),
+        };
+        let bounds = match chunk.get(1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => tokens_to_string(&chunk[2..]),
+            _ => String::new(),
+        };
+        params.push(GenericParam { name, bounds });
+    }
+    Ok(params)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    for chunk in split_top_level(&tokens) {
+        let mut pos = 0usize;
+        skip_attrs_and_vis(&chunk, &mut pos);
+        if pos >= chunk.len() {
+            continue; // trailing comma
+        }
+        match &chunk[pos] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => return Err(format!("expected a field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&tokens)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    for chunk in split_top_level(&tokens) {
+        let mut pos = 0usize;
+        skip_attrs_and_vis(&chunk, &mut pos);
+        if pos >= chunk.len() {
+            continue;
+        }
+        let name = match &chunk[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        };
+        if chunk.len() > pos + 1 {
+            return Err(format!(
+                "variant `{name}` carries data; the vendored serde_derive only supports \
+                 unit-variant enums"
+            ));
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+/// Splits a token list on commas at `<>` depth zero. Delimited groups are
+/// single tokens, so only angle brackets need explicit depth tracking.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0usize;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+// ----------------------------------------------------------------- render
+
+impl TypeDef {
+    /// `impl<R: Clone + ::serde::Serialize>` — the generics introducer.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.generics.is_empty() {
+            return String::new();
+        }
+        let params: Vec<String> = self
+            .generics
+            .iter()
+            .map(|p| {
+                if p.bounds.is_empty() {
+                    format!("{}: {bound}", p.name)
+                } else {
+                    format!("{}: {} + {bound}", p.name, p.bounds)
+                }
+            })
+            .collect();
+        format!("<{}>", params.join(", "))
+    }
+
+    /// `Foo<R>` — the type with its parameters applied.
+    fn ty(&self) -> String {
+        if self.generics.is_empty() {
+            self.name.clone()
+        } else {
+            let names: Vec<&str> = self.generics.iter().map(|p| p.name.as_str()).collect();
+            format!("{}<{}>", self.name, names.join(", "))
+        }
+    }
+}
+
+fn render_serialize(def: &TypeDef) -> String {
+    let body = match &def.body {
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(k) => {
+            let items: Vec<String> = (0..*k)
+                .map(|ix| format!("::serde::Serialize::to_value(&self.{ix})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))",
+                        def.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        ig = def.impl_generics("::serde::Serialize"),
+        ty = def.ty(),
+    )
+}
+
+fn render_deserialize(def: &TypeDef) -> String {
+    let body = match &def.body {
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Body::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Body::Tuple(k) => {
+            let items: Vec<String> = (0..*k)
+                .map(|ix| format!("::serde::Deserialize::from_value(v.element({ix})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok(Self({}))", items.join(", "))
+        }
+        Body::Unit => "::std::result::Result::Ok(Self)".to_string(),
+        Body::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({}::{v})", def.name))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms},\n\
+                         other => ::std::result::Result::Err(::serde::Error::new(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"expected a variant name of {name}, found {{}}\", \
+                         other.kind()))),\n\
+                 }}",
+                arms = arms.join(",\n"),
+                name = def.name,
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        ig = def.impl_generics("::serde::Deserialize"),
+        ty = def.ty(),
+    )
+}
