@@ -1,4 +1,4 @@
-//! The experiment suite: one module per derived experiment E1–E10.
+//! The experiment suite: one module per derived experiment E1–E11.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; each
 //! experiment here regenerates one of its theorems, constructions or
@@ -6,6 +6,7 @@
 //! index and `EXPERIMENTS.md` for the recorded outputs.
 
 pub mod e10_lattice;
+pub mod e11_online;
 pub mod e1_totality;
 pub mod e2_reduction;
 pub mod e3_trb;
@@ -19,21 +20,37 @@ pub mod e9b_ablation;
 
 use crate::table::Table;
 
+/// An experiment entry point: `quick` trades seed counts for speed.
+pub type ExperimentFn = fn(bool) -> Table;
+
+/// The experiment catalog, in suite order, **without running anything**
+/// — callers that want a subset (the `experiments` binary's positional
+/// ids) filter first and pay only for what they select.
+#[must_use]
+pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("E1", e1_totality::run_experiment),
+        ("E2", e2_reduction::run_experiment),
+        ("E3", e3_trb::run_experiment),
+        ("E4", e4_nonuniform::run_experiment),
+        ("E5", e5_collapse::run_experiment),
+        ("E6", e6_marabout::run_experiment),
+        ("E7", e7_qos::run_experiment),
+        ("E7B", e7_qos::run_burst_ablation),
+        ("E8", e8_membership::run_experiment),
+        ("E9", e9_crossover::run_experiment),
+        ("E9B", e9b_ablation::run_experiment),
+        ("E10", e10_lattice::run_experiment),
+        ("E11", e11_online::run_experiment),
+        ("E11B", e11_online::run_membership_ablation),
+    ]
+}
+
 /// Runs every experiment, returning `(id, table)` pairs.
 #[must_use]
 pub fn run_all(quick: bool) -> Vec<(&'static str, Table)> {
-    vec![
-        ("E1", e1_totality::run_experiment(quick)),
-        ("E2", e2_reduction::run_experiment(quick)),
-        ("E3", e3_trb::run_experiment(quick)),
-        ("E4", e4_nonuniform::run_experiment(quick)),
-        ("E5", e5_collapse::run_experiment(quick)),
-        ("E6", e6_marabout::run_experiment(quick)),
-        ("E7", e7_qos::run_experiment(quick)),
-        ("E7B", e7_qos::run_burst_ablation(quick)),
-        ("E8", e8_membership::run_experiment(quick)),
-        ("E9", e9_crossover::run_experiment(quick)),
-        ("E9B", e9b_ablation::run_experiment(quick)),
-        ("E10", e10_lattice::run_experiment(quick)),
-    ]
+    catalog()
+        .into_iter()
+        .map(|(id, run)| (id, run(quick)))
+        .collect()
 }

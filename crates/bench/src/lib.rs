@@ -2,7 +2,7 @@
 //!
 //! Regenerates every result of *A Realistic Look At Failure Detectors*
 //! as a table (the paper is a theory paper with no numbered
-//! tables/figures; the experiment set E1–E10 is defined in `DESIGN.md`
+//! tables/figures; the experiment set E1–E11 grew out of `DESIGN.md`
 //! §3):
 //!
 //! | Exp | Paper source | Claim |
@@ -17,6 +17,7 @@
 //! | E8  | §1.3         | group membership emulates `P` |
 //! | E9  | §1.2/§4      | the `◇S` majority crossover |
 //! | E10 | §2.5         | class lattice containments are strict |
+//! | E11 | §1.3         | online detection under churn (streaming driver) |
 //!
 //! Run `cargo run -p rfd-bench --bin experiments` for the full suite, or
 //! `--bin experiments -- E7` for one experiment. Criterion

@@ -52,13 +52,33 @@ impl JacobsonEstimator {
 impl ArrivalEstimator for JacobsonEstimator {
     fn observe(&mut self, now: Nanos) {
         if let Some(prev) = self.last {
-            let sample = now.saturating_sub(prev).as_nanos() as f64;
+            let mut sample = now.saturating_sub(prev).as_nanos() as f64;
             match self.srtt {
                 None => {
                     self.srtt = Some(sample);
                     self.rttvar = sample / 2.0;
                 }
                 Some(srtt) => {
+                    // Karn-style clamp: a gap longer than the current RTO
+                    // means the peer was already past its deadline when
+                    // this heartbeat arrived — the gap measures the outage
+                    // (a lost-heartbeat run, a partition), not the peer's
+                    // sending period. Feeding it raw is the classic
+                    // pre-Karn TCP RTO failure: one partition-sized gap
+                    // inflates the timeout for many periods. The clamp
+                    // ceiling is *twice* the RTO (TCP's timeout backoff
+                    // step): clamping to the RTO itself would freeze
+                    // adaptation once rttvar decays to zero on regular
+                    // traffic (rto == srtt ⇒ clamped err == 0 forever),
+                    // falsely suspecting a peer that legitimately slowed
+                    // down; the 2× headroom keeps each late heartbeat
+                    // growing the estimate geometrically until it covers
+                    // the real period, while a partition-sized gap still
+                    // cannot blow it up.
+                    let ceiling = 2.0 * (srtt + self.beta * self.rttvar);
+                    if sample > ceiling {
+                        sample = ceiling;
+                    }
                     let err = (sample - srtt).abs();
                     self.rttvar = 0.75 * self.rttvar + 0.25 * err;
                     self.srtt = Some(0.875 * srtt + 0.125 * sample);
@@ -140,6 +160,73 @@ mod tests {
         assert!(
             m_j > m_s,
             "jittery peer should get a wider margin ({m_j} vs {m_s})"
+        );
+    }
+
+    /// Regression: a 10 s outage on a 100 ms stream used to feed the
+    /// 10.1 s gap straight into srtt/rttvar (srtt ≈ 1.35 s,
+    /// rttvar ≈ 2.5 s → RTO > 11 s), so the deadline stayed inflated for
+    /// dozens of periods. With the Karn-style clamp the deadline must
+    /// re-converge within a few periods.
+    #[test]
+    fn outage_gap_does_not_inflate_the_timeout() {
+        let mut e = JacobsonEstimator::new(4.0, ms(500));
+        let mut t = 0u64;
+        for _ in 0..50 {
+            t += 100;
+            e.observe(ms(t));
+        }
+        // 10 s of silence (the peer was long past its deadline), then the
+        // stream resumes.
+        t += 10_000;
+        e.observe(ms(t));
+        for _ in 0..5 {
+            t += 100;
+            e.observe(ms(t));
+        }
+        let margin = e.deadline().unwrap().saturating_sub(ms(t));
+        assert!(
+            margin.as_millis() < 500,
+            "deadline must re-converge within a few periods; margin = {margin}"
+        );
+        assert!(
+            !e.is_suspect(ms(t + 90)),
+            "a peer back on its period must be trusted inside the period"
+        );
+    }
+
+    /// The clamp must not freeze adaptation: on perfectly regular
+    /// traffic rttvar decays to exactly 0.0 (rto == srtt), and a clamp
+    /// at the RTO itself would then pin every later sample to srtt
+    /// (err == 0 forever) — a peer that legitimately slows down would be
+    /// suspected on every interval with no recovery. The 2×RTO ceiling
+    /// lets the estimate grow geometrically out of the freeze.
+    #[test]
+    fn period_increase_recovers_even_after_variance_fully_decays() {
+        let mut e = JacobsonEstimator::new(4.0, ms(500));
+        let mut t = 0u64;
+        for _ in 0..3000 {
+            t += 100;
+            e.observe(ms(t));
+        }
+        // The geometric decay bottoms out in the subnormal range (0.75×
+        // the smallest subnormal rounds back to itself), so "fully
+        // decayed" means rto == srtt to the last bit, not literal 0.0.
+        assert!(
+            e.rttvar < 1e-300,
+            "precondition: deviation fully decayed (rttvar = {})",
+            e.rttvar
+        );
+        // The peer legitimately slows to a 250 ms period.
+        for _ in 0..10 {
+            t += 250;
+            e.observe(ms(t));
+        }
+        assert!(
+            !e.is_suspect(ms(t + 240)),
+            "the deadline must re-cover the new period (deadline {:?}, last {})",
+            e.deadline(),
+            ms(t)
         );
     }
 

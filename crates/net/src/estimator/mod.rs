@@ -41,7 +41,11 @@ pub trait ArrivalEstimator: fmt::Debug {
 
     /// The time until which the peer is trusted, given the arrivals seen
     /// so far (the current *freshness point*). `None` before the first
-    /// arrival.
+    /// arrival, and also when no threshold crossing exists within the
+    /// estimator's probe horizon (e.g. [`PhiAccrual`] under a
+    /// huge-variance window): a returned deadline is a guarantee that the
+    /// peer becomes suspect once it passes, so estimators must never
+    /// fabricate one.
     fn deadline(&self) -> Option<Nanos>;
 
     /// Whether the peer is suspected at `now`.

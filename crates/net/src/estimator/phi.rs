@@ -86,18 +86,25 @@ impl ArrivalEstimator for PhiAccrual {
 
     fn deadline(&self) -> Option<Nanos> {
         // The deadline is implicit: the time at which φ crosses the
-        // threshold. Probe geometrically from the last arrival.
+        // threshold. Probe geometrically from the last arrival. The probe
+        // is capped: with an extremely wide inter-arrival spread the
+        // crossing can lie beyond any horizon a caller could act on, and
+        // a deadline that never crosses the threshold would be a false
+        // "suspect after this time" guarantee — report `None` instead.
+        const PROBE_CAP: u64 = 1 << 51; // ≈ 26 days
         let last = self.window.last_arrival()?;
         let mut lo = 0u64;
         let mut hi = self.bootstrap.as_nanos().max(1);
         while self.phi(last.saturating_add(Nanos::from_nanos(hi))) < self.threshold {
-            lo = hi;
-            hi = hi.saturating_mul(2);
-            if hi > 1 << 50 {
-                break;
+            if hi >= PROBE_CAP {
+                // Saturated without bracketing a crossing.
+                return None;
             }
+            lo = hi;
+            hi = hi.saturating_mul(2).min(PROBE_CAP);
         }
-        // Binary search the crossing point.
+        // Binary search the crossing point in [lo, hi]; the loop above
+        // guarantees φ(last + hi) ≥ threshold.
         for _ in 0..40 {
             let mid = lo + (hi - lo) / 2;
             if self.phi(last.saturating_add(Nanos::from_nanos(mid))) < self.threshold {
@@ -184,6 +191,31 @@ mod tests {
         let just_after = d.saturating_add(ms(2));
         assert!(e.phi(just_before) < 3.0);
         assert!(e.phi(just_after) >= 3.0);
+    }
+
+    /// Regression: with a huge-variance window the φ curve may stay below
+    /// the threshold past the geometric probe's cap. The old code broke
+    /// out of the probe at ~2⁵⁰ ns and returned a "deadline" that never
+    /// crosses the threshold — a false suspect-after-this-time guarantee.
+    /// The fix reports `None` when the probe fails to bracket a crossing.
+    #[test]
+    fn deadline_is_none_when_probe_cannot_bracket_a_crossing() {
+        let mut e = PhiAccrual::new(3.0, 16, ms(500));
+        // Two samples with a ~46-day gap: mean ≈ std ≈ 2e15 ns, so φ at
+        // the probe cap (~2⁵¹ ns past the last arrival) is still tiny.
+        e.observe(Nanos::from_nanos(0));
+        e.observe(Nanos::from_nanos(1));
+        e.observe(Nanos::from_nanos(4_000_000_000_000_000));
+        let last = Nanos::from_nanos(4_000_000_000_000_000);
+        assert!(
+            e.phi(last.saturating_add(Nanos::from_nanos(1 << 51))) < e.threshold(),
+            "precondition: no crossing within the probe horizon"
+        );
+        // Pre-fix this returned Some(d) with φ(d) < threshold; now the
+        // saturation is explicit.
+        assert!(e.deadline().is_none(), "probe saturation must yield None");
+        // And silence inside the probe horizon is indeed not suspect.
+        assert!(!e.is_suspect(last.saturating_add(Nanos::from_nanos(1 << 50))));
     }
 
     #[test]

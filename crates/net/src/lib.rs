@@ -11,10 +11,15 @@
 //!   Jacobson, φ-accrual.
 //! * [`detector`] — the per-node heartbeat detector and node loop.
 //! * [`qos`] — detection time / mistake rate / query accuracy metrics
-//!   and the single-link evaluation harness (experiment E7).
+//!   and the single-link evaluation harness (experiment E7), plus the
+//!   incremental [`qos::QosMonitor`] for long-running observation.
 //! * [`membership`] — a view-based group membership that **emulates
 //!   `P`** by exclusion, the paper's explanation of why real systems end
 //!   up at the top of the collapsed hierarchy (experiment E8).
+//! * [`online`] — the long-running service view: fault schedules
+//!   (crash / recover / partition churn), the resumable [`OnlineRunner`]
+//!   with live per-pair QoS, and the churn-capable
+//!   [`online::MembershipWatcher`] (experiment E11).
 //!
 //! ## Example: measure an estimator's QoS
 //!
@@ -43,11 +48,16 @@ pub mod codec;
 pub mod detector;
 pub mod estimator;
 pub mod membership;
+pub mod online;
 pub mod qos;
 pub mod transport;
 
 pub use clock::{Clock, Nanos, SystemClock, VirtualClock};
 pub use detector::{DetectorNode, HeartbeatDetector};
 pub use estimator::{ArrivalEstimator, ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual};
-pub use qos::{evaluate_qos, QosReport, QosScenario, QosTracker};
+pub use online::{
+    run_membership_churn, Fault, FaultSchedule, MembershipChurnReport, MembershipWatcher,
+    OnlineEvent, OnlineRunner, OnlineScenario,
+};
+pub use qos::{evaluate_qos, QosMonitor, QosReport, QosScenario, QosTracker};
 pub use transport::{InMemoryNetwork, LossModel, NetworkConfig, Transport, UdpTransport};

@@ -1,0 +1,857 @@
+//! The online detection runtime: long-running scenarios under **churn**
+//! (crash / recover / partition schedules), observed incrementally.
+//!
+//! The batch QoS harness ([`crate::qos::evaluate_qos`]) runs a two-node
+//! scenario to completion and finalizes the metrics post hoc — exactly
+//! the "inspect the corpse" style the paper's §1.3 says practitioners do
+//! *not* deploy. This module is the long-running service counterpart:
+//!
+//! * [`FaultSchedule`] / [`Fault`] — a ground-truth timeline of crashes,
+//!   recoveries and network partitions;
+//! * [`OnlineRunner`] — a resumable scenario driver: `n` heartbeating
+//!   [`DetectorNode`]s over the virtual network, advanced one sample tick
+//!   at a time, yielding typed [`OnlineEvent`]s (fault injections and
+//!   suspicion transitions) and feeding a live [`QosMonitor`] per
+//!   observer–target pair. An opt-in batch [`QosTracker`] shadow
+//!   ([`OnlineRunner::with_batch_shadow`]) receives the identical sample
+//!   stream, so the incremental numbers can be checked for exact
+//!   equality with [`QosTracker::finalize`] at any point (experiment
+//!   E11's acceptance gate);
+//! * [`MembershipWatcher`] — an incremental observer of a membership
+//!   fleet under churn: exclusion latency per crash, false exclusions
+//!   (live processes excluded by fiat — partitions force these), view
+//!   change counts. [`run_membership_churn`] drives a
+//!   [`MembershipNode`] fleet through a fault schedule and returns the
+//!   watcher's report.
+
+use crate::clock::{Clock, Nanos, VirtualClock};
+use crate::detector::DetectorNode;
+use crate::estimator::ArrivalEstimator;
+use crate::membership::MembershipNode;
+use crate::qos::{QosMonitor, QosReport, QosTracker};
+use crate::transport::{Endpoint, InMemoryNetwork, NetworkConfig};
+use rfd_core::{ProcessId, ProcessSet};
+
+/// One ground-truth fault injection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The process stops: no sends, no receives, no steps.
+    Crash(ProcessId),
+    /// The process resumes from its pre-crash state (churn).
+    Recover(ProcessId),
+    /// A network partition between `side` and its complement.
+    Partition(ProcessSet),
+    /// The active partition heals.
+    Heal,
+}
+
+/// A time-ordered ground-truth schedule of [`Fault`]s.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<(Nanos, Fault)>,
+}
+
+impl FaultSchedule {
+    /// An empty (fault-free) schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault at time `at` (builder style). Events may be added in
+    /// any order; the schedule keeps them sorted by time (stable for
+    /// equal times).
+    #[must_use]
+    pub fn at(mut self, at: Nanos, fault: Fault) -> Self {
+        self.events.push((at, fault));
+        self.events.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// The scheduled events, sorted by time.
+    #[must_use]
+    pub fn events(&self) -> &[(Nanos, Fault)] {
+        &self.events
+    }
+
+    /// The process's **final** crash time: the last `Crash` not followed
+    /// by a `Recover`. This is the crash the Chen–Toueg–Aguilera metrics
+    /// judge against — earlier crash/recover cycles are transient churn,
+    /// visible to the detector only as (correctly penalized) mistakes.
+    #[must_use]
+    pub fn final_crash(&self, target: ProcessId) -> Option<Nanos> {
+        let mut crash = None;
+        for (at, fault) in &self.events {
+            match fault {
+                Fault::Crash(p) if *p == target => crash = Some(*at),
+                Fault::Recover(p) if *p == target => crash = None,
+                _ => {}
+            }
+        }
+        crash
+    }
+
+    /// The first crash time of `target`, if any (what a membership
+    /// exclusion latency is measured from).
+    #[must_use]
+    pub fn first_crash(&self, target: ProcessId) -> Option<Nanos> {
+        self.events.iter().find_map(|(at, fault)| match fault {
+            Fault::Crash(p) if *p == target => Some(*at),
+            _ => None,
+        })
+    }
+}
+
+/// Applies every fault due at or before `now` to the network and the
+/// ground-truth `up` vector, advancing the schedule cursor `next` and
+/// calling `on_fault` once per applied fault (for caller-side
+/// bookkeeping: event emission, watcher notes). Shared by
+/// [`OnlineRunner::step`] and [`run_membership_churn`] so the two
+/// drivers cannot drift in churn semantics.
+fn apply_due_faults<F: FnMut(Nanos, &Fault)>(
+    schedule: &FaultSchedule,
+    next: &mut usize,
+    now: Nanos,
+    net: &InMemoryNetwork,
+    up: &mut [bool],
+    mut on_fault: F,
+) {
+    while let Some((at, fault)) = schedule.events().get(*next) {
+        if *at > now {
+            break;
+        }
+        match fault {
+            Fault::Crash(p) => {
+                net.take_down(*p);
+                up[p.index()] = false;
+            }
+            Fault::Recover(p) => {
+                net.bring_up(*p);
+                up[p.index()] = true;
+            }
+            Fault::Partition(side) => net.set_partition(*side),
+            Fault::Heal => net.heal_partition(),
+        }
+        on_fault(*at, fault);
+        *next += 1;
+    }
+}
+
+/// Parameters of an online (long-running) detection scenario.
+#[derive(Clone, Debug)]
+pub struct OnlineScenario {
+    /// Number of processes (all heartbeat all).
+    pub n: usize,
+    /// Heartbeat period.
+    pub period: Nanos,
+    /// Independent datagram loss probability.
+    pub loss: f64,
+    /// One-way delay bounds.
+    pub delay: (Nanos, Nanos),
+    /// Total observation duration.
+    pub duration: Nanos,
+    /// The sampling/poll tick.
+    pub sample_every: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ground-truth fault schedule.
+    pub schedule: FaultSchedule,
+}
+
+impl Default for OnlineScenario {
+    fn default() -> Self {
+        Self {
+            n: 4,
+            period: Nanos::from_millis(100),
+            loss: 0.0,
+            delay: (Nanos::from_millis(2), Nanos::from_millis(10)),
+            duration: Nanos::from_millis(30_000),
+            sample_every: Nanos::from_millis(5),
+            seed: 0,
+            schedule: FaultSchedule::new(),
+        }
+    }
+}
+
+/// A typed event yielded by [`OnlineRunner::step`].
+#[derive(Clone, Debug)]
+pub enum OnlineEvent {
+    /// A scheduled fault took effect.
+    Fault {
+        /// Injection time (the tick at which it was applied).
+        at: Nanos,
+        /// The fault.
+        fault: Fault,
+    },
+    /// An observer's verdict about a target flipped.
+    Suspicion {
+        /// The observing process.
+        observer: ProcessId,
+        /// The judged process.
+        target: ProcessId,
+        /// When the transition was observed.
+        at: Nanos,
+        /// The new verdict (`true` = suspect).
+        suspected: bool,
+    },
+}
+
+/// A resumable online scenario: call [`OnlineRunner::step`] per sample
+/// tick (or [`OnlineRunner::run_to_end`]) and read live per-pair QoS via
+/// [`OnlineRunner::report`] at any time.
+#[derive(Debug)]
+pub struct OnlineRunner<E: ArrivalEstimator + Clone> {
+    scenario: OnlineScenario,
+    clock: VirtualClock,
+    net: InMemoryNetwork,
+    nodes: Vec<DetectorNode<E, Endpoint, VirtualClock>>,
+    up: Vec<bool>,
+    /// `monitors[observer][target]`, `None` on the diagonal.
+    monitors: Vec<Vec<Option<QosMonitor>>>,
+    /// Batch shadows fed the identical sample stream (the equality
+    /// gate). Opt-in via [`OnlineRunner::with_batch_shadow`]: a tracker
+    /// keeps every suspicion episode, which is exactly the unbounded
+    /// growth the incremental monitor exists to avoid, so a long-running
+    /// deployment must not pay for it by default.
+    shadows: Option<Vec<Vec<Option<QosTracker>>>>,
+    last_suspects: Vec<ProcessSet>,
+    next_fault: usize,
+    done: bool,
+}
+
+impl<E: ArrivalEstimator + Clone> OnlineRunner<E> {
+    /// Builds the runner: `n` detector nodes around clones of
+    /// `prototype`, a fresh virtual network, and one monitor per ordered
+    /// observer–target pair, primed with the schedule's final crash times.
+    #[must_use]
+    pub fn new(prototype: E, scenario: OnlineScenario) -> Self {
+        let n = scenario.n;
+        let clock = VirtualClock::new();
+        let config = NetworkConfig::reliable(scenario.delay.0, scenario.delay.1)
+            .with_loss(scenario.loss)
+            .with_seed(scenario.seed);
+        let net = InMemoryNetwork::new(n, config, clock.clone());
+        let nodes = (0..n)
+            .map(|ix| {
+                DetectorNode::new(
+                    n,
+                    prototype.clone(),
+                    net.endpoint(ProcessId::new(ix)),
+                    clock.clone(),
+                    scenario.period,
+                )
+            })
+            .collect();
+        let monitors = (0..n)
+            .map(|obs| {
+                (0..n)
+                    .map(|t| {
+                        (obs != t).then(|| {
+                            QosMonitor::new(scenario.schedule.final_crash(ProcessId::new(t)))
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            up: vec![true; n],
+            last_suspects: vec![ProcessSet::empty(); n],
+            monitors,
+            shadows: None,
+            nodes,
+            net,
+            clock,
+            next_fault: 0,
+            done: false,
+            scenario,
+        }
+    }
+
+    /// Additionally feeds every pair's sample stream to a batch
+    /// [`QosTracker`] shadow (builder style), enabling
+    /// [`OnlineRunner::batch_report`] and
+    /// [`OnlineRunner::monitor_matches_batch`] — the E11 equality gate.
+    ///
+    /// Off by default: a tracker records every suspicion episode, which
+    /// is unbounded over a long run — precisely what the incremental
+    /// monitor avoids. Enable it for verification runs only, before the
+    /// first [`OnlineRunner::step`].
+    #[must_use]
+    pub fn with_batch_shadow(mut self) -> Self {
+        let n = self.scenario.n;
+        debug_assert!(
+            self.now() == Nanos::ZERO,
+            "enable the shadow before stepping, or it will miss samples"
+        );
+        self.shadows = Some(
+            (0..n)
+                .map(|obs| (0..n).map(|t| (obs != t).then(QosTracker::new)).collect())
+                .collect(),
+        );
+        self
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Whether the scenario duration has elapsed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Which processes are currently up (ground truth).
+    #[must_use]
+    pub fn up_set(&self) -> ProcessSet {
+        let mut s = ProcessSet::empty();
+        for (ix, up) in self.up.iter().enumerate() {
+            if *up {
+                s.insert(ProcessId::new(ix));
+            }
+        }
+        s
+    }
+
+    /// Executes one sample tick: applies due faults, polls every live
+    /// node, samples all monitors, and returns the tick's events. `None`
+    /// once the scenario duration has elapsed.
+    pub fn step(&mut self) -> Option<Vec<OnlineEvent>> {
+        if self.done {
+            return None;
+        }
+        let now = self.clock.now();
+        if now >= self.scenario.duration {
+            self.done = true;
+            return None;
+        }
+        let mut events = Vec::new();
+        apply_due_faults(
+            &self.scenario.schedule,
+            &mut self.next_fault,
+            now,
+            &self.net,
+            &mut self.up,
+            |at, fault| {
+                events.push(OnlineEvent::Fault {
+                    at,
+                    fault: fault.clone(),
+                })
+            },
+        );
+        for ix in 0..self.scenario.n {
+            if !self.up[ix] {
+                continue;
+            }
+            let suspects = self.nodes[ix].poll();
+            let flips = suspects
+                .union(self.last_suspects[ix])
+                .difference(suspects.intersection(self.last_suspects[ix]));
+            for target in flips.iter() {
+                events.push(OnlineEvent::Suspicion {
+                    observer: ProcessId::new(ix),
+                    target,
+                    at: now,
+                    suspected: suspects.contains(target),
+                });
+            }
+            self.last_suspects[ix] = suspects;
+            for t in 0..self.scenario.n {
+                let verdict = suspects.contains(ProcessId::new(t));
+                if let Some(m) = &mut self.monitors[ix][t] {
+                    m.sample(now, verdict);
+                }
+                if let Some(shadows) = &mut self.shadows {
+                    if let Some(s) = &mut shadows[ix][t] {
+                        s.sample(now, verdict);
+                    }
+                }
+            }
+        }
+        self.clock.advance(self.scenario.sample_every);
+        Some(events)
+    }
+
+    /// Runs the remaining ticks and returns every event produced.
+    pub fn run_to_end(&mut self) -> Vec<OnlineEvent> {
+        let mut all = Vec::new();
+        while let Some(mut events) = self.step() {
+            all.append(&mut events);
+        }
+        all
+    }
+
+    /// The live QoS report of `observer` about `target` as of the
+    /// current time (or the scenario end once done), straight from the
+    /// incremental monitor. `None` on the diagonal.
+    #[must_use]
+    pub fn report(&self, observer: ProcessId, target: ProcessId) -> Option<QosReport> {
+        let end = if self.done {
+            self.scenario.duration
+        } else {
+            self.clock.now()
+        };
+        self.monitors[observer.index()][target.index()]
+            .as_ref()
+            .map(|m| m.report(end))
+    }
+
+    /// The batch-path report of the same pair: the shadow
+    /// [`QosTracker`]'s post-hoc [`QosTracker::finalize`] over the
+    /// identical sample stream. `None` on the diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the runner was built with
+    /// [`OnlineRunner::with_batch_shadow`].
+    #[must_use]
+    pub fn batch_report(&self, observer: ProcessId, target: ProcessId) -> Option<QosReport> {
+        let end = if self.done {
+            self.scenario.duration
+        } else {
+            self.clock.now()
+        };
+        self.shadows
+            .as_ref()
+            .expect("batch shadow not enabled; build the runner with with_batch_shadow()")
+            [observer.index()][target.index()]
+        .as_ref()
+        .map(|s| s.finalize(self.scenario.schedule.final_crash(target), end))
+    }
+
+    /// Whether the incremental monitor and the batch tracker agree
+    /// **exactly** (every field, including the floating-point rates) for
+    /// the pair — the E11 acceptance gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the runner was built with
+    /// [`OnlineRunner::with_batch_shadow`].
+    #[must_use]
+    pub fn monitor_matches_batch(&self, observer: ProcessId, target: ProcessId) -> bool {
+        match (
+            self.report(observer, target),
+            self.batch_report(observer, target),
+        ) {
+            (Some(a), Some(b)) => reports_equal(&a, &b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Exact (bitwise for floats) equality of two QoS reports.
+#[must_use]
+pub fn reports_equal(a: &QosReport, b: &QosReport) -> bool {
+    a.detection_time == b.detection_time
+        && a.mistakes == b.mistakes
+        && a.mistake_rate.to_bits() == b.mistake_rate.to_bits()
+        && a.avg_mistake_duration == b.avg_mistake_duration
+        && a.query_accuracy.to_bits() == b.query_accuracy.to_bits()
+}
+
+/// The report of a [`MembershipWatcher`].
+#[derive(Clone, Debug)]
+pub struct MembershipChurnReport {
+    /// Per process: time from its first crash to its exclusion from the
+    /// authoritative view. `None` if it never crashed, was never
+    /// excluded, or was excluded *before* it crashed (that exclusion did
+    /// not detect the crash — it shows up in
+    /// [`MembershipChurnReport::false_exclusions`] instead).
+    pub exclusion_latency: Vec<Option<Nanos>>,
+    /// Processes excluded although they had neither crashed nor been
+    /// down before — the by-fiat accuracy enforcement of §1.3 (typical
+    /// under partitions).
+    pub false_exclusions: ProcessSet,
+    /// View installations observed across the fleet.
+    pub view_changes: u64,
+}
+
+/// An incremental observer of a membership fleet under churn: feed it
+/// ground-truth fault notes and periodic view observations; read the
+/// report at any time.
+#[derive(Clone, Debug)]
+pub struct MembershipWatcher {
+    n: usize,
+    down: ProcessSet,
+    first_crash: Vec<Option<Nanos>>,
+    excluded_at: Vec<Option<Nanos>>,
+    false_exclusions: ProcessSet,
+    last_view_ids: Vec<u64>,
+    view_changes: u64,
+}
+
+impl MembershipWatcher {
+    /// A watcher over `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            down: ProcessSet::empty(),
+            first_crash: vec![None; n],
+            excluded_at: vec![None; n],
+            false_exclusions: ProcessSet::empty(),
+            last_view_ids: vec![0; n],
+            view_changes: 0,
+        }
+    }
+
+    /// Notes a ground-truth crash of `p` at `at`.
+    pub fn note_crash(&mut self, p: ProcessId, at: Nanos) {
+        self.down.insert(p);
+        if self.first_crash[p.index()].is_none() {
+            self.first_crash[p.index()] = Some(at);
+        }
+    }
+
+    /// Notes a ground-truth recovery of `p`.
+    pub fn note_recover(&mut self, p: ProcessId) {
+        self.down.remove(p);
+    }
+
+    /// Feeds one observation tick: `views` holds, for each live
+    /// (non-halted) member, its current view id and member set. A
+    /// process counts as *excluded* once the **authoritative view** —
+    /// the one held by the lowest-index live member, i.e. the
+    /// coordinator lineage — omits it. (Judging against *every* view
+    /// would deadlock under split-brain: a partitioned minority keeps a
+    /// stale view containing itself until it learns of its exclusion.)
+    pub fn observe<I>(&mut self, now: Nanos, views: I)
+    where
+        I: IntoIterator<Item = (ProcessId, u64, ProcessSet)>,
+    {
+        let mut authority: Option<(ProcessId, ProcessSet)> = None;
+        for (member, view_id, members) in views {
+            match &authority {
+                Some((lowest, _)) if member >= *lowest => {}
+                _ => authority = Some((member, members)),
+            }
+            let last = &mut self.last_view_ids[member.index()];
+            if view_id > *last {
+                self.view_changes += view_id - *last;
+                *last = view_id;
+            }
+        }
+        let Some((_, authoritative_members)) = authority else {
+            return;
+        };
+        let excluded = authoritative_members.complement_within(self.n);
+        for p in excluded.iter() {
+            if self.excluded_at[p.index()].is_none() {
+                self.excluded_at[p.index()] = Some(now);
+                if !self.down.contains(p) && self.first_crash[p.index()].is_none() {
+                    self.false_exclusions.insert(p);
+                }
+            }
+        }
+    }
+
+    /// The report so far.
+    #[must_use]
+    pub fn report(&self) -> MembershipChurnReport {
+        let exclusion_latency = (0..self.n)
+            .map(|ix| match (self.first_crash[ix], self.excluded_at[ix]) {
+                // An exclusion that precedes the crash did not detect it
+                // (e.g. a partition exclusion before a later crash): a
+                // saturated 0 here would read as instant detection.
+                (Some(c), Some(e)) if e >= c => Some(e.saturating_sub(c)),
+                _ => None,
+            })
+            .collect();
+        MembershipChurnReport {
+            exclusion_latency,
+            false_exclusions: self.false_exclusions,
+            view_changes: self.view_changes,
+        }
+    }
+}
+
+/// Drives a [`MembershipNode`] fleet through the scenario's fault
+/// schedule, observing it live with a [`MembershipWatcher`], and returns
+/// the watcher's report.
+///
+/// A recovered process rejoins the network but — per the §1.3 enforcement
+/// — halts as soon as it learns it was excluded while down: suspicion,
+/// once converted into exclusion, stays accurate by fiat.
+pub fn run_membership_churn<E: ArrivalEstimator + Clone>(
+    prototype: E,
+    scenario: &OnlineScenario,
+) -> MembershipChurnReport {
+    let n = scenario.n;
+    let clock = VirtualClock::new();
+    let config = NetworkConfig::reliable(scenario.delay.0, scenario.delay.1)
+        .with_loss(scenario.loss)
+        .with_seed(scenario.seed);
+    let net = InMemoryNetwork::new(n, config, clock.clone());
+    let mut nodes: Vec<_> = (0..n)
+        .map(|ix| {
+            MembershipNode::new(
+                n,
+                prototype.clone(),
+                net.endpoint(ProcessId::new(ix)),
+                clock.clone(),
+                scenario.period,
+            )
+        })
+        .collect();
+    let mut watcher = MembershipWatcher::new(n);
+    let mut up = vec![true; n];
+    let mut next_fault = 0usize;
+    while clock.now() < scenario.duration {
+        let now = clock.now();
+        apply_due_faults(
+            &scenario.schedule,
+            &mut next_fault,
+            now,
+            &net,
+            &mut up,
+            |at, fault| match fault {
+                Fault::Crash(p) => watcher.note_crash(*p, at),
+                Fault::Recover(p) => watcher.note_recover(*p),
+                _ => {}
+            },
+        );
+        for (ix, node) in nodes.iter_mut().enumerate() {
+            if up[ix] {
+                node.poll();
+            }
+        }
+        watcher.observe(
+            now,
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(ix, node)| up[*ix] && !node.is_halted())
+                .map(|(ix, node)| {
+                    let v = node.view();
+                    (ProcessId::new(ix), v.id, v.members)
+                }),
+        );
+        clock.advance(scenario.sample_every);
+    }
+    watcher.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual};
+    use crate::qos::{evaluate_qos, QosScenario};
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn schedule_final_crash_sees_through_churn() {
+        let s = FaultSchedule::new()
+            .at(ms(10_000), Fault::Recover(p(1)))
+            .at(ms(5_000), Fault::Crash(p(1)))
+            .at(ms(20_000), Fault::Crash(p(1)));
+        assert_eq!(s.final_crash(p(1)), Some(ms(20_000)));
+        assert_eq!(s.first_crash(p(1)), Some(ms(5_000)));
+        assert_eq!(s.final_crash(p(2)), None);
+        // Events come back time-sorted regardless of insertion order.
+        let times: Vec<u64> = s.events().iter().map(|(t, _)| t.as_millis()).collect();
+        assert_eq!(times, vec![5_000, 10_000, 20_000]);
+    }
+
+    #[test]
+    fn online_runner_detects_a_final_crash_and_matches_batch() {
+        let scenario = OnlineScenario {
+            n: 3,
+            duration: ms(20_000),
+            schedule: FaultSchedule::new().at(ms(12_000), Fault::Crash(p(2))),
+            ..OnlineScenario::default()
+        };
+        let mut runner = OnlineRunner::new(ChenEstimator::new(ms(50), 32, ms(500)), scenario)
+            .with_batch_shadow();
+        let events = runner.run_to_end();
+        assert!(runner.is_done());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, OnlineEvent::Fault { fault: Fault::Crash(q), .. } if *q == p(2))));
+        for obs in [p(0), p(1)] {
+            let r = runner.report(obs, p(2)).unwrap();
+            let td = r.detection_time.expect("crash detected");
+            assert!(td.as_millis() < 2_000, "{obs}: T_D = {td}");
+            assert!(
+                runner.monitor_matches_batch(obs, p(2)),
+                "{obs}: monitor {r:?} vs batch {:?}",
+                runner.batch_report(obs, p(2))
+            );
+        }
+        // All pairs agree with the batch shadow, crashed or not.
+        for a in 0..3 {
+            for b in 0..3 {
+                assert!(runner.monitor_matches_batch(p(a), p(b)), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_clears_suspicion_and_counts_the_outage_as_mistake() {
+        // p1 crashes at 5 s and recovers at 8 s; no final crash.
+        let scenario = OnlineScenario {
+            n: 2,
+            duration: ms(20_000),
+            schedule: FaultSchedule::new()
+                .at(ms(5_000), Fault::Crash(p(1)))
+                .at(ms(8_000), Fault::Recover(p(1))),
+            ..OnlineScenario::default()
+        };
+        let mut runner =
+            OnlineRunner::new(JacobsonEstimator::new(4.0, ms(500)), scenario).with_batch_shadow();
+        let events = runner.run_to_end();
+        let flips: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::Suspicion {
+                    observer,
+                    target,
+                    suspected,
+                    ..
+                } if *observer == p(0) && *target == p(1) => Some(*suspected),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            flips.windows(2).all(|w| w[0] != w[1]),
+            "suspicion transitions must alternate: {flips:?}"
+        );
+        assert!(
+            flips.contains(&true) && flips.contains(&false),
+            "the outage must be suspected and then cleared: {flips:?}"
+        );
+        let r = runner.report(p(0), p(1)).unwrap();
+        assert!(r.detection_time.is_none(), "no final crash to detect");
+        assert!(r.mistakes >= 1, "the outage shows up as a mistake episode");
+        assert!(runner.monitor_matches_batch(p(0), p(1)));
+        // Thanks to the Jacobson outage clamp, the detector re-arms after
+        // the recovery: a fresh silence is suspected again promptly.
+        assert!(r.query_accuracy > 0.5, "{r:?}");
+    }
+
+    #[test]
+    fn partition_causes_cross_side_suspicion_then_heals() {
+        let mut side = ProcessSet::empty();
+        side.insert(p(0));
+        side.insert(p(1));
+        let scenario = OnlineScenario {
+            n: 4,
+            duration: ms(20_000),
+            schedule: FaultSchedule::new()
+                .at(ms(6_000), Fault::Partition(side))
+                .at(ms(10_000), Fault::Heal),
+            ..OnlineScenario::default()
+        };
+        let mut runner =
+            OnlineRunner::new(PhiAccrual::new(3.0, 32, ms(500)), scenario).with_batch_shadow();
+        runner.run_to_end();
+        // Across the cut: mistakes (the partition looked like a crash).
+        let cross = runner.report(p(0), p(2)).unwrap();
+        assert!(cross.mistakes >= 1, "{cross:?}");
+        assert!(cross.detection_time.is_none());
+        // Within a side: clean.
+        let within = runner.report(p(0), p(1)).unwrap();
+        assert_eq!(within.mistakes, 0, "{within:?}");
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(runner.monitor_matches_batch(p(a), p(b)), "({a},{b})");
+            }
+        }
+    }
+
+    /// The online runner with a crash-only schedule reproduces the batch
+    /// harness shape: same estimator, same period/delay/loss family.
+    #[test]
+    fn online_runner_agrees_with_the_batch_harness_shape() {
+        let crash = ms(15_000);
+        let duration = ms(20_000);
+        let scenario = OnlineScenario {
+            n: 2,
+            duration,
+            schedule: FaultSchedule::new().at(crash, Fault::Crash(p(1))),
+            ..OnlineScenario::default()
+        };
+        let mut runner = OnlineRunner::new(FixedTimeout::new(ms(400)), scenario);
+        runner.run_to_end();
+        let online = runner.report(p(0), p(1)).unwrap();
+        let batch = evaluate_qos(
+            FixedTimeout::new(ms(400)),
+            &QosScenario {
+                crash_at: Some(crash),
+                duration,
+                ..QosScenario::default()
+            },
+        );
+        // Identical modelling except for node-loop scheduling details:
+        // both detect within a period-scale bound and make no mistakes.
+        assert!(online.detection_time.is_some() && batch.detection_time.is_some());
+        assert_eq!(online.mistakes, 0);
+        assert_eq!(batch.mistakes, 0);
+    }
+
+    #[test]
+    fn membership_churn_excludes_crashed_members_with_low_latency() {
+        let scenario = OnlineScenario {
+            n: 4,
+            period: ms(50),
+            duration: ms(30_000),
+            sample_every: ms(1),
+            schedule: FaultSchedule::new().at(ms(5_000), Fault::Crash(p(2))),
+            ..OnlineScenario::default()
+        };
+        let report = run_membership_churn(ChenEstimator::new(ms(150), 16, ms(600)), &scenario);
+        let latency = report.exclusion_latency[2].expect("crashed member excluded");
+        assert!(latency.as_millis() < 5_000, "latency {latency}");
+        assert!(report.false_exclusions.is_empty());
+        assert!(report.view_changes >= 1);
+    }
+
+    #[test]
+    fn membership_partition_forces_by_fiat_exclusions() {
+        // A minority side {3} is cut off long enough to be excluded; it
+        // never crashed, so the watcher must report a false exclusion —
+        // the paper's by-fiat accuracy made measurable.
+        let scenario = OnlineScenario {
+            n: 4,
+            period: ms(50),
+            duration: ms(30_000),
+            sample_every: ms(1),
+            schedule: FaultSchedule::new()
+                .at(ms(5_000), Fault::Partition(ProcessSet::singleton(p(3))))
+                .at(ms(15_000), Fault::Heal),
+            ..OnlineScenario::default()
+        };
+        let report = run_membership_churn(ChenEstimator::new(ms(150), 16, ms(600)), &scenario);
+        assert!(
+            report.false_exclusions.contains(p(3)),
+            "{:?}",
+            report.false_exclusions
+        );
+        assert!(report.exclusion_latency[3].is_none(), "p3 never crashed");
+    }
+
+    #[test]
+    fn watcher_counts_view_changes_and_ignores_recovered_crashes() {
+        let mut w = MembershipWatcher::new(3);
+        w.note_crash(p(2), ms(100));
+        w.note_recover(p(2));
+        let mut v1 = ProcessSet::full(3);
+        v1.remove(p(2));
+        w.observe(ms(200), vec![(p(0), 1, v1), (p(1), 1, v1)]);
+        let r = w.report();
+        // p2 crashed (then recovered) before the exclusion: accurate, not
+        // false; latency measured from the first crash.
+        assert!(r.false_exclusions.is_empty());
+        assert_eq!(r.exclusion_latency[2], Some(ms(100)));
+        assert_eq!(r.view_changes, 2);
+    }
+}

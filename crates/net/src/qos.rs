@@ -111,6 +111,148 @@ impl QosTracker {
     }
 }
 
+/// An **online** QoS monitor: the incremental counterpart of
+/// [`QosTracker`].
+///
+/// The tracker records every suspicion episode and computes the metrics
+/// post hoc in [`QosTracker::finalize`]; a long-running service cannot
+/// afford either the unbounded episode list or the end-of-run scan. The
+/// monitor instead folds each sample into O(1) running aggregates and
+/// answers [`QosMonitor::report`] at any time in O(1).
+///
+/// The monitor is constructed with the ground-truth crash time (QoS
+/// metrics are *defined* against ground truth — the batch path passes
+/// the same value to `finalize`), which lets every closed episode be
+/// clipped to the crash immediately. By construction, for any sample
+/// prefix fed to both,
+/// `monitor.report(end) == tracker.finalize(crash, end)` field for field
+/// — property-tested in `tests/prop_qos.rs`.
+#[derive(Clone, Debug)]
+pub struct QosMonitor {
+    crash: Option<Nanos>,
+    state: bool,
+    open_since: Option<Nanos>,
+    mistakes: u32,
+    mistake_time: Nanos,
+    last_sample: Option<Nanos>,
+}
+
+impl QosMonitor {
+    /// Creates a monitor for a target that crashes at `crash` (ground
+    /// truth; `None` for a target that never crashes during the
+    /// observation).
+    #[must_use]
+    pub fn new(crash: Option<Nanos>) -> Self {
+        Self {
+            crash,
+            state: false,
+            open_since: None,
+            mistakes: 0,
+            mistake_time: Nanos::ZERO,
+            last_sample: None,
+        }
+    }
+
+    /// The ground-truth crash time this monitor judges against.
+    #[must_use]
+    pub fn crash(&self) -> Option<Nanos> {
+        self.crash
+    }
+
+    /// Records the detector's answer at `now` (`true` = suspect).
+    /// Samples must be fed in non-decreasing time order.
+    pub fn sample(&mut self, now: Nanos, suspect: bool) {
+        if let Some(prev) = self.last_sample {
+            debug_assert!(now >= prev, "samples must be time-ordered");
+        }
+        self.last_sample = Some(now);
+        match (self.state, suspect) {
+            (false, true) => self.open_since = Some(now),
+            (true, false) => {
+                if let Some(start) = self.open_since.take() {
+                    // A closed episode is a mistake; clip it to the crash
+                    // (post-crash suspicion of a crashed target is not a
+                    // mistake). This matches the batch clipping, where
+                    // the horizon is min(crash, end) and every closed
+                    // episode ends at or before `end`.
+                    let (s, e) = match self.crash {
+                        Some(c) => (start.min(c), now.min(c)),
+                        None => (start, now),
+                    };
+                    if e > s {
+                        self.mistakes += 1;
+                        self.mistake_time = self.mistake_time.saturating_add(e.saturating_sub(s));
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.state = suspect;
+    }
+
+    /// The current QoS report as of observation time `end` — equal to
+    /// what [`QosTracker::finalize`] computes from the full sample list.
+    ///
+    /// `end` must be at or after the last fed sample: closed episodes
+    /// are folded eagerly, so a report horizon that rewinds behind
+    /// already-folded samples cannot un-count them (the batch tracker,
+    /// which keeps the episode list, would clip them to `end`).
+    #[must_use]
+    pub fn report(&self, end: Nanos) -> QosReport {
+        if let Some(last) = self.last_sample {
+            debug_assert!(
+                end >= last,
+                "report horizon {end} precedes the last sample {last}"
+            );
+        }
+        let truth_horizon = self.crash.unwrap_or(end).min(end);
+        let mut mistakes = self.mistakes;
+        let mut mistake_time = self.mistake_time;
+        let mut detection_time = None;
+        if let Some(start) = self.open_since {
+            match self.crash {
+                Some(c) if end >= c => {
+                    // The open suspicion covers the crash: a detection.
+                    detection_time = Some(start.saturating_sub(c));
+                    if start < c {
+                        mistakes += 1;
+                        mistake_time = mistake_time.saturating_add(c.saturating_sub(start));
+                    }
+                }
+                _ => {
+                    // Still a mistake in progress (no crash, or the crash
+                    // lies beyond the observation end).
+                    if start < truth_horizon {
+                        mistakes += 1;
+                        mistake_time =
+                            mistake_time.saturating_add(truth_horizon.saturating_sub(start));
+                    }
+                }
+            }
+        }
+        let truth_secs = truth_horizon.as_secs_f64();
+        QosReport {
+            detection_time,
+            mistakes,
+            mistake_rate: if truth_secs > 0.0 {
+                f64::from(mistakes) / truth_secs
+            } else {
+                0.0
+            },
+            avg_mistake_duration: if mistakes > 0 {
+                Nanos::from_nanos(mistake_time.as_nanos() / u64::from(mistakes))
+            } else {
+                Nanos::ZERO
+            },
+            query_accuracy: if truth_horizon > Nanos::ZERO {
+                1.0 - mistake_time.as_nanos() as f64 / truth_horizon.as_nanos() as f64
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
 /// QoS metrics of one observer–target pair.
 #[derive(Clone, Debug)]
 pub struct QosReport {
@@ -262,6 +404,96 @@ mod tests {
         assert_eq!(report.detection_time.unwrap(), Nanos::ZERO);
         assert_eq!(report.mistakes, 1);
         assert_eq!(report.avg_mistake_duration.as_millis(), 20);
+    }
+
+    /// The incremental monitor reproduces the tracker's numbers on the
+    /// same sample streams (the exhaustive check is the property test in
+    /// `tests/prop_qos.rs`; these are the documented edge cases).
+    #[test]
+    fn monitor_matches_tracker_on_the_edge_cases() {
+        type Case = (Vec<(Nanos, bool)>, Option<Nanos>, Nanos);
+        let cases: Vec<Case> = vec![
+            // Two closed mistakes, no crash.
+            (
+                vec![
+                    (ms(0), false),
+                    (ms(10), true),
+                    (ms(30), false),
+                    (ms(50), true),
+                    (ms(60), false),
+                ],
+                None,
+                ms(100),
+            ),
+            // Clean detection.
+            (
+                vec![(ms(0), false), (ms(120), true)],
+                Some(ms(100)),
+                ms(500),
+            ),
+            // Premature final suspicion straddling the crash.
+            (vec![(ms(0), false), (ms(80), true)], Some(ms(100)), ms(500)),
+            // Open mistake with the crash beyond the observation end.
+            (vec![(ms(0), false), (ms(80), true)], Some(ms(900)), ms(500)),
+            // Closed episode entirely after the crash: not a mistake.
+            (
+                vec![(ms(0), false), (ms(150), true), (ms(180), false)],
+                Some(ms(100)),
+                ms(500),
+            ),
+            // No samples at all.
+            (vec![], None, ms(100)),
+        ];
+        for (samples, crash, end) in cases {
+            let mut tracker = QosTracker::new();
+            let mut monitor = QosMonitor::new(crash);
+            for &(t, s) in &samples {
+                tracker.sample(t, s);
+                monitor.sample(t, s);
+            }
+            let batch = tracker.finalize(crash, end);
+            let live = monitor.report(end);
+            assert_eq!(live.detection_time, batch.detection_time, "{samples:?}");
+            assert_eq!(live.mistakes, batch.mistakes, "{samples:?}");
+            assert_eq!(
+                live.avg_mistake_duration, batch.avg_mistake_duration,
+                "{samples:?}"
+            );
+            assert_eq!(
+                live.mistake_rate.to_bits(),
+                batch.mistake_rate.to_bits(),
+                "{samples:?}"
+            );
+            assert_eq!(
+                live.query_accuracy.to_bits(),
+                batch.query_accuracy.to_bits(),
+                "{samples:?}"
+            );
+        }
+    }
+
+    /// Unlike the tracker, the monitor answers mid-stream in O(1): the
+    /// report after a prefix equals finalizing that prefix.
+    #[test]
+    fn monitor_reports_are_valid_mid_stream() {
+        let crash = Some(ms(100));
+        let samples = [
+            (ms(0), false),
+            (ms(40), true),
+            (ms(60), false),
+            (ms(120), true),
+        ];
+        let mut monitor = QosMonitor::new(crash);
+        let mut tracker = QosTracker::new();
+        for (i, &(t, s)) in samples.iter().enumerate() {
+            monitor.sample(t, s);
+            tracker.sample(t, s);
+            let end = t;
+            let live = monitor.report(end);
+            let batch = tracker.finalize(crash, end);
+            assert_eq!(live.mistakes, batch.mistakes, "prefix {i}");
+            assert_eq!(live.detection_time, batch.detection_time, "prefix {i}");
+        }
     }
 
     #[test]

@@ -153,6 +153,9 @@ struct NetInner {
     inboxes: Vec<VecDeque<Datagram>>,
     /// Nodes taken down (crashed): they neither send nor receive.
     down: ProcessSet,
+    /// Active network partition: datagrams crossing the boundary between
+    /// this set and its complement are dropped (counted as lost).
+    partition: Option<ProcessSet>,
     seq: u64,
     sent: u64,
     lost: u64,
@@ -206,6 +209,7 @@ impl InMemoryNetwork {
                 in_flight: BinaryHeap::new(),
                 inboxes: (0..n).map(|_| VecDeque::new()).collect(),
                 down: ProcessSet::empty(),
+                partition: None,
                 seq: 0,
                 sent: 0,
                 lost: 0,
@@ -236,10 +240,36 @@ impl InMemoryNetwork {
         self.inner.lock().down.insert(node);
     }
 
+    /// Brings a downed node back up (churn): its traffic flows again.
+    /// Datagrams addressed to it that came due while it was down stay
+    /// dropped.
+    pub fn bring_up(&self, node: ProcessId) {
+        self.inner.lock().down.remove(node);
+    }
+
     /// Whether a node is down.
     #[must_use]
     pub fn is_down(&self, node: ProcessId) -> bool {
         self.inner.lock().down.contains(node)
+    }
+
+    /// Installs a network partition: datagrams between `side` and its
+    /// complement are dropped (and counted as lost) until
+    /// [`InMemoryNetwork::heal_partition`]. Traffic within either side is
+    /// unaffected. Replaces any previous partition.
+    pub fn set_partition(&self, side: ProcessSet) {
+        self.inner.lock().partition = Some(side);
+    }
+
+    /// Heals the active partition, if any.
+    pub fn heal_partition(&self) {
+        self.inner.lock().partition = None;
+    }
+
+    /// The active partition side, if any.
+    #[must_use]
+    pub fn partition(&self) -> Option<ProcessSet> {
+        self.inner.lock().partition
     }
 
     /// `(sent, lost, delivered)` counters.
@@ -271,6 +301,12 @@ impl InMemoryNetwork {
             return;
         }
         g.sent += 1;
+        if let Some(side) = g.partition {
+            if side.contains(from) != side.contains(to) {
+                g.lost += 1;
+                return;
+            }
+        }
         let dropped = match g.config.loss.clone() {
             LossModel::Bernoulli(p) => p > 0.0 && g.rng.gen_bool(p),
             LossModel::GilbertElliott {
@@ -415,6 +451,50 @@ mod tests {
         net.take_down(p(1));
         clock.advance(Nanos::from_millis(10));
         assert!(net.endpoint(p(1)).recv().is_none());
+    }
+
+    #[test]
+    fn brought_up_node_rejoins_traffic() {
+        let (clock, net) = setup(0.0, 4);
+        let a = net.endpoint(p(0));
+        let b = net.endpoint(p(1));
+        net.take_down(p(1));
+        a.send(p(1), Bytes::from_static(b"during outage"));
+        clock.advance(Nanos::from_millis(10));
+        assert!(b.recv().is_none());
+        net.bring_up(p(1));
+        a.send(p(1), Bytes::from_static(b"after recovery"));
+        clock.advance(Nanos::from_millis(10));
+        let dg = b.recv().expect("recovered node receives again");
+        assert_eq!(&dg.payload[..], b"after recovery");
+        b.send(p(0), Bytes::from_static(b"and sends"));
+        clock.advance(Nanos::from_millis(10));
+        assert!(a.recv().is_some());
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_only() {
+        let (clock, net) = setup(0.0, 5);
+        let a = net.endpoint(p(0));
+        let b = net.endpoint(p(1));
+        let c = net.endpoint(p(2));
+        let mut side = ProcessSet::empty();
+        side.insert(p(0));
+        side.insert(p(1));
+        net.set_partition(side);
+        a.send(p(2), Bytes::from_static(b"cross"));
+        a.send(p(1), Bytes::from_static(b"within"));
+        clock.advance(Nanos::from_millis(10));
+        assert!(c.recv().is_none(), "cross-partition traffic is dropped");
+        assert!(b.recv().is_some(), "same-side traffic flows");
+        net.heal_partition();
+        a.send(p(2), Bytes::from_static(b"healed"));
+        clock.advance(Nanos::from_millis(10));
+        assert!(c.recv().is_some());
+        let (sent, lost, delivered) = net.stats();
+        assert_eq!(sent, 3);
+        assert_eq!(lost, 1, "the partitioned datagram counts as lost");
+        assert_eq!(delivered, 2);
     }
 
     #[test]

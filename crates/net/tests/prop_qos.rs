@@ -1,0 +1,204 @@
+//! Property tests pinning down the QoS accounting semantics:
+//!
+//! 1. [`QosTracker::finalize`] against a **brute-force per-tick
+//!    reference** over random episode/crash layouts — the reference
+//!    reconstructs the suspicion signal tick by tick and counts mistake
+//!    time and episodes directly, with none of the interval-clipping
+//!    logic of the implementation. This pins the crash-straddling and
+//!    open-episode edge cases.
+//! 2. [`QosMonitor`] (the incremental online monitor) against
+//!    [`QosTracker::finalize`] — **exact** equality, every field,
+//!    floating point compared bitwise.
+
+use proptest::prelude::*;
+use rfd_net::clock::Nanos;
+use rfd_net::qos::{QosMonitor, QosTracker};
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+/// Turns `(gap, suspect)` pairs into a non-decreasing sample schedule
+/// (gap 0 keeps the previous timestamp — same-tick flips are legal).
+fn schedule(flips: &[(u64, bool)]) -> Vec<(u64, bool)> {
+    let mut t = 0u64;
+    flips
+        .iter()
+        .map(|&(gap, s)| {
+            t += gap;
+            (t, s)
+        })
+        .collect()
+}
+
+/// Brute-force per-tick reference for the Chen–Toueg–Aguilera
+/// accounting, at 1 ms tick granularity:
+/// `(detection_time_ms, mistakes, mistake_time_ms)`.
+fn per_tick_reference(
+    samples: &[(u64, bool)],
+    crash: Option<u64>,
+    end: u64,
+) -> (Option<u64>, u32, u64) {
+    let horizon = crash.unwrap_or(end).min(end);
+    // Reconstruct the suspicion signal: the verdict at tick t is the
+    // last sample at or before t (trusting before any sample).
+    let mut suspect = vec![false; end as usize];
+    let mut idx = 0;
+    let mut state = false;
+    for (t, cell) in suspect.iter_mut().enumerate() {
+        while idx < samples.len() && samples[idx].0 <= t as u64 {
+            state = samples[idx].1;
+            idx += 1;
+        }
+        *cell = state;
+    }
+    // Mistake time: suspected ticks before the truth horizon (the
+    // pre-crash part of the final detection counts too — exactly what
+    // the interval clipping is supposed to compute).
+    let mistake_time = (0..horizon.min(end))
+        .filter(|&t| suspect[t as usize])
+        .count() as u64;
+    // Maximal suspect-runs.
+    let mut runs: Vec<(u64, u64)> = Vec::new(); // [start, end) in ticks
+    let mut t = 0u64;
+    while t < end {
+        if suspect[t as usize] {
+            let start = t;
+            while t < end && suspect[t as usize] {
+                t += 1;
+            }
+            runs.push((start, t));
+        } else {
+            t += 1;
+        }
+    }
+    let mut mistakes = 0u32;
+    let mut detection = None;
+    for &(s, e) in &runs {
+        let is_final_open = e == end;
+        match crash {
+            Some(c) if is_final_open && end >= c => {
+                // The permanent suspicion covering the crash.
+                detection = Some(s.saturating_sub(c));
+                if s < c {
+                    mistakes += 1;
+                }
+            }
+            _ => {
+                if s < horizon {
+                    mistakes += 1;
+                }
+            }
+        }
+    }
+    (detection, mistakes, mistake_time)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tracker's interval-clipping arithmetic agrees with counting
+    /// ticks, over arbitrary flip schedules, crash placements (before,
+    /// inside, after, or beyond the observation), and open episodes.
+    /// Sample times are strictly increasing here: a same-instant
+    /// close-and-reopen is a zero-duration trust that a tick signal
+    /// cannot represent (the tracker counts it as two episodes; the
+    /// monitor-equality tests below cover that degenerate case).
+    #[test]
+    fn finalize_matches_the_per_tick_reference(
+        flips in prop::collection::vec((1u64..40, any::<bool>()), 0..30),
+        crash_sel in prop::option::of(0u64..500),
+        end_slack in 1u64..60,
+    ) {
+        let samples = schedule(&flips);
+        let last = samples.last().map_or(0, |&(t, _)| t);
+        let end = last + end_slack;
+        let crash = crash_sel; // may fall anywhere, including past `end`
+        let mut tracker = QosTracker::new();
+        for &(t, s) in &samples {
+            tracker.sample(ms(t), s);
+        }
+        let report = tracker.finalize(crash.map(ms), ms(end));
+        let (det, mistakes, mistake_time) = per_tick_reference(&samples, crash, end);
+        prop_assert_eq!(report.detection_time, det.map(ms),
+            "detection: samples {:?} crash {:?} end {}", samples, crash, end);
+        prop_assert_eq!(report.mistakes, mistakes,
+            "mistakes: samples {:?} crash {:?} end {}", samples, crash, end);
+        let expected_avg = if mistakes > 0 {
+            Nanos::from_nanos(ms(mistake_time).as_nanos() / u64::from(mistakes))
+        } else {
+            Nanos::ZERO
+        };
+        prop_assert_eq!(report.avg_mistake_duration, expected_avg,
+            "T_M: samples {:?} crash {:?} end {}", samples, crash, end);
+        let horizon = crash.unwrap_or(end).min(end);
+        let expected_accuracy = if horizon > 0 {
+            1.0 - ms(mistake_time).as_nanos() as f64 / ms(horizon).as_nanos() as f64
+        } else {
+            1.0
+        };
+        prop_assert!((report.query_accuracy - expected_accuracy).abs() < 1e-12,
+            "P_A: {} vs {}", report.query_accuracy, expected_accuracy);
+    }
+
+    /// The incremental monitor equals the batch tracker **exactly** on
+    /// identical sample streams: same detection time, same episode
+    /// count, bitwise-equal rates. This is the equality experiment E11
+    /// relies on.
+    #[test]
+    fn monitor_equals_tracker_exactly(
+        flips in prop::collection::vec((0u64..40, any::<bool>()), 0..40),
+        crash_sel in prop::option::of(0u64..600),
+        end_slack in 0u64..60,
+    ) {
+        let samples = schedule(&flips);
+        let last = samples.last().map_or(0, |&(t, _)| t);
+        let end = last + end_slack; // observation ends at or after the last sample
+        let crash = crash_sel.map(ms);
+        let mut tracker = QosTracker::new();
+        let mut monitor = QosMonitor::new(crash);
+        for &(t, s) in &samples {
+            tracker.sample(ms(t), s);
+            monitor.sample(ms(t), s);
+        }
+        let batch = tracker.finalize(crash, ms(end));
+        let live = monitor.report(ms(end));
+        prop_assert_eq!(live.detection_time, batch.detection_time);
+        prop_assert_eq!(live.mistakes, batch.mistakes);
+        prop_assert_eq!(live.avg_mistake_duration, batch.avg_mistake_duration);
+        prop_assert_eq!(live.mistake_rate.to_bits(), batch.mistake_rate.to_bits(),
+            "λ_M: {} vs {}", live.mistake_rate, batch.mistake_rate);
+        prop_assert_eq!(live.query_accuracy.to_bits(), batch.query_accuracy.to_bits(),
+            "P_A: {} vs {}", live.query_accuracy, batch.query_accuracy);
+    }
+
+    /// Mid-stream monotonicity: the monitor's mistake count and time
+    /// never decrease as samples arrive, and every prefix report equals
+    /// finalizing that prefix.
+    #[test]
+    fn monitor_prefixes_equal_prefix_finalize(
+        flips in prop::collection::vec((1u64..40, any::<bool>()), 1..20),
+        crash_sel in prop::option::of(0u64..400),
+    ) {
+        let samples = schedule(&flips);
+        let crash = crash_sel.map(ms);
+        let mut monitor = QosMonitor::new(crash);
+        let mut last_mistakes = 0u32;
+        for i in 0..samples.len() {
+            let (t, s) = samples[i];
+            monitor.sample(ms(t), s);
+            let live = monitor.report(ms(t));
+            let mut tracker = QosTracker::new();
+            for &(pt, ps) in &samples[..=i] {
+                tracker.sample(ms(pt), ps);
+            }
+            let batch = tracker.finalize(crash, ms(t));
+            prop_assert_eq!(live.mistakes, batch.mistakes, "prefix {}", i);
+            prop_assert_eq!(live.detection_time, batch.detection_time, "prefix {}", i);
+            prop_assert_eq!(live.avg_mistake_duration, batch.avg_mistake_duration,
+                "prefix {}", i);
+            prop_assert!(live.mistakes >= last_mistakes, "mistakes must be monotone");
+            last_mistakes = live.mistakes;
+        }
+    }
+}

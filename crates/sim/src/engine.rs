@@ -121,6 +121,24 @@ pub fn ticks_for_rounds(n: usize, rounds: u64) -> Time {
     Time::new((n as u64).saturating_mul(rounds).saturating_add(1))
 }
 
+/// Metadata of one message delivery, recorded by the [`Scheduler`] when
+/// delivery logging is enabled (see [`Scheduler::set_delivery_logging`]).
+/// The payload itself stays with the receiving automaton; the log keeps
+/// only the envelope metadata a streaming observer needs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Engine-assigned message id (unique per run).
+    pub id: u64,
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Global time the message was sent.
+    pub sent_at: Time,
+    /// Global time of the receiving step.
+    pub delivered_at: Time,
+}
+
 /// The result of a completed run.
 #[derive(Debug)]
 pub struct RunResult<A: Automaton> {
@@ -171,6 +189,7 @@ pub struct Scheduler<'a, A: Automaton> {
     trace: Trace<A::Output>,
     emulated: Option<History<ProcessSet>>,
     automata: Vec<A>,
+    delivery_log: Option<Vec<DeliveryRecord>>,
 }
 
 impl<'a, A: Automaton> Scheduler<'a, A> {
@@ -217,7 +236,35 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
             },
             emulated: None,
             automata,
+            delivery_log: None,
         }
+    }
+
+    /// Enables or disables per-delivery logging (disabled by default; the
+    /// batch path pays nothing for the streaming feature). While enabled,
+    /// every receive appends a [`DeliveryRecord`]; drain the log with
+    /// [`Scheduler::take_delivery_log`].
+    pub fn set_delivery_logging(&mut self, on: bool) {
+        match (on, self.delivery_log.is_some()) {
+            (true, false) => self.delivery_log = Some(Vec::new()),
+            (false, true) => self.delivery_log = None,
+            _ => {}
+        }
+    }
+
+    /// Takes the delivery records accumulated since the last call
+    /// (empty when logging is disabled).
+    pub fn take_delivery_log(&mut self) -> Vec<DeliveryRecord> {
+        self.delivery_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// The automata being driven, indexed by process.
+    #[must_use]
+    pub fn automata(&self) -> &[A] {
+        &self.automata
     }
 
     /// The trace recorded so far.
@@ -283,6 +330,15 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
         }
         if let Some(env) = &input {
             self.heard[ix] |= env.causal_past;
+            if let Some(log) = &mut self.delivery_log {
+                log.push(DeliveryRecord {
+                    id: env.id,
+                    from: env.from,
+                    to: env.to,
+                    sent_at: env.sent_at,
+                    delivered_at: self.time,
+                });
+            }
         }
         let suspects = *self.oracle.value(pid, self.time);
         let mut ctx: StepContext<A::Msg, A::Output> = StepContext::new(pid, n, suspects);

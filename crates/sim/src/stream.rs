@@ -1,0 +1,443 @@
+//! The streaming run driver: a long-running, incremental view of an
+//! engine execution.
+//!
+//! The paper's §1.3 point is that practitioners deploy failure detection
+//! as a *service*, not as a batch job that is inspected post mortem. The
+//! batch entry point [`crate::run`] spins a run to completion and returns
+//! the corpse; [`StreamRun`] instead wraps a live [`Scheduler`] and
+//! yields typed [`StreamEvent`]s — deliveries, crashes, emulated-detector
+//! transitions, output decisions — as rounds execute, without ever
+//! re-entering `run`. The caller can stop, inspect the scheduler state,
+//! and resume at any event boundary.
+//!
+//! The stream is *exact*: driving a `StreamRun` to exhaustion executes
+//! the same schedule as the batch run under the same seed, so the final
+//! [`RunResult`] (via [`StreamRun::finish`]) is identical, and every
+//! delivery/output in the trace appears as exactly one event.
+//!
+//! ```
+//! use rfd_sim::{Automaton, Envelope, SimConfig, StepContext, StreamEvent, StreamRun};
+//! use rfd_core::{FailurePattern, History, ProcessSet};
+//!
+//! struct Ping { sent: bool }
+//! impl Automaton for Ping {
+//!     type Msg = ();
+//!     type Output = &'static str;
+//!     fn on_step(&mut self, input: Option<&Envelope<()>>, ctx: &mut StepContext<(), &'static str>) {
+//!         if !self.sent { self.sent = true; ctx.broadcast_others(()); }
+//!         if input.is_some() { ctx.output("got one"); }
+//!     }
+//! }
+//!
+//! let pattern = FailurePattern::new(2);
+//! let silent = History::new(2, ProcessSet::empty());
+//! let automata = vec![Ping { sent: false }, Ping { sent: false }];
+//! let mut stream = StreamRun::new(&pattern, &silent, automata, &SimConfig::new(7, 100));
+//! let mut outputs = 0;
+//! while let Some(event) = stream.next_event() {
+//!     if let StreamEvent::Output { .. } = event { outputs += 1; }
+//! }
+//! assert_eq!(outputs, 2, "each process reports its delivery live");
+//! ```
+
+use crate::automaton::Automaton;
+use crate::engine::{DeliveryRecord, RunResult, Scheduler, SimConfig};
+use crate::trace::OutputEvent;
+use rfd_core::{FailurePattern, History, ProcessId, ProcessSet, Time};
+use std::collections::VecDeque;
+
+/// A typed event observed on a streaming run.
+///
+/// Events within one round are ordered: crashes first (the pattern took
+/// effect during the round), then per-step deliveries, emulated-detector
+/// transitions, and outputs in step order.
+#[derive(Clone, Debug)]
+pub enum StreamEvent<O> {
+    /// A process passed its crash time during this round.
+    Crashed {
+        /// The crashed process.
+        process: ProcessId,
+        /// Its crash time from the failure pattern.
+        at: Time,
+    },
+    /// A message was received by a process step.
+    Delivery(DeliveryRecord),
+    /// An automaton's emulated failure-detector output changed (the
+    /// `output(P)` variable of the §4.3 / §5 reductions) — the streaming
+    /// analogue of a detector *transition*.
+    SuspectsChanged {
+        /// The emulating process.
+        process: ProcessId,
+        /// Round in which the change was observed.
+        round: u64,
+        /// The new emulated suspect set.
+        suspects: ProcessSet,
+    },
+    /// An output event (e.g. a consensus decision) was recorded.
+    Output {
+        /// Round in which it was produced.
+        round: u64,
+        /// The recorded event (same data as the trace entry).
+        event: OutputEvent<O>,
+    },
+}
+
+/// A resumable, incremental run: wraps a [`Scheduler`] and turns each
+/// executed round into a queue of [`StreamEvent`]s.
+///
+/// The stream honours the configured round budget and
+/// [`crate::StopCondition`] exactly like the batch path: once either
+/// fires, [`StreamRun::next_event`] drains the remaining queued events
+/// and then returns `None`.
+pub struct StreamRun<'a, A: Automaton> {
+    scheduler: Scheduler<'a, A>,
+    pending: VecDeque<StreamEvent<A::Output>>,
+    emitted_outputs: usize,
+    last_emulated: Vec<Option<ProcessSet>>,
+    reported_crashed: ProcessSet,
+    exhausted: bool,
+}
+
+impl<'a, A: Automaton> StreamRun<'a, A> {
+    /// Creates a streaming run over `automata` under `pattern`, feeding
+    /// detector values from `oracle_history` — the same contract as
+    /// [`Scheduler::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of automata differs from the pattern's
+    /// process count, or if the oracle history covers fewer processes.
+    #[must_use]
+    pub fn new(
+        pattern: &'a FailurePattern,
+        oracle_history: &'a History<ProcessSet>,
+        automata: Vec<A>,
+        config: &SimConfig,
+    ) -> Self {
+        let n = pattern.num_processes();
+        let mut scheduler = Scheduler::new(pattern, oracle_history, automata, config);
+        scheduler.set_delivery_logging(true);
+        Self {
+            scheduler,
+            pending: VecDeque::new(),
+            emitted_outputs: 0,
+            last_emulated: vec![None; n],
+            reported_crashed: ProcessSet::empty(),
+            exhausted: false,
+        }
+    }
+
+    /// The wrapped scheduler (live state: time, rounds, trace so far).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler<'a, A> {
+        &self.scheduler
+    }
+
+    /// Executes one round and queues its events. Returns `false` once the
+    /// round budget or the configured stop condition halts the run.
+    fn pump_round(&mut self) -> bool {
+        if self.exhausted || self.scheduler.stop_condition_met() {
+            self.exhausted = true;
+            return false;
+        }
+        let before = self.scheduler.time();
+        if !self.scheduler.step_round() {
+            self.exhausted = true;
+            return false;
+        }
+        let now = self.scheduler.time();
+        // Crashes whose time fell inside this round's span. A crash is
+        // effective from its pattern time even though the engine only
+        // skips the process at its next slot, so report it as soon as
+        // global time passes it.
+        let newly_crashed = self
+            .scheduler
+            .pattern()
+            .crashed_at(now)
+            .difference(self.reported_crashed);
+        for pid in newly_crashed.iter() {
+            let at = self
+                .scheduler
+                .pattern()
+                .crash_time(pid)
+                .expect("member of crashed_at has a crash time");
+            self.pending
+                .push_back(StreamEvent::Crashed { process: pid, at });
+            self.reported_crashed.insert(pid);
+        }
+        debug_assert!(now >= before, "global time is monotone");
+        let round = self.scheduler.rounds();
+        for record in self.scheduler.take_delivery_log() {
+            self.pending.push_back(StreamEvent::Delivery(record));
+        }
+        for (ix, automaton) in self.scheduler.automata().iter().enumerate() {
+            let emulated = automaton.emulated_suspects();
+            if let Some(suspects) = emulated {
+                if self.last_emulated[ix] != Some(suspects) {
+                    self.pending.push_back(StreamEvent::SuspectsChanged {
+                        process: ProcessId::new(ix),
+                        round,
+                        suspects,
+                    });
+                    self.last_emulated[ix] = Some(suspects);
+                }
+            }
+        }
+        let events = &self.scheduler.trace().events;
+        for event in &events[self.emitted_outputs..] {
+            self.pending.push_back(StreamEvent::Output {
+                round,
+                event: event.clone(),
+            });
+        }
+        self.emitted_outputs = events.len();
+        true
+    }
+
+    /// The next event, executing further rounds on demand. `None` once
+    /// the run is over (budget exhausted or stop condition met) and every
+    /// queued event has been delivered.
+    pub fn next_event(&mut self) -> Option<StreamEvent<A::Output>> {
+        while self.pending.is_empty() {
+            if !self.pump_round() {
+                return None;
+            }
+        }
+        self.pending.pop_front()
+    }
+
+    /// Runs the remaining rounds to completion and returns the final
+    /// [`RunResult`] — identical to what the batch [`crate::run`] would
+    /// have produced under the same configuration. No further events are
+    /// observed, so event recording is switched off for the remainder:
+    /// finishing early costs no more than the batch path would.
+    #[must_use]
+    pub fn finish(mut self) -> RunResult<A> {
+        self.scheduler.set_delivery_logging(false);
+        self.pending.clear();
+        while !self.exhausted && !self.scheduler.stop_condition_met() && self.scheduler.step_round()
+        {
+        }
+        self.scheduler.finish()
+    }
+}
+
+impl<A: Automaton> Iterator for StreamRun<'_, A> {
+    type Item = StreamEvent<A::Output>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event()
+    }
+}
+
+impl<A: Automaton> std::fmt::Debug for StreamRun<'_, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamRun")
+            .field("scheduler", &self.scheduler)
+            .field("pending", &self.pending.len())
+            .field("emitted_outputs", &self.emitted_outputs)
+            .field("exhausted", &self.exhausted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::StepContext;
+    use crate::engine::run;
+    use crate::message::Envelope;
+    use crate::StopCondition;
+
+    /// Every process broadcasts a token once, then outputs each received
+    /// token's sender index.
+    struct Gossip {
+        started: bool,
+    }
+
+    impl Automaton for Gossip {
+        type Msg = usize;
+        type Output = usize;
+
+        fn on_step(
+            &mut self,
+            input: Option<&Envelope<usize>>,
+            ctx: &mut StepContext<usize, usize>,
+        ) {
+            if !self.started {
+                self.started = true;
+                ctx.broadcast_others(ctx.me().index());
+            }
+            if let Some(env) = input {
+                ctx.output(env.payload);
+            }
+        }
+    }
+
+    fn gossip_automata(n: usize) -> Vec<Gossip> {
+        (0..n).map(|_| Gossip { started: false }).collect()
+    }
+
+    fn silent_history(n: usize) -> History<ProcessSet> {
+        History::new(n, ProcessSet::empty())
+    }
+
+    #[test]
+    fn stream_yields_every_delivery_and_output_exactly_once() {
+        let n = 4;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(7, 200);
+        let silent = silent_history(n);
+        let mut deliveries = 0u64;
+        let mut outputs = 0usize;
+        let mut stream = StreamRun::new(&pattern, &silent, gossip_automata(n), &config);
+        while let Some(ev) = stream.next_event() {
+            match ev {
+                StreamEvent::Delivery(_) => deliveries += 1,
+                StreamEvent::Output { .. } => outputs += 1,
+                _ => {}
+            }
+        }
+        let result = stream.finish();
+        assert_eq!(deliveries, result.trace.messages_delivered);
+        assert_eq!(deliveries, 12, "4 broadcasts × 3 destinations");
+        assert_eq!(outputs, result.trace.events.len());
+    }
+
+    #[test]
+    fn stream_matches_batch_run_on_the_same_seed() {
+        let n = 4;
+        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(3), Time::new(5));
+        let config = SimConfig::new(123, 150);
+        let silent = silent_history(n);
+        let batch = run(&pattern, &silent, gossip_automata(n), &config);
+        let stream = StreamRun::new(&pattern, &silent, gossip_automata(n), &config);
+        let streamed = stream.finish();
+        assert_eq!(batch.trace.steps, streamed.trace.steps);
+        assert_eq!(batch.trace.messages_sent, streamed.trace.messages_sent);
+        assert_eq!(
+            batch.trace.messages_delivered,
+            streamed.trace.messages_delivered
+        );
+        assert_eq!(batch.trace.end_time, streamed.trace.end_time);
+        assert_eq!(batch.trace.events.len(), streamed.trace.events.len());
+        for (x, y) in batch.trace.events.iter().zip(&streamed.trace.events) {
+            assert_eq!(x.process, y.process);
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.value, y.value);
+        }
+    }
+
+    #[test]
+    fn crash_events_are_reported_once_with_the_pattern_time() {
+        let n = 3;
+        let pattern = FailurePattern::new(n).with_crash(ProcessId::new(1), Time::new(4));
+        let config = SimConfig::new(2, 50);
+        let silent = silent_history(n);
+        let crashes: Vec<(ProcessId, Time)> =
+            StreamRun::new(&pattern, &silent, gossip_automata(n), &config)
+                .filter_map(|ev| match ev {
+                    StreamEvent::Crashed { process, at } => Some((process, at)),
+                    _ => None,
+                })
+                .collect();
+        assert_eq!(crashes, vec![(ProcessId::new(1), Time::new(4))]);
+    }
+
+    #[test]
+    fn stream_respects_the_stop_condition() {
+        let n = 3;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(9, 10_000).with_stop(StopCondition::EachCorrectOutput(1));
+        let silent = silent_history(n);
+        let mut stream = StreamRun::new(&pattern, &silent, gossip_automata(n), &config);
+        while stream.next_event().is_some() {}
+        assert!(
+            stream.scheduler().rounds() < 10_000,
+            "stop condition must halt the stream early"
+        );
+    }
+
+    #[test]
+    fn stream_is_resumable_between_events() {
+        let n = 4;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(21, 150);
+        let silent = silent_history(n);
+        let mut stream = StreamRun::new(&pattern, &silent, gossip_automata(n), &config);
+        // Pull a single event, inspect live state, then drain the rest.
+        let first = stream.next_event().expect("a gossip run has events");
+        assert!(matches!(first, StreamEvent::Delivery(_)));
+        let mid_rounds = stream.scheduler().rounds();
+        assert!(mid_rounds >= 1);
+        let mut rest = 0;
+        while stream.next_event().is_some() {
+            rest += 1;
+        }
+        assert!(rest > 0);
+        // The completed run still matches the batch totals.
+        let result = stream.finish();
+        let batch = run(&pattern, &silent, gossip_automata(n), &config);
+        assert_eq!(result.trace.messages_sent, batch.trace.messages_sent);
+    }
+
+    /// An automaton that exposes an emulated detector: it "suspects"
+    /// every sender it has heard from (artificial, but transition-rich).
+    struct Echoes {
+        heard: ProcessSet,
+    }
+
+    impl Automaton for Echoes {
+        type Msg = usize;
+        type Output = usize;
+
+        fn on_step(
+            &mut self,
+            input: Option<&Envelope<usize>>,
+            ctx: &mut StepContext<usize, usize>,
+        ) {
+            if self.heard.is_empty() {
+                self.heard.insert(ctx.me());
+                ctx.broadcast_others(ctx.me().index());
+            }
+            if let Some(env) = input {
+                self.heard.insert(env.from);
+            }
+        }
+
+        fn emulated_suspects(&self) -> Option<ProcessSet> {
+            Some(self.heard)
+        }
+    }
+
+    #[test]
+    fn emulated_transitions_stream_as_suspect_changes() {
+        let n = 3;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(5, 100);
+        let silent = silent_history(n);
+        let automata: Vec<Echoes> = (0..n)
+            .map(|_| Echoes {
+                heard: ProcessSet::empty(),
+            })
+            .collect();
+        let changes: Vec<StreamEvent<usize>> = StreamRun::new(&pattern, &silent, automata, &config)
+            .filter(|ev| matches!(ev, StreamEvent::SuspectsChanged { .. }))
+            .collect();
+        // Each process transitions at least twice: {me} then grows as
+        // tokens arrive; final state is the full set everywhere.
+        assert!(changes.len() >= n * 2, "{changes:?}");
+        let mut finals = vec![ProcessSet::empty(); n];
+        for ev in &changes {
+            if let StreamEvent::SuspectsChanged {
+                process, suspects, ..
+            } = ev
+            {
+                finals[process.index()] = *suspects;
+            }
+        }
+        for f in finals {
+            assert_eq!(f, ProcessSet::full(n));
+        }
+    }
+}

@@ -58,14 +58,18 @@ pub struct Trace<O> {
 }
 
 impl<O: Clone> Trace<O> {
-    /// The first output of each process, keyed by process index.
+    /// The first output of each process, keyed by process index. Events
+    /// from processes outside `0..n` are ignored rather than panicking —
+    /// traces can carry events from a wider system than the slice a
+    /// caller asks about.
     #[must_use]
     pub fn first_outputs(&self, n: usize) -> Vec<Option<&OutputEvent<O>>> {
         let mut firsts: Vec<Option<&OutputEvent<O>>> = vec![None; n];
         for ev in &self.events {
-            let slot = &mut firsts[ev.process.index()];
-            if slot.is_none() {
-                *slot = Some(ev);
+            if let Some(slot) = firsts.get_mut(ev.process.index()) {
+                if slot.is_none() {
+                    *slot = Some(ev);
+                }
             }
         }
         firsts
@@ -159,6 +163,30 @@ mod tests {
         }]);
         let v = trace.check_totality(&pattern).unwrap_err();
         assert_eq!(v.missing, ProcessSet::singleton(p(2)));
+    }
+
+    /// Regression: an event whose process index is at or beyond `n` used
+    /// to panic with an out-of-bounds index; it must be skipped.
+    #[test]
+    fn first_outputs_ignores_out_of_range_processes() {
+        let trace = trace_with(vec![
+            OutputEvent {
+                process: p(5),
+                time: Time::new(1),
+                value: 99,
+                causal_past: ProcessSet::empty(),
+            },
+            OutputEvent {
+                process: p(0),
+                time: Time::new(2),
+                value: 7,
+                causal_past: ProcessSet::empty(),
+            },
+        ]);
+        let firsts = trace.first_outputs(2);
+        assert_eq!(firsts.len(), 2);
+        assert_eq!(firsts[0].unwrap().value, 7);
+        assert!(firsts[1].is_none());
     }
 
     #[test]

@@ -16,13 +16,18 @@
 //! * [`core`] ([`rfd_core`]) — failure patterns, histories, detector
 //!   classes, realism, oracle generators.
 //! * [`sim`] ([`rfd_sim`]) — the FLP + failure detector execution model:
-//!   automata, schedulers, crash injection, causal ("alive tag") tracking.
+//!   automata, schedulers, crash injection, causal ("alive tag")
+//!   tracking, and the streaming run driver ([`rfd_sim::stream`]) for
+//!   long-running, incrementally observed executions.
 //! * [`algo`] ([`rfd_algo`]) — consensus, terminating reliable broadcast,
 //!   reliable/atomic broadcast, and the paper's reductions
 //!   `T_{D⇒P}` (§4.3) and TRB ⇒ `P` (§5).
 //! * [`net`] ([`rfd_net`]) — the realistic runtime: lossy virtual-time /
-//!   UDP transports, adaptive heartbeat detectors (fixed, Chen, Jacobson,
-//!   φ-accrual), QoS metrics, and a membership service emulating `P`.
+//!   UDP transports (churn- and partition-capable), adaptive heartbeat
+//!   detectors (fixed, Chen, Jacobson, φ-accrual), batch and incremental
+//!   QoS metrics, a membership service emulating `P`, and the online
+//!   scenario runner ([`rfd_net::online`]) for detection as a
+//!   long-running service.
 //!
 //! ## Quickstart
 //!

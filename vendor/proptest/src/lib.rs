@@ -15,12 +15,14 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
 pub mod strategy;
 pub mod test_runner;
 
 /// `prop::…` namespace as re-exported by the prelude.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
 }
 
 /// The glob-import surface: `use proptest::prelude::*;`.

@@ -1,0 +1,78 @@
+//! `prop::option` — strategies for `Option<T>`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Generates `Some` from the inner strategy with the given probability
+/// (`None` otherwise). Mirrors upstream's `prop::option::weighted`.
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_bool(self.some_probability) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Option<T>` values that are `Some` three times out of four (the
+/// upstream default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    weighted(0.75, inner)
+}
+
+/// `Option<T>` values that are `Some` with probability `some_probability`.
+///
+/// # Panics
+///
+/// Panics if `some_probability` is not within `0.0..=1.0`.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+    assert!(
+        (0.0..=1.0).contains(&some_probability),
+        "probability must be in [0, 1]"
+    );
+    OptionStrategy {
+        inner,
+        some_probability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn of_mixes_some_and_none_in_bounds() {
+        let mut rng = case_rng("option_tests", 0);
+        let s = of(5u64..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..1_000 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!((5..10).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0, "some={some} none={none}");
+    }
+
+    #[test]
+    fn weighted_extremes_are_deterministic() {
+        let mut rng = case_rng("option_tests", 1);
+        assert_eq!(weighted(0.0, 0u64..5).generate(&mut rng), None);
+        assert!(weighted(1.0, 0u64..5).generate(&mut rng).is_some());
+    }
+}
