@@ -38,7 +38,7 @@
 //! assert!(verdict.is_uniform_consensus());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod broadcast;

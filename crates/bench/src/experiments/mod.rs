@@ -1,4 +1,4 @@
-//! The experiment suite: one module per derived experiment E1–E11.
+//! The experiment suite: one module per derived experiment E1–E12.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; each
 //! experiment here regenerates one of its theorems, constructions or
@@ -7,6 +7,7 @@
 
 pub mod e10_lattice;
 pub mod e11_online;
+pub mod e12_reconverge;
 pub mod e1_totality;
 pub mod e2_reduction;
 pub mod e3_trb;
@@ -43,6 +44,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E10", e10_lattice::run_experiment),
         ("E11", e11_online::run_experiment),
         ("E11B", e11_online::run_membership_ablation),
+        ("E12", e12_reconverge::run_experiment),
     ]
 }
 

@@ -18,12 +18,14 @@
 //! | E9  | §1.2/§4      | the `◇S` majority crossover |
 //! | E10 | §2.5         | class lattice containments are strict |
 //! | E11 | §1.3         | online detection under churn (streaming driver) |
+//! | E12 | §1.3         | partition-heal view reconvergence (heal-merge membership) |
 //!
 //! Run `cargo run -p rfd-bench --bin experiments` for the full suite, or
 //! `--bin experiments -- E7` for one experiment. Criterion
-//! microbenchmarks live in `benches/microbench.rs`.
+//! microbenchmarks live in `benches/microbench.rs`. `RFD_E12_UDP=1`
+//! appends E12's wall-clock rows over real loopback UDP sockets.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod estimators;
 pub mod experiments;

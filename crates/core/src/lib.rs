@@ -37,7 +37,7 @@
 //! assert!(check_realism(&MaraboutOracle::new(), 4, 10, &battery, &mut rng).is_err());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod classes;

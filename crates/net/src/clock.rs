@@ -85,6 +85,42 @@ pub trait Clock {
     fn now(&self) -> Nanos;
 }
 
+/// A [`Clock`] an online driver can *pace*: advanced (or waited on) up to
+/// the next sample tick.
+///
+/// This is what lets one scenario driver serve both execution styles:
+/// under a [`VirtualClock`] the tick is instantaneous and deterministic
+/// (the simulation path), under a [`SystemClock`] the driver genuinely
+/// sleeps until the wall clock reaches the tick (the live UDP path).
+pub trait Pacer: Clock {
+    /// Blocks or jumps until `now() >= t`. A no-op if `t` has already
+    /// passed.
+    fn pace_to(&self, t: Nanos);
+}
+
+impl Pacer for VirtualClock {
+    fn pace_to(&self, t: Nanos) {
+        let mut now = self.now.lock();
+        if t > *now {
+            *now = t;
+        }
+    }
+}
+
+impl Pacer for SystemClock {
+    fn pace_to(&self, t: Nanos) {
+        loop {
+            let now = self.now();
+            if now >= t {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_nanos(
+                t.saturating_sub(now).as_nanos(),
+            ));
+        }
+    }
+}
+
 /// A deterministic, manually advanced clock shared by cloning.
 ///
 /// # Examples
@@ -187,6 +223,23 @@ mod tests {
         let a = c.now();
         let b = c.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn pacing_a_virtual_clock_jumps_and_never_rewinds() {
+        let c = VirtualClock::new();
+        c.pace_to(Nanos::from_millis(10));
+        assert_eq!(c.now().as_millis(), 10);
+        c.pace_to(Nanos::from_millis(5)); // already passed: no-op
+        assert_eq!(c.now().as_millis(), 10);
+    }
+
+    #[test]
+    fn pacing_a_system_clock_waits_out_the_gap() {
+        let c = SystemClock::new();
+        let target = c.now().saturating_add(Nanos::from_millis(5));
+        c.pace_to(target);
+        assert!(c.now() >= target);
     }
 
     #[test]

@@ -4,9 +4,14 @@
 //! detectors as deployed systems actually build them (§1.3), evaluated
 //! with Chen–Toueg–Aguilera QoS metrics.
 //!
-//! * [`clock`] — virtual (deterministic) and system time sources.
+//! * [`clock`] — virtual (deterministic) and system time sources, and
+//!   the [`clock::Pacer`] abstraction that lets one scenario driver run
+//!   in simulated or wall time.
 //! * [`transport`] — a seeded lossy virtual-time network and a real UDP
-//!   transport carrying the same wire format ([`codec`]).
+//!   transport carrying the same wire format ([`codec`]), plus the
+//!   [`transport::ChurnableTransport`] fault-injection surface and the
+//!   [`transport::FaultyTransport`] wrapper that provides it over real
+//!   sockets.
 //! * [`estimator`] — heartbeat timeout strategies: fixed, Chen,
 //!   Jacobson, φ-accrual.
 //! * [`detector`] — the per-node heartbeat detector and node loop.
@@ -17,9 +22,10 @@
 //!   `P`** by exclusion, the paper's explanation of why real systems end
 //!   up at the top of the collapsed hierarchy (experiment E8).
 //! * [`online`] — the long-running service view: fault schedules
-//!   (crash / recover / partition churn), the resumable [`OnlineRunner`]
-//!   with live per-pair QoS, and the churn-capable
-//!   [`online::MembershipWatcher`] (experiment E11).
+//!   (crash / recover / partition churn), the transport-generic
+//!   resumable [`OnlineRunner`] with live per-pair QoS, and the
+//!   churn-capable [`online::MembershipWatcher`] with split-brain /
+//!   reconvergence accounting (experiments E11, E12).
 //!
 //! ## Example: measure an estimator's QoS
 //!
@@ -40,7 +46,7 @@
 //! assert!(report.detection_time.is_some(), "the crash is detected");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod clock;
@@ -52,12 +58,15 @@ pub mod online;
 pub mod qos;
 pub mod transport;
 
-pub use clock::{Clock, Nanos, SystemClock, VirtualClock};
+pub use clock::{Clock, Nanos, Pacer, SystemClock, VirtualClock};
 pub use detector::{DetectorNode, HeartbeatDetector};
 pub use estimator::{ArrivalEstimator, ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual};
 pub use online::{
-    run_membership_churn, Fault, FaultSchedule, MembershipChurnReport, MembershipWatcher,
-    OnlineEvent, OnlineRunner, OnlineScenario,
+    run_membership_churn, run_membership_churn_over, Fault, FaultSchedule, MembershipChurnReport,
+    MembershipWatcher, OnlineEvent, OnlineRunner, OnlineScenario,
 };
 pub use qos::{evaluate_qos, QosMonitor, QosReport, QosScenario, QosTracker};
-pub use transport::{InMemoryNetwork, LossModel, NetworkConfig, Transport, UdpTransport};
+pub use transport::{
+    faulty_cluster, ChurnableTransport, FaultInjector, FaultyTransport, InMemoryNetwork, LossModel,
+    NetworkConfig, Transport, UdpTransport,
+};

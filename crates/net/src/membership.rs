@@ -15,6 +15,13 @@
 //! learns it has been excluded **halts** — this is the enforcement that
 //! converts possibly-wrong suspicion into by-fiat accuracy: the emulated
 //! `P` output of a node is exactly the complement of its current view.
+//!
+//! That default deliberately **split-brains under partitions**: each
+//! side excludes the other, forever. The opt-in
+//! [`MembershipNode::with_heal_merge`] mode trades the by-fiat guarantee
+//! for *partition-heal reconciliation* — healed sides rejoin each other
+//! and the fleet reconverges onto a single view (measured by experiment
+//! E12 via [`crate::online::MembershipWatcher`]).
 
 use crate::clock::{Clock, Nanos, VirtualClock};
 use crate::codec::{
@@ -55,6 +62,7 @@ pub struct MembershipNode<E, T, C> {
     seq: u64,
     halted: bool,
     views_installed: u64,
+    heal_merge: bool,
 }
 
 impl<E, T, C> MembershipNode<E, T, C>
@@ -81,7 +89,36 @@ where
             seq: 0,
             halted: false,
             views_installed: 0,
+            heal_merge: false,
         }
+    }
+
+    /// Enables **partition-heal view reconciliation** (builder style).
+    ///
+    /// The classic §1.3 service split-brains by design: each side of a
+    /// partition excludes the other, an excluded node halts when it
+    /// learns of its exclusion, and the two surviving views never meet
+    /// again. In heal-merge mode the node instead:
+    ///
+    /// * heartbeats **all** `n` processes (not just its view) and accepts
+    ///   heartbeats from all of them, so liveness evidence keeps flowing
+    ///   across a healed cut;
+    /// * never halts on exclusion — it ignores views that omit it and
+    ///   keeps announcing its own, waiting to be merged back;
+    /// * as acting coordinator, **rejoins** any non-member with fresh
+    ///   heartbeat evidence (heard at least once, not currently
+    ///   suspected) by installing a higher view containing it;
+    /// * totally orders views by `(id, member bitmap)`, so concurrent
+    ///   merge proposals from the two healed sides cannot deadlock — the
+    ///   fleet adopts the unique maximum and reconverges.
+    ///
+    /// Detection of a genuine crash is unaffected: a crashed process
+    /// produces no fresh heartbeats, stays suspected, and is never
+    /// rejoined.
+    #[must_use]
+    pub fn with_heal_merge(mut self) -> Self {
+        self.heal_merge = true;
+        self
     }
 
     /// The current view.
@@ -108,8 +145,27 @@ where
         self.views_installed
     }
 
+    /// Total order on views used by heal-merge adoption: primary key the
+    /// monotone id, tiebreaker the member bitmap. Concurrent merge
+    /// proposals from two healed sides can carry the same id; comparing
+    /// bitmaps makes every node pick the same winner, so the fleet
+    /// converges instead of holding equal-id, different-member views.
+    fn rank(view: View) -> (u64, u128) {
+        (view.id, set_to_members(view.members))
+    }
+
     fn adopt(&mut self, view: View) {
-        if view.id > self.view.id {
+        if self.heal_merge {
+            // Reconciliation mode: never halt. A view that omits this
+            // (live) node is ignored — the node keeps its own view and
+            // keeps heartbeating until a coordinator merges it back in.
+            if view.members.contains(self.transport.me())
+                && Self::rank(view) > Self::rank(self.view)
+            {
+                self.view = view;
+                self.views_installed += 1;
+            }
+        } else if view.id > self.view.id {
             self.view = view;
             self.views_installed += 1;
             if !view.members.contains(self.transport.me()) {
@@ -130,7 +186,10 @@ where
             match decode(&dg.payload) {
                 Ok(WireMsg::Heartbeat(hb)) => {
                     let from = ProcessId::new(hb.sender as usize);
-                    if self.view.members.contains(from) {
+                    // Heal-merge mode listens to everyone: a heartbeat
+                    // from outside the view is exactly the liveness
+                    // evidence a rejoin needs.
+                    if self.heal_merge || self.view.members.contains(from) {
                         self.detector.on_heartbeat(from, dg.delivered_at);
                     }
                 }
@@ -157,7 +216,9 @@ where
             .difference(suspects_now)
             .min()
             .unwrap_or(self.transport.me());
-        // Heartbeat the current members.
+        // Heartbeat the current members — or, in heal-merge mode, every
+        // process: cross-cut liveness evidence is what lets the healed
+        // sides find each other again.
         if now >= self.next_beat {
             let payload = encode(&WireMsg::Heartbeat(Heartbeat {
                 sender: self.transport.me().index() as u16,
@@ -165,7 +226,12 @@ where
                 sent_at: now,
             }));
             self.seq += 1;
-            for to in self.view.members.iter() {
+            let targets = if self.heal_merge {
+                ProcessSet::full(self.n)
+            } else {
+                self.view.members
+            };
+            for to in targets.iter() {
                 if to != self.transport.me() {
                     self.transport.send(to, payload.clone());
                 }
@@ -191,17 +257,36 @@ where
         }
         if acting_coordinator == self.transport.me() {
             let suspected = suspects_now.intersection(self.view.members);
-            if !suspected.is_empty() {
+            // Heal-merge duty: re-admit any non-member with fresh
+            // heartbeat evidence — heard at least once (the estimator has
+            // a deadline) and not currently suspected. A crashed process
+            // fails both forever, so only healed/recovered peers rejoin.
+            let rejoiners = if self.heal_merge {
+                self.view
+                    .members
+                    .complement_within(self.n)
+                    .iter()
+                    .filter(|p| {
+                        self.detector
+                            .monitor(*p)
+                            .is_some_and(|est| est.deadline().is_some() && !est.is_suspect(now))
+                    })
+                    .collect()
+            } else {
+                ProcessSet::empty()
+            };
+            let new_members = self.view.members.difference(suspected).union(rejoiners);
+            if new_members != self.view.members {
                 let new_view = View {
                     id: self.view.id + 1,
-                    members: self.view.members.difference(suspected),
+                    members: new_members,
                 };
                 let payload = encode(&WireMsg::ViewChange(ViewChange {
                     view_id: new_view.id,
                     members: set_to_members(new_view.members),
                 }));
                 // Announce to everyone (including the excluded, so they
-                // halt).
+                // halt — or, under heal-merge, eventually rejoin).
                 for ix in 0..self.n {
                     let to = ProcessId::new(ix);
                     if to != self.transport.me() {
@@ -393,6 +478,80 @@ mod tests {
             .emulated
             .value(ProcessId::new(1), Time::new(outcome.duration_ms - 1));
         assert!(final_suspects.contains(ProcessId::new(0)));
+    }
+
+    /// The recover-path contrast between the two policies. Under the
+    /// default §1.3 enforcement a member excluded while down never gets
+    /// back: it either halts on learning of its exclusion or — having
+    /// already suspected everyone during its outage — lingers in a stale
+    /// view of its own (equal view ids are never adopted), so the
+    /// authoritative group stays split from it either way. Under
+    /// heal-merge it is rejoined and the fleet reconverges.
+    #[test]
+    fn heal_merge_rejoins_a_recovered_member_instead_of_halting() {
+        for merge in [false, true] {
+            let n = 3;
+            let clock = crate::clock::VirtualClock::new();
+            let net = InMemoryNetwork::new(n, NetworkConfig::reliable(ms(1), ms(4)), clock.clone());
+            let mut nodes: Vec<_> = (0..n)
+                .map(|ix| {
+                    let node = MembershipNode::new(
+                        n,
+                        ChenEstimator::new(ms(150), 16, ms(600)),
+                        net.endpoint(ProcessId::new(ix)),
+                        clock.clone(),
+                        ms(50),
+                    );
+                    if merge {
+                        node.with_heal_merge()
+                    } else {
+                        node
+                    }
+                })
+                .collect();
+            let victim = ProcessId::new(2);
+            let mut down = false;
+            while clock.now() < ms(20_000) {
+                let now = clock.now();
+                if !down && now >= ms(5_000) {
+                    down = true;
+                    net.take_down(victim);
+                }
+                if down && now >= ms(10_000) {
+                    down = false;
+                    net.bring_up(victim);
+                }
+                for (ix, node) in nodes.iter_mut().enumerate() {
+                    if !(down && ix == victim.index()) {
+                        node.poll();
+                    }
+                }
+                clock.advance(ms(1));
+            }
+            // In both modes the outage was excluded by the coordinator.
+            assert!(nodes[0].views_installed() >= 1, "merge={merge}");
+            if merge {
+                assert!(!nodes[2].is_halted(), "heal-merge never halts");
+                for node in &nodes {
+                    assert_eq!(
+                        node.view().members,
+                        ProcessSet::full(n),
+                        "the recovered member was merged back (merge={merge})"
+                    );
+                }
+            } else {
+                // Exclusion is forever: the survivors' authoritative
+                // view never re-admits the recovered member, and the
+                // member either halted or split off into a stale view.
+                assert!(!nodes[0].view().members.contains(victim));
+                assert!(
+                    nodes[2].is_halted() || nodes[2].view() != nodes[0].view(),
+                    "default mode must not reconverge: {:?} vs {:?}",
+                    nodes[2].view(),
+                    nodes[0].view()
+                );
+            }
+        }
     }
 
     #[test]

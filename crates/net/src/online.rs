@@ -9,7 +9,7 @@
 //! * [`FaultSchedule`] / [`Fault`] — a ground-truth timeline of crashes,
 //!   recoveries and network partitions;
 //! * [`OnlineRunner`] — a resumable scenario driver: `n` heartbeating
-//!   [`DetectorNode`]s over the virtual network, advanced one sample tick
+//!   [`DetectorNode`]s over any [`Transport`], advanced one sample tick
 //!   at a time, yielding typed [`OnlineEvent`]s (fault injections and
 //!   suspicion transitions) and feeding a live [`QosMonitor`] per
 //!   observer–target pair. An opt-in batch [`QosTracker`] shadow
@@ -20,16 +20,25 @@
 //! * [`MembershipWatcher`] — an incremental observer of a membership
 //!   fleet under churn: exclusion latency per crash, false exclusions
 //!   (live processes excluded by fiat — partitions force these), view
-//!   change counts. [`run_membership_churn`] drives a
-//!   [`MembershipNode`] fleet through a fault schedule and returns the
-//!   watcher's report.
+//!   change counts, split-brain duration and post-heal reconvergence
+//!   latency. [`run_membership_churn`] drives a [`MembershipNode`] fleet
+//!   through a fault schedule and returns the watcher's report.
+//!
+//! Both drivers are generic over the execution substrate — the per-node
+//! [`Transport`], the [`ChurnableTransport`] fault plane the schedule
+//! acts on, and the [`Pacer`] clock pacing the ticks — so one scenario
+//! runs deterministically on the simulated network
+//! ([`OnlineRunner::new`], [`run_membership_churn`]) *and* in wall time
+//! over real UDP sockets wrapped in
+//! [`crate::transport::FaultyTransport`] ([`OnlineRunner::over`],
+//! [`run_membership_churn_over`]; see `examples/udp_churn.rs`).
 
-use crate::clock::{Clock, Nanos, VirtualClock};
+use crate::clock::{Nanos, Pacer, VirtualClock};
 use crate::detector::DetectorNode;
 use crate::estimator::ArrivalEstimator;
 use crate::membership::MembershipNode;
 use crate::qos::{QosMonitor, QosReport, QosTracker};
-use crate::transport::{Endpoint, InMemoryNetwork, NetworkConfig};
+use crate::transport::{ChurnableTransport, Endpoint, InMemoryNetwork, NetworkConfig, Transport};
 use rfd_core::{ProcessId, ProcessSet};
 
 /// One ground-truth fault injection.
@@ -107,12 +116,14 @@ impl FaultSchedule {
 /// calling `on_fault` once per applied fault (for caller-side
 /// bookkeeping: event emission, watcher notes). Shared by
 /// [`OnlineRunner::step`] and [`run_membership_churn`] so the two
-/// drivers cannot drift in churn semantics.
-fn apply_due_faults<F: FnMut(Nanos, &Fault)>(
+/// drivers cannot drift in churn semantics — and generic over
+/// [`ChurnableTransport`], so the semantics are also identical between
+/// the simulated and the real-socket fleets.
+fn apply_due_faults<N: ChurnableTransport, F: FnMut(Nanos, &Fault)>(
     schedule: &FaultSchedule,
     next: &mut usize,
     now: Nanos,
-    net: &InMemoryNetwork,
+    net: &N,
     up: &mut [bool],
     mut on_fault: F,
 ) {
@@ -156,6 +167,13 @@ pub struct OnlineScenario {
     pub seed: u64,
     /// Ground-truth fault schedule.
     pub schedule: FaultSchedule,
+    /// Whether the membership fleet reconciles split-brain views after a
+    /// partition heals (see
+    /// [`MembershipNode::with_heal_merge`](crate::membership::MembershipNode::with_heal_merge)).
+    /// Off by default: the classic §1.3 service split-brains by design —
+    /// exclusion is forever. Only [`run_membership_churn`] reads this;
+    /// the detector fleet of [`OnlineRunner`] has no views to merge.
+    pub heal_merge: bool,
 }
 
 impl Default for OnlineScenario {
@@ -169,6 +187,7 @@ impl Default for OnlineScenario {
             sample_every: Nanos::from_millis(5),
             seed: 0,
             schedule: FaultSchedule::new(),
+            heal_merge: false,
         }
     }
 }
@@ -198,13 +217,54 @@ pub enum OnlineEvent {
 
 /// A resumable online scenario: call [`OnlineRunner::step`] per sample
 /// tick (or [`OnlineRunner::run_to_end`]) and read live per-pair QoS via
-/// [`OnlineRunner::report`] at any time.
+/// [`OnlineRunner::report`] at any time — the streaming counterpart of
+/// the batch [`QosTracker`] path, with one incremental [`QosMonitor`]
+/// per observer–target pair.
+///
+/// The runner is generic over the whole execution substrate:
+///
+/// * `T` — the per-node [`Transport`] the detector fleet speaks over;
+/// * `C` — the [`Pacer`] clock that drives the sample ticks
+///   ([`VirtualClock`] jumps instantly and deterministically,
+///   [`crate::clock::SystemClock`] genuinely sleeps between ticks);
+/// * `N` — the [`ChurnableTransport`] control plane the fault schedule
+///   acts on.
+///
+/// [`OnlineRunner::new`] instantiates the simulated combination
+/// (in-memory network + virtual clock); [`OnlineRunner::over`] accepts
+/// any other stack, e.g. [`crate::transport::FaultyTransport`]-wrapped
+/// UDP sockets paced by the wall clock (`examples/udp_churn.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::ProcessId;
+/// use rfd_net::clock::Nanos;
+/// use rfd_net::estimator::ChenEstimator;
+/// use rfd_net::online::{Fault, FaultSchedule, OnlineRunner, OnlineScenario};
+///
+/// let ms = Nanos::from_millis;
+/// let target = ProcessId::new(1);
+/// let scenario = OnlineScenario {
+///     n: 2,
+///     duration: ms(10_000),
+///     schedule: FaultSchedule::new().at(ms(5_000), Fault::Crash(target)),
+///     ..OnlineScenario::default()
+/// };
+/// let mut runner = OnlineRunner::new(ChenEstimator::new(ms(50), 32, ms(500)), scenario);
+/// while let Some(_events) = runner.step() { /* react live */ }
+/// let report = runner.report(ProcessId::new(0), target).unwrap();
+/// assert!(report.detection_time.is_some(), "the crash was detected");
+/// ```
 #[derive(Debug)]
-pub struct OnlineRunner<E: ArrivalEstimator + Clone> {
+pub struct OnlineRunner<E, T = Endpoint, C = VirtualClock, N = InMemoryNetwork>
+where
+    E: ArrivalEstimator + Clone,
+{
     scenario: OnlineScenario,
-    clock: VirtualClock,
-    net: InMemoryNetwork,
-    nodes: Vec<DetectorNode<E, Endpoint, VirtualClock>>,
+    clock: C,
+    net: N,
+    nodes: Vec<DetectorNode<E, T, C>>,
     up: Vec<bool>,
     /// `monitors[observer][target]`, `None` on the diagonal.
     monitors: Vec<Vec<Option<QosMonitor>>>,
@@ -216,13 +276,14 @@ pub struct OnlineRunner<E: ArrivalEstimator + Clone> {
     shadows: Option<Vec<Vec<Option<QosTracker>>>>,
     last_suspects: Vec<ProcessSet>,
     next_fault: usize,
+    stepped: bool,
     done: bool,
 }
 
 impl<E: ArrivalEstimator + Clone> OnlineRunner<E> {
-    /// Builds the runner: `n` detector nodes around clones of
-    /// `prototype`, a fresh virtual network, and one monitor per ordered
-    /// observer–target pair, primed with the schedule's final crash times.
+    /// Builds the simulated runner: `n` detector nodes around clones of
+    /// `prototype` over a fresh seeded virtual network (the scenario's
+    /// `loss`, `delay` and `seed` fields), deterministic per seed.
     #[must_use]
     pub fn new(prototype: E, scenario: OnlineScenario) -> Self {
         let n = scenario.n;
@@ -231,12 +292,52 @@ impl<E: ArrivalEstimator + Clone> OnlineRunner<E> {
             .with_loss(scenario.loss)
             .with_seed(scenario.seed);
         let net = InMemoryNetwork::new(n, config, clock.clone());
-        let nodes = (0..n)
-            .map(|ix| {
+        let endpoints = (0..n).map(|ix| net.endpoint(ProcessId::new(ix))).collect();
+        Self::over(prototype, scenario, endpoints, net, clock)
+    }
+}
+
+impl<E, T, C, N> OnlineRunner<E, T, C, N>
+where
+    E: ArrivalEstimator + Clone,
+    T: Transport,
+    C: Pacer + Clone,
+    N: ChurnableTransport,
+{
+    /// Builds the runner over an arbitrary substrate: one [`Transport`]
+    /// per node (in process-id order), the [`ChurnableTransport`] control
+    /// plane the fault schedule drives, and the [`Pacer`] clock that
+    /// paces the sample ticks. One [`QosMonitor`] per ordered
+    /// observer–target pair is primed with the schedule's final crash
+    /// times.
+    ///
+    /// The scenario's transport-level fields (`loss`, `delay`, `seed`)
+    /// describe the network [`OnlineRunner::new`] builds; here the
+    /// caller already built the substrate, so they are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints.len() != scenario.n` or an endpoint's
+    /// identity disagrees with its position.
+    #[must_use]
+    pub fn over(
+        prototype: E,
+        scenario: OnlineScenario,
+        endpoints: Vec<T>,
+        net: N,
+        clock: C,
+    ) -> Self {
+        let n = scenario.n;
+        assert_eq!(endpoints.len(), n, "one endpoint per process");
+        let nodes = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(ix, endpoint)| {
+                assert_eq!(endpoint.me(), ProcessId::new(ix), "endpoints out of order");
                 DetectorNode::new(
                     n,
                     prototype.clone(),
-                    net.endpoint(ProcessId::new(ix)),
+                    endpoint,
                     clock.clone(),
                     scenario.period,
                 )
@@ -262,6 +363,7 @@ impl<E: ArrivalEstimator + Clone> OnlineRunner<E> {
             net,
             clock,
             next_fault: 0,
+            stepped: false,
             done: false,
             scenario,
         }
@@ -280,7 +382,7 @@ impl<E: ArrivalEstimator + Clone> OnlineRunner<E> {
     pub fn with_batch_shadow(mut self) -> Self {
         let n = self.scenario.n;
         debug_assert!(
-            self.now() == Nanos::ZERO,
+            !self.stepped,
             "enable the shadow before stepping, or it will miss samples"
         );
         self.shadows = Some(
@@ -316,12 +418,19 @@ impl<E: ArrivalEstimator + Clone> OnlineRunner<E> {
     }
 
     /// Executes one sample tick: applies due faults, polls every live
-    /// node, samples all monitors, and returns the tick's events. `None`
-    /// once the scenario duration has elapsed.
+    /// node, samples all monitors, paces the clock to the next tick, and
+    /// returns the tick's events. `None` once the scenario duration has
+    /// elapsed.
+    ///
+    /// Under a [`VirtualClock`] the tick is instantaneous; under a
+    /// [`crate::clock::SystemClock`] this genuinely sleeps out the
+    /// remainder of `sample_every`, so driving the runner in a loop
+    /// paces the fleet in wall time.
     pub fn step(&mut self) -> Option<Vec<OnlineEvent>> {
         if self.done {
             return None;
         }
+        self.stepped = true;
         let now = self.clock.now();
         if now >= self.scenario.duration {
             self.done = true;
@@ -370,7 +479,8 @@ impl<E: ArrivalEstimator + Clone> OnlineRunner<E> {
                 }
             }
         }
-        self.clock.advance(self.scenario.sample_every);
+        self.clock
+            .pace_to(now.saturating_add(self.scenario.sample_every));
         Some(events)
     }
 
@@ -467,6 +577,19 @@ pub struct MembershipChurnReport {
     pub false_exclusions: ProcessSet,
     /// View installations observed across the fleet.
     pub view_changes: u64,
+    /// Total time the fleet spent **split-brained**: live, non-halted
+    /// members holding at least two distinct views (id or member set).
+    /// Accumulated between observation ticks, so its resolution is the
+    /// observation cadence and the partial interval after the final
+    /// observation is not counted (an undercount of at most one tick).
+    pub split_brain_duration: Nanos,
+    /// Per noted heal ([`MembershipWatcher::note_heal`]), the time from
+    /// the heal to the first observation at which every live member held
+    /// one single view again. `None` if the fleet never reconverged
+    /// before the observation ended — the default (merge-less) service
+    /// split-brains forever; the heal-merge reconciliation is what makes
+    /// these finite.
+    pub time_to_reconverge: Vec<Option<Nanos>>,
 }
 
 /// An incremental observer of a membership fleet under churn: feed it
@@ -480,7 +603,20 @@ pub struct MembershipWatcher {
     excluded_at: Vec<Option<Nanos>>,
     false_exclusions: ProcessSet,
     last_view_ids: Vec<u64>,
+    /// Last observed member set per node: heal-merge adoption is ordered
+    /// by `(id, member bitmap)`, so an installation can keep the id and
+    /// change only the members — counted as a view change too.
+    last_view_members: Vec<Option<ProcessSet>>,
     view_changes: u64,
+    /// Whether the previous observation saw divergent views, and when it
+    /// was taken — the state that turns per-tick observations into the
+    /// accumulated split-brain duration.
+    diverged: bool,
+    last_observed: Option<Nanos>,
+    split_brain: Nanos,
+    /// `(heal time, time to reconverge)` per noted heal; the second
+    /// component stays `None` until a convergent observation follows.
+    heals: Vec<(Nanos, Option<Nanos>)>,
 }
 
 impl MembershipWatcher {
@@ -494,7 +630,12 @@ impl MembershipWatcher {
             excluded_at: vec![None; n],
             false_exclusions: ProcessSet::empty(),
             last_view_ids: vec![0; n],
+            last_view_members: vec![None; n],
             view_changes: 0,
+            diverged: false,
+            last_observed: None,
+            split_brain: Nanos::ZERO,
+            heals: Vec::new(),
         }
     }
 
@@ -511,6 +652,13 @@ impl MembershipWatcher {
         self.down.remove(p);
     }
 
+    /// Notes that the network partition healed at `at`: the fleet's time
+    /// to reconverge onto a single view is measured from here (reported
+    /// in [`MembershipChurnReport::time_to_reconverge`]).
+    pub fn note_heal(&mut self, at: Nanos) {
+        self.heals.push((at, None));
+    }
+
     /// Feeds one observation tick: `views` holds, for each live
     /// (non-halted) member, its current view id and member set. A
     /// process counts as *excluded* once the **authoritative view** —
@@ -523,15 +671,47 @@ impl MembershipWatcher {
         I: IntoIterator<Item = (ProcessId, u64, ProcessSet)>,
     {
         let mut authority: Option<(ProcessId, ProcessSet)> = None;
+        let mut first_view: Option<(u64, ProcessSet)> = None;
+        let mut saw_view = false;
+        let mut diverged_now = false;
         for (member, view_id, members) in views {
             match &authority {
                 Some((lowest, _)) if member >= *lowest => {}
                 _ => authority = Some((member, members)),
             }
+            match first_view {
+                Some(v) if v != (view_id, members) => diverged_now = true,
+                None => first_view = Some((view_id, members)),
+                Some(_) => {}
+            }
+            saw_view = true;
             let last = &mut self.last_view_ids[member.index()];
             if view_id > *last {
                 self.view_changes += view_id - *last;
                 *last = view_id;
+            } else if view_id == *last
+                && self.last_view_members[member.index()].is_some_and(|m| m != members)
+            {
+                // A same-id, different-members installation: the
+                // heal-merge total order advanced on the bitmap alone.
+                self.view_changes += 1;
+            }
+            self.last_view_members[member.index()] = Some(members);
+        }
+        // Split-brain accounting: the interval since the previous
+        // observation carries that observation's divergence verdict.
+        if self.diverged {
+            if let Some(prev) = self.last_observed {
+                self.split_brain = self.split_brain.saturating_add(now.saturating_sub(prev));
+            }
+        }
+        self.diverged = diverged_now;
+        self.last_observed = Some(now);
+        if saw_view && !diverged_now {
+            for (healed_at, reconverged) in &mut self.heals {
+                if reconverged.is_none() && now >= *healed_at {
+                    *reconverged = Some(now.saturating_sub(*healed_at));
+                }
             }
         }
         let Some((_, authoritative_members)) = authority else {
@@ -564,17 +744,25 @@ impl MembershipWatcher {
             exclusion_latency,
             false_exclusions: self.false_exclusions,
             view_changes: self.view_changes,
+            split_brain_duration: self.split_brain,
+            time_to_reconverge: self.heals.iter().map(|(_, r)| *r).collect(),
         }
     }
 }
 
 /// Drives a [`MembershipNode`] fleet through the scenario's fault
-/// schedule, observing it live with a [`MembershipWatcher`], and returns
-/// the watcher's report.
+/// schedule over the simulated network (deterministic per seed),
+/// observing it live with a [`MembershipWatcher`], and returns the
+/// watcher's report. Delegates to [`run_membership_churn_over`].
 ///
-/// A recovered process rejoins the network but — per the §1.3 enforcement
-/// — halts as soon as it learns it was excluded while down: suspicion,
-/// once converted into exclusion, stays accurate by fiat.
+/// With `scenario.heal_merge` off (the default), exclusion is forever —
+/// the §1.3 enforcement: a process excluded while down or partitioned
+/// either halts on learning of a newer view that omits it, or (having
+/// suspected everyone during its outage) splits off into a stale view of
+/// its own that the authoritative group never readopts. With it on, the
+/// fleet instead reconciles after partitions heal: divergent views merge
+/// back into a single one and
+/// [`MembershipChurnReport::time_to_reconverge`] becomes finite.
 pub fn run_membership_churn<E: ArrivalEstimator + Clone>(
     prototype: E,
     scenario: &OnlineScenario,
@@ -585,15 +773,53 @@ pub fn run_membership_churn<E: ArrivalEstimator + Clone>(
         .with_loss(scenario.loss)
         .with_seed(scenario.seed);
     let net = InMemoryNetwork::new(n, config, clock.clone());
-    let mut nodes: Vec<_> = (0..n)
-        .map(|ix| {
-            MembershipNode::new(
+    let endpoints = (0..n).map(|ix| net.endpoint(ProcessId::new(ix))).collect();
+    run_membership_churn_over(prototype, scenario, endpoints, net, clock)
+}
+
+/// The transport-generic membership churn driver behind
+/// [`run_membership_churn`]: one [`Transport`] per node, the
+/// [`ChurnableTransport`] control plane the schedule acts on, and the
+/// [`Pacer`] clock that paces the observation ticks — pass
+/// [`crate::transport::FaultyTransport`]-wrapped UDP sockets and a
+/// [`crate::clock::SystemClock`] to churn a membership fleet over real
+/// sockets in wall time.
+///
+/// # Panics
+///
+/// Panics if `endpoints.len() != scenario.n`.
+pub fn run_membership_churn_over<E, T, C, N>(
+    prototype: E,
+    scenario: &OnlineScenario,
+    endpoints: Vec<T>,
+    net: N,
+    clock: C,
+) -> MembershipChurnReport
+where
+    E: ArrivalEstimator + Clone,
+    T: Transport,
+    C: Pacer + Clone,
+    N: ChurnableTransport,
+{
+    let n = scenario.n;
+    assert_eq!(endpoints.len(), n, "one endpoint per process");
+    let mut nodes: Vec<_> = endpoints
+        .into_iter()
+        .enumerate()
+        .map(|(ix, endpoint)| {
+            assert_eq!(endpoint.me(), ProcessId::new(ix), "endpoints out of order");
+            let node = MembershipNode::new(
                 n,
                 prototype.clone(),
-                net.endpoint(ProcessId::new(ix)),
+                endpoint,
                 clock.clone(),
                 scenario.period,
-            )
+            );
+            if scenario.heal_merge {
+                node.with_heal_merge()
+            } else {
+                node
+            }
         })
         .collect();
     let mut watcher = MembershipWatcher::new(n);
@@ -610,7 +836,8 @@ pub fn run_membership_churn<E: ArrivalEstimator + Clone>(
             |at, fault| match fault {
                 Fault::Crash(p) => watcher.note_crash(*p, at),
                 Fault::Recover(p) => watcher.note_recover(*p),
-                _ => {}
+                Fault::Heal => watcher.note_heal(at),
+                Fault::Partition(_) => {}
             },
         );
         for (ix, node) in nodes.iter_mut().enumerate() {
@@ -629,7 +856,7 @@ pub fn run_membership_churn<E: ArrivalEstimator + Clone>(
                     (ProcessId::new(ix), v.id, v.members)
                 }),
         );
-        clock.advance(scenario.sample_every);
+        clock.pace_to(now.saturating_add(scenario.sample_every));
     }
     watcher.report()
 }
@@ -637,8 +864,11 @@ pub fn run_membership_churn<E: ArrivalEstimator + Clone>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::SystemClock;
     use crate::estimator::{ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual};
     use crate::qos::{evaluate_qos, QosScenario};
+    use crate::transport::faulty_cluster;
+    use crate::transport::udp::loopback_cluster;
 
     fn ms(v: u64) -> Nanos {
         Nanos::from_millis(v)
@@ -796,6 +1026,135 @@ mod tests {
         assert!(online.detection_time.is_some() && batch.detection_time.is_some());
         assert_eq!(online.mistakes, 0);
         assert_eq!(batch.mistakes, 0);
+    }
+
+    /// The generic runner over a [`crate::transport::FaultyTransport`]
+    /// cluster (reliable in-memory medium, every fault injected by the
+    /// wrapper) behaves like the native in-memory runner: the crash is
+    /// detected and the incremental monitors still equal their batch
+    /// shadows exactly.
+    #[test]
+    fn generic_runner_over_a_faulty_transport_detects_and_matches_batch() {
+        let scenario = OnlineScenario {
+            n: 3,
+            duration: ms(20_000),
+            schedule: FaultSchedule::new()
+                .at(ms(6_000), Fault::Partition(ProcessSet::singleton(p(1))))
+                .at(ms(9_000), Fault::Heal)
+                .at(ms(12_000), Fault::Crash(p(2))),
+            ..OnlineScenario::default()
+        };
+        let clock = VirtualClock::new();
+        let config = NetworkConfig::reliable(scenario.delay.0, scenario.delay.1);
+        let net = InMemoryNetwork::new(scenario.n, config, clock.clone());
+        let endpoints = (0..scenario.n)
+            .map(|ix| net.endpoint(ProcessId::new(ix)))
+            .collect();
+        let (nodes, injector) = faulty_cluster(endpoints, 0.0, scenario.seed, clock.clone());
+        let mut runner = OnlineRunner::over(
+            ChenEstimator::new(ms(50), 32, ms(500)),
+            scenario,
+            nodes,
+            injector,
+            clock,
+        )
+        .with_batch_shadow();
+        let events = runner.run_to_end();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            OnlineEvent::Fault {
+                fault: Fault::Heal,
+                ..
+            }
+        )));
+        let r = runner.report(p(0), p(2)).unwrap();
+        let td = r
+            .detection_time
+            .expect("crash detected through the wrapper");
+        assert!(td.as_millis() < 2_000, "T_D = {td}");
+        // The partition of p1 looked like a crash to p0: a mistake.
+        let cross = runner.report(p(0), p(1)).unwrap();
+        assert!(cross.mistakes >= 1, "{cross:?}");
+        for a in 0..3 {
+            for b in 0..3 {
+                assert!(runner.monitor_matches_batch(p(a), p(b)), "({a},{b})");
+            }
+        }
+    }
+
+    /// The whole online stack over *real* loopback UDP sockets, paced by
+    /// the wall clock: a short scenario (~1.2 s) in which the victim is
+    /// crash-muted and the survivor must detect it.
+    #[test]
+    fn wall_clock_udp_runner_detects_a_muted_peer() {
+        let scenario = OnlineScenario {
+            n: 2,
+            period: ms(40),
+            sample_every: ms(10),
+            duration: ms(1_600),
+            schedule: FaultSchedule::new().at(ms(500), Fault::Crash(p(1))),
+            ..OnlineScenario::default()
+        };
+        let clock = SystemClock::new();
+        let transports = loopback_cluster(2).expect("bind loopback");
+        let (nodes, injector) = faulty_cluster(transports, 0.0, 0, clock.clone());
+        let mut runner =
+            OnlineRunner::over(FixedTimeout::new(ms(150)), scenario, nodes, injector, clock);
+        runner.run_to_end();
+        assert!(runner.is_done());
+        let r = runner.report(p(0), p(1)).unwrap();
+        // Wall-clock tolerant: typical T_D is ~160 ms, the bound only
+        // guards against the detection being missed entirely.
+        let td = r.detection_time.expect("mute detected over real sockets");
+        assert!(td.as_millis() < 1_000, "T_D = {td} (report {r:?})");
+    }
+
+    /// Heal-merge reconciliation: the same partition/heal schedule
+    /// split-brains forever under the default service but reconverges —
+    /// with finite, reported latency — once merging is on.
+    #[test]
+    fn heal_merge_reconverges_where_the_default_splits_forever() {
+        let mut minority = ProcessSet::empty();
+        minority.insert(p(2));
+        minority.insert(p(3));
+        let scenario = OnlineScenario {
+            n: 4,
+            period: ms(50),
+            duration: ms(30_000),
+            sample_every: ms(1),
+            schedule: FaultSchedule::new()
+                .at(ms(5_000), Fault::Partition(minority))
+                .at(ms(10_000), Fault::Heal),
+            ..OnlineScenario::default()
+        };
+        let chen = || ChenEstimator::new(ms(150), 16, ms(600));
+
+        let split = run_membership_churn(chen(), &scenario);
+        assert_eq!(
+            split.time_to_reconverge,
+            vec![None],
+            "split-brain is forever"
+        );
+        assert!(split.split_brain_duration >= ms(15_000), "{split:?}");
+
+        let merged = run_membership_churn(
+            chen(),
+            &OnlineScenario {
+                heal_merge: true,
+                ..scenario
+            },
+        );
+        let ttr = merged.time_to_reconverge[0].expect("fleet reconverged after the heal");
+        assert!(ttr < ms(5_000), "time to reconverge {ttr}");
+        // Split-brain covers (roughly) the partition plus the merge
+        // window — far less than the merge-less forever.
+        assert!(merged.split_brain_duration < split.split_brain_duration);
+        // The minority was still excluded by fiat *during* the cut.
+        assert!(
+            !merged.false_exclusions.is_empty(),
+            "{:?}",
+            merged.false_exclusions
+        );
     }
 
     #[test]

@@ -127,6 +127,11 @@ impl QosTracker {
 /// prefix fed to both,
 /// `monitor.report(end) == tracker.finalize(crash, end)` field for field
 /// — property-tested in `tests/prop_qos.rs`.
+///
+/// [`crate::online::OnlineRunner`] embeds one monitor per ordered
+/// observer–target pair and samples them every tick; it is the
+/// runtime-layer sibling of the simulation layer's streaming run driver
+/// (`rfd_sim::stream::StreamRun`).
 #[derive(Clone, Debug)]
 pub struct QosMonitor {
     crash: Option<Nanos>,

@@ -1,6 +1,6 @@
 //! A deterministic in-memory network driven by a virtual clock.
 
-use super::{Datagram, Transport};
+use super::{ChurnableTransport, Datagram, Transport};
 use crate::clock::{Clock, Nanos, VirtualClock};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -358,6 +358,26 @@ impl InMemoryNetwork {
             return None;
         }
         g.inboxes[me.index()].pop_front()
+    }
+}
+
+/// The churn surface delegates to the inherent methods: faults act on
+/// the simulated medium itself, deterministically per seed.
+impl ChurnableTransport for InMemoryNetwork {
+    fn take_down(&self, node: ProcessId) {
+        InMemoryNetwork::take_down(self, node);
+    }
+
+    fn bring_up(&self, node: ProcessId) {
+        InMemoryNetwork::bring_up(self, node);
+    }
+
+    fn set_partition(&self, side: ProcessSet) {
+        InMemoryNetwork::set_partition(self, side);
+    }
+
+    fn heal_partition(&self) {
+        InMemoryNetwork::heal_partition(self);
     }
 }
 

@@ -3,17 +3,22 @@
 //! [`InMemoryNetwork`] is a deterministic virtual-time network with
 //! configurable loss, delay and partitions — the workhorse of the QoS
 //! experiments. [`UdpTransport`] carries the same traffic over real
-//! `UdpSocket`s for the end-to-end examples.
+//! `UdpSocket`s for the end-to-end examples, and [`FaultyTransport`]
+//! wraps any per-node transport with the fault-injection surface
+//! ([`ChurnableTransport`]) the online churn drivers need, so the same
+//! crash / recover / partition schedules run over genuine OS sockets.
 
+pub mod faulty;
 pub mod memory;
 pub mod udp;
 
+pub use faulty::{faulty_cluster, FaultInjector, FaultyTransport};
 pub use memory::{Endpoint, InMemoryNetwork, LossModel, NetworkConfig};
 pub use udp::UdpTransport;
 
 use crate::clock::Nanos;
 use bytes::Bytes;
-use rfd_core::ProcessId;
+use rfd_core::{ProcessId, ProcessSet};
 
 /// A received datagram.
 #[derive(Clone, Debug)]
@@ -38,4 +43,36 @@ pub trait Transport {
 
     /// Receives the next available datagram, if any.
     fn recv(&self) -> Option<Datagram>;
+}
+
+/// The fleet-level fault-injection surface of a transport: what a churn
+/// driver ([`crate::online::OnlineRunner`],
+/// [`crate::online::run_membership_churn`]) needs to apply a ground-truth
+/// [`crate::online::FaultSchedule`].
+///
+/// Two implementations ship:
+///
+/// * [`InMemoryNetwork`] — faults act on the simulated medium itself
+///   (virtual time, deterministic per seed);
+/// * [`FaultInjector`] — the shared control plane of a
+///   [`FaultyTransport`] cluster, muting and partitioning traffic that
+///   really flows through OS sockets (wall time).
+pub trait ChurnableTransport {
+    /// Crashes `node`: from now on it neither sends nor receives.
+    fn take_down(&self, node: ProcessId);
+
+    /// Recovers `node` (churn): its traffic flows again. Datagrams
+    /// addressed to it while it was down must not surface afterwards
+    /// (implementations may also drop a datagram arriving in the brief
+    /// window between recovery and the node's next receive — best-effort
+    /// loss, never stale delivery).
+    fn bring_up(&self, node: ProcessId);
+
+    /// Installs a network partition between `side` and its complement;
+    /// traffic within either side is unaffected. Replaces any previous
+    /// partition.
+    fn set_partition(&self, side: ProcessSet);
+
+    /// Heals the active partition, if any.
+    fn heal_partition(&self);
 }

@@ -1,0 +1,155 @@
+//! Partition-heal view reconciliation: regression and property tests.
+//!
+//! The merge-less membership service split-brains by design (§1.3:
+//! exclusion is forever). With heal-merge enabled
+//! ([`MembershipNode::with_heal_merge`] /
+//! [`OnlineScenario::heal_merge`]), the fleet must instead reconverge to
+//! a **single authoritative view** after every heal — these tests pin
+//! that contract, deterministically and under random heal schedules.
+
+use proptest::prelude::*;
+use rfd_core::{ProcessId, ProcessSet};
+use rfd_net::clock::{Clock, Nanos, VirtualClock};
+use rfd_net::estimator::ChenEstimator;
+use rfd_net::membership::MembershipNode;
+use rfd_net::online::{run_membership_churn, Fault, FaultSchedule, OnlineScenario};
+use rfd_net::transport::{Endpoint, InMemoryNetwork, NetworkConfig};
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn chen() -> ChenEstimator {
+    ChenEstimator::new(ms(150), 16, ms(600))
+}
+
+/// Regression: two healed partitions reconverge to one authoritative
+/// view containing every live member — checked on the nodes themselves,
+/// not just the watcher's metrics.
+#[test]
+fn healed_partitions_reconverge_to_one_authoritative_view() {
+    let n = 5;
+    let clock = VirtualClock::new();
+    let config = NetworkConfig::reliable(ms(1), ms(5)).with_seed(3);
+    let net = InMemoryNetwork::new(n, config, clock.clone());
+    let mut nodes: Vec<_> = (0..n)
+        .map(|ix| {
+            MembershipNode::new(n, chen(), net.endpoint(p(ix)), clock.clone(), ms(50))
+                .with_heal_merge()
+        })
+        .collect();
+    let mut side = ProcessSet::empty();
+    side.insert(p(3));
+    side.insert(p(4));
+
+    type Node = MembershipNode<ChenEstimator, Endpoint, VirtualClock>;
+    let poll_until = |clock: &VirtualClock, t: Nanos, nodes: &mut Vec<Node>| {
+        while clock.now() < t {
+            for node in nodes.iter_mut() {
+                node.poll();
+            }
+            clock.advance(ms(1));
+        }
+    };
+
+    poll_until(&clock, ms(5_000), &mut nodes);
+    net.set_partition(side);
+    poll_until(&clock, ms(15_000), &mut nodes);
+    // Split-brain established: the two sides exclude each other.
+    assert!(
+        !nodes[0].view().members.contains(p(4)),
+        "{:?}",
+        nodes[0].view()
+    );
+    assert!(
+        !nodes[3].view().members.contains(p(0)),
+        "{:?}",
+        nodes[3].view()
+    );
+    assert!(
+        nodes.iter().all(|n| !n.is_halted()),
+        "merge mode never halts"
+    );
+
+    net.heal_partition();
+    poll_until(&clock, ms(30_000), &mut nodes);
+    let authoritative = nodes[0].view();
+    assert_eq!(
+        authoritative.members,
+        ProcessSet::full(n),
+        "every live member was merged back: {authoritative:?}"
+    );
+    for (ix, node) in nodes.iter().enumerate() {
+        assert_eq!(
+            node.view(),
+            authoritative,
+            "p{ix} holds a different view: {:?} vs {authoritative:?}",
+            node.view()
+        );
+        assert!(!node.is_halted());
+    }
+}
+
+proptest! {
+    // Each case is a full 25-second virtual membership run; keep the
+    // count modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: whatever (partition, heal) schedule churn throws at the
+    /// heal-merge fleet, reconvergence time after every heal is finite —
+    /// the watcher reports `Some(_)` for each, and the split-brain total
+    /// stays below the observation span.
+    #[test]
+    fn reconvergence_is_finite_for_random_heal_schedules(
+        seed in 0u64..32,
+        // One or two partition/heal rounds at random times; sides drawn
+        // from the non-coordinator tail so a live majority always hosts
+        // the merge.
+        cuts in prop::collection::vec((2_000u64..8_000, 2_000u64..6_000, 1u8..3), 1..3),
+    ) {
+        let n = 4;
+        let mut schedule = FaultSchedule::new();
+        let mut t = 0u64;
+        let mut heals = 0usize;
+        for (gap, hold, side_kind) in cuts {
+            t += gap;
+            let mut side = ProcessSet::singleton(p(3));
+            if side_kind == 2 {
+                side.insert(p(2));
+            }
+            schedule = schedule.at(ms(t), Fault::Partition(side));
+            t += hold;
+            schedule = schedule.at(ms(t), Fault::Heal);
+            heals += 1;
+        }
+        // Leave generous room after the last heal to merge back.
+        let duration = ms(t + 12_000);
+        let scenario = OnlineScenario {
+            n,
+            period: ms(50),
+            duration,
+            sample_every: ms(1),
+            seed,
+            schedule,
+            heal_merge: true,
+            ..OnlineScenario::default()
+        };
+        let report = run_membership_churn(chen(), &scenario);
+        prop_assert_eq!(report.time_to_reconverge.len(), heals);
+        for (ix, ttr) in report.time_to_reconverge.iter().enumerate() {
+            let ttr = ttr.expect("every heal reconverges");
+            prop_assert!(ttr < ms(10_000), "heal {ix} took {ttr}");
+        }
+        prop_assert!(report.split_brain_duration < duration);
+        // Determinism per seed: the exact same scenario reproduces the
+        // exact same report fields.
+        let again = run_membership_churn(chen(), &scenario);
+        prop_assert_eq!(again.split_brain_duration, report.split_brain_duration);
+        prop_assert_eq!(again.time_to_reconverge, report.time_to_reconverge);
+        prop_assert_eq!(again.view_changes, report.view_changes);
+    }
+}

@@ -82,6 +82,21 @@ impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for RunPlan<A> {
 }
 
 /// A multi-seed sweep over one scenario.
+///
+/// # Examples
+///
+/// The [`Campaign::map`] path — any per-seed computation, fanned out
+/// over scoped worker threads, results returned in seed order:
+///
+/// ```
+/// use rfd_sim::Campaign;
+///
+/// let squares: Vec<u64> = Campaign::sweep(0..4).map(|seed| seed * seed);
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+///
+/// The [`Campaign::run`] path (full engine executions per seed) is shown
+/// in the [module docs](self).
 #[derive(Clone, Debug)]
 pub struct Campaign {
     base: SimConfig,

@@ -43,7 +43,7 @@
 //! assert!(result.trace.messages_delivered <= result.trace.messages_sent);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod automaton;

@@ -88,7 +88,38 @@ pub enum StreamEvent<O> {
 /// The stream honours the configured round budget and
 /// [`crate::StopCondition`] exactly like the batch path: once either
 /// fires, [`StreamRun::next_event`] drains the remaining queued events
-/// and then returns `None`.
+/// and then returns `None`. The runtime-layer sibling — live heartbeat
+/// fleets instead of simulated automata — is `rfd_net::online::OnlineRunner`.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::{FailurePattern, History, ProcessId, ProcessSet, Time};
+/// use rfd_sim::{Automaton, Envelope, SimConfig, StepContext, StreamEvent, StreamRun};
+///
+/// // Two silent automata; p1 crashes at t=3 — the stream surfaces the
+/// // crash as a typed event while the run executes.
+/// struct Idle;
+/// impl Automaton for Idle {
+///     type Msg = ();
+///     type Output = ();
+///     fn on_step(&mut self, _: Option<&Envelope<()>>, _: &mut StepContext<(), ()>) {}
+/// }
+///
+/// let pattern = FailurePattern::new(2).with_crash(ProcessId::new(1), Time::new(3));
+/// let silent = History::new(2, ProcessSet::empty());
+/// let mut stream = StreamRun::new(&pattern, &silent, vec![Idle, Idle], &SimConfig::new(1, 50));
+/// let mut crashes = 0;
+/// while let Some(event) = stream.next_event() {
+///     if let StreamEvent::Crashed { process, .. } = event {
+///         assert_eq!(process, ProcessId::new(1));
+///         crashes += 1;
+///     }
+/// }
+/// assert_eq!(crashes, 1);
+/// let result = stream.finish();
+/// assert!(result.trace.rounds <= 50);
+/// ```
 pub struct StreamRun<'a, A: Automaton> {
     scheduler: Scheduler<'a, A>,
     pending: VecDeque<StreamEvent<A::Output>>,

@@ -29,6 +29,18 @@
 //!   scenario runner ([`rfd_net::online`]) for detection as a
 //!   long-running service.
 //!
+//! The three execution paths and their entry points (see
+//! `ARCHITECTURE.md` for the full map):
+//!
+//! * **batch** — [`rfd_sim::run`] / [`rfd_sim::Campaign`] spin a
+//!   scenario to completion and return the trace;
+//! * **stream** — [`rfd_sim::stream::StreamRun`] yields the same run as
+//!   typed events, resumable at any boundary;
+//! * **online** — [`rfd_net::online::OnlineRunner`] drives a live fleet
+//!   under churn, scored tick by tick by [`rfd_net::qos::QosMonitor`]s
+//!   that provably equal the batch accounting, over simulated or real
+//!   ([`rfd_net::transport::FaultyTransport`]) networks.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -46,7 +58,7 @@
 //! See `examples/` for end-to-end scenarios and `EXPERIMENTS.md` for the
 //! experiment-by-experiment reproduction of the paper's results.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// The formal model layer (re-export of [`rfd_core`]).
 pub use rfd_core as core;
