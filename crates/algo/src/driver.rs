@@ -1,0 +1,319 @@
+//! Step-driver adapters: running [`ConsensusCore`]s *outside* the
+//! simulator.
+//!
+//! The cores in [`crate::consensus`] are engine-independent state
+//! machines — the simulator drives them through
+//! [`crate::ConsensusAutomaton`], and a long-running service drives them
+//! through this module. [`SlotDriver`] manages one core per **log slot**
+//! (a replicated log runs one consensus instance per index, exactly the
+//! paper's §1.1 consensus-sequence construction of atomic broadcast) and
+//! takes care of the plumbing a live runtime needs:
+//!
+//! * slot-scoped message routing, with buffering for instances the local
+//!   process has not opened yet (a faster peer may already be deciding
+//!   index `k+1` while this process still fills index `k`);
+//! * λ-steps ([`SlotDriver::tick`]) so suspicion-driven progress — e.g.
+//!   the rotating coordinator's nack-and-advance escape — happens even
+//!   when no message arrives;
+//! * external resolution ([`SlotDriver::resolve`]) for decisions learned
+//!   out of band (a decision relay, post-heal state transfer), dropping
+//!   the instance's core.
+//!
+//! The driver never talks to a transport: every call returns the
+//! `(destination, slot, message)` sends it produced, and the caller owns
+//! encoding and delivery — the same inversion as [`super::Outbox`], one
+//! level up.
+
+use crate::consensus::{ConsensusCore, Outbox};
+use rfd_core::{ProcessId, ProcessSet};
+use std::collections::BTreeMap;
+
+/// One outgoing message of a [`SlotDriver`]: destination, slot, payload.
+pub type SlotSend<M> = (ProcessId, u64, M);
+
+/// A slot-tagged decision, as returned by [`SlotDriver::tick`].
+pub type SlotDecision<V> = (u64, V);
+
+/// The effects of one [`SlotDriver::tick`]: the produced sends and the
+/// slots that decided on it.
+pub type TickEffects<M, V> = (Vec<SlotSend<M>>, Vec<SlotDecision<V>>);
+
+/// A multi-instance, step-driven consensus driver: one
+/// [`ConsensusCore`] per replicated-log slot.
+///
+/// # Examples
+///
+/// A single-process "cluster" decides its own proposal:
+///
+/// ```
+/// use rfd_algo::consensus::RotatingConsensus;
+/// use rfd_algo::driver::SlotDriver;
+/// use rfd_core::{ProcessId, ProcessSet};
+///
+/// let me = ProcessId::new(0);
+/// let mut driver: SlotDriver<RotatingConsensus<u64>> = SlotDriver::new(me, 1);
+/// let (mut sends, decided) = driver.open(0, 7, ProcessSet::empty());
+/// assert!(decided.is_none());
+/// // Deliver the self-addressed traffic until the slot decides.
+/// while let Some((to, slot, msg)) = sends.pop() {
+///     assert_eq!(to, me);
+///     let (more, _) = driver.on_message(slot, me, &msg, ProcessSet::empty());
+///     sends.extend(more);
+/// }
+/// assert_eq!(driver.decision(0), Some(&7));
+/// ```
+#[derive(Debug)]
+pub struct SlotDriver<C: ConsensusCore> {
+    me: ProcessId,
+    n: usize,
+    /// Live cores, one per open undecided slot.
+    open: BTreeMap<u64, C>,
+    /// Traffic for slots this process has not opened yet.
+    buffered: BTreeMap<u64, Vec<(ProcessId, C::Msg)>>,
+    /// Decided slots (cores dropped on decision).
+    decided: BTreeMap<u64, C::Val>,
+}
+
+impl<C: ConsensusCore> SlotDriver<C> {
+    /// A driver for process `me` of `n`.
+    #[must_use]
+    pub fn new(me: ProcessId, n: usize) -> Self {
+        Self {
+            me,
+            n,
+            open: BTreeMap::new(),
+            buffered: BTreeMap::new(),
+            decided: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `slot` currently has a live (open, undecided) core.
+    #[must_use]
+    pub fn is_open(&self, slot: u64) -> bool {
+        self.open.contains_key(&slot)
+    }
+
+    /// The decision of `slot`, if it has one (locally decided or
+    /// externally resolved).
+    #[must_use]
+    pub fn decision(&self, slot: u64) -> Option<&C::Val> {
+        self.decided.get(&slot)
+    }
+
+    /// Opens the consensus instance of `slot` with this process's
+    /// `proposal`, replaying any traffic buffered for it. No-op (empty
+    /// sends) if the slot is already open or decided.
+    ///
+    /// Returns the produced sends and, if the replayed backlog already
+    /// forced a decision, the decided value.
+    pub fn open(
+        &mut self,
+        slot: u64,
+        proposal: C::Val,
+        suspects: ProcessSet,
+    ) -> (Vec<SlotSend<C::Msg>>, Option<C::Val>) {
+        if self.open.contains_key(&slot) || self.decided.contains_key(&slot) {
+            return (Vec::new(), None);
+        }
+        self.open.insert(slot, C::new(self.me, self.n, proposal));
+        let backlog = self.buffered.remove(&slot).unwrap_or_default();
+        let mut sends = Vec::new();
+        let mut decision = self.step_slot(slot, None, suspects, &mut sends);
+        for (from, msg) in backlog {
+            if decision.is_some() {
+                break;
+            }
+            decision = self.step_slot(slot, Some((from, msg)), suspects, &mut sends);
+        }
+        (sends, decision)
+    }
+
+    /// Routes one incoming slot-scoped message. Traffic for a decided
+    /// slot is dropped; traffic for a slot not opened locally is
+    /// buffered until [`SlotDriver::open`] replays it.
+    pub fn on_message(
+        &mut self,
+        slot: u64,
+        from: ProcessId,
+        msg: &C::Msg,
+        suspects: ProcessSet,
+    ) -> (Vec<SlotSend<C::Msg>>, Option<C::Val>) {
+        if self.decided.contains_key(&slot) {
+            return (Vec::new(), None);
+        }
+        if !self.open.contains_key(&slot) {
+            self.buffered
+                .entry(slot)
+                .or_default()
+                .push((from, msg.clone()));
+            return (Vec::new(), None);
+        }
+        let mut sends = Vec::new();
+        let decision = self.step_slot(slot, Some((from, msg.clone())), suspects, &mut sends);
+        (sends, decision)
+    }
+
+    /// λ-steps every open slot with the current detector value, so
+    /// suspicion-driven progress (round advancement past a suspected
+    /// coordinator) happens between messages. Returns the produced sends
+    /// and the slots that decided on this tick.
+    pub fn tick(&mut self, suspects: ProcessSet) -> TickEffects<C::Msg, C::Val> {
+        let mut sends = Vec::new();
+        let mut decisions = Vec::new();
+        let slots: Vec<u64> = self.open.keys().copied().collect();
+        for slot in slots {
+            if let Some(v) = self.step_slot(slot, None, suspects, &mut sends) {
+                decisions.push((slot, v));
+            }
+        }
+        (sends, decisions)
+    }
+
+    /// Records a decision learned out of band (decision relay, state
+    /// transfer), dropping the slot's core and any buffered traffic.
+    /// No-op if the slot already holds a decision.
+    pub fn resolve(&mut self, slot: u64, value: C::Val) {
+        self.open.remove(&slot);
+        self.buffered.remove(&slot);
+        self.decided.entry(slot).or_insert(value);
+    }
+
+    /// Steps one open slot, harvesting sends; on decision, retires the
+    /// core into the decided map.
+    fn step_slot(
+        &mut self,
+        slot: u64,
+        input: Option<(ProcessId, C::Msg)>,
+        suspects: ProcessSet,
+        sends: &mut Vec<SlotSend<C::Msg>>,
+    ) -> Option<C::Val> {
+        let core = self.open.get_mut(&slot)?;
+        let mut out = Outbox::new(self.me, self.n);
+        let decided = core.step(
+            input.as_ref().map(|(from, msg)| (*from, msg)),
+            suspects,
+            &mut out,
+        );
+        sends.extend(out.drain().into_iter().map(|(to, msg)| (to, slot, msg)));
+        if let Some(v) = &decided {
+            self.open.remove(&slot);
+            self.decided.insert(slot, v.clone());
+        }
+        decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::RotatingConsensus;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    type Driver = SlotDriver<RotatingConsensus<u64>>;
+
+    /// Delivers every pending send into the matching driver — in send
+    /// order — until the network drains: a lock-step mini-cluster.
+    fn run_to_quiescence(
+        drivers: &mut [Driver],
+        wire: Vec<(
+            ProcessId,
+            u64,
+            ProcessId,
+            <RotatingConsensus<u64> as ConsensusCore>::Msg,
+        )>,
+    ) {
+        let mut wire: std::collections::VecDeque<_> = wire.into();
+        let mut budget = 10_000;
+        while let Some((to, slot, from, msg)) = wire.pop_front() {
+            budget -= 1;
+            assert!(budget > 0, "mini-cluster failed to quiesce");
+            let (sends, _) = drivers[to.index()].on_message(slot, from, &msg, ProcessSet::empty());
+            for (dest, s, m) in sends {
+                wire.push_back((dest, s, to, m));
+            }
+        }
+    }
+
+    #[test]
+    fn three_drivers_decide_a_common_value_per_slot() {
+        let n = 3;
+        let mut drivers: Vec<Driver> = (0..n).map(|ix| SlotDriver::new(p(ix), n)).collect();
+        let mut wire = Vec::new();
+        for (ix, driver) in drivers.iter_mut().enumerate() {
+            let (sends, _) = driver.open(0, 10 + ix as u64, ProcessSet::empty());
+            for (dest, s, m) in sends {
+                wire.push((dest, s, p(ix), m));
+            }
+        }
+        run_to_quiescence(&mut drivers, wire);
+        let d0 = drivers[0].decision(0).copied().expect("slot 0 decided");
+        for driver in &drivers {
+            assert_eq!(driver.decision(0), Some(&d0));
+            assert!(!driver.is_open(0), "decided slots retire their core");
+        }
+        assert!((10..13).contains(&d0), "validity: a proposed value");
+    }
+
+    #[test]
+    fn traffic_ahead_of_the_local_slot_is_buffered_then_replayed() {
+        let n = 3;
+        let mut a: Driver = SlotDriver::new(p(0), n);
+        let mut b: Driver = SlotDriver::new(p(1), n);
+        // b opens slot 5 and sends its estimate to the coordinator of
+        // round 0 — p2 (5 % 3), not a; craft one addressed to a instead
+        // by opening at a different slot: slot 3's round-0 coordinator
+        // is p0.
+        let (sends, _) = b.open(3, 9, ProcessSet::empty());
+        let to_a: Vec<_> = sends.into_iter().filter(|(to, _, _)| *to == p(0)).collect();
+        assert!(!to_a.is_empty(), "round-0 estimate goes to coordinator p0");
+        for (_, slot, msg) in &to_a {
+            let (sends, decided) = a.on_message(*slot, p(1), msg, ProcessSet::empty());
+            assert!(
+                sends.is_empty() && decided.is_none(),
+                "buffered, not stepped"
+            );
+        }
+        // Opening the slot replays the backlog: the coordinator now has
+        // b's estimate plus its own.
+        let (sends, _) = a.open(3, 8, ProcessSet::empty());
+        assert!(!sends.is_empty(), "replay drives the coordinator forward");
+    }
+
+    #[test]
+    fn resolve_retires_a_spinning_instance() {
+        let mut d: Driver = SlotDriver::new(p(1), 4);
+        let (_, none) = d.open(0, 5, ProcessSet::empty());
+        assert!(none.is_none());
+        assert!(d.is_open(0));
+        d.resolve(0, 6);
+        assert_eq!(d.decision(0), Some(&6));
+        assert!(!d.is_open(0));
+        // A late message for the resolved slot is dropped quietly.
+        let (sends, decided) = d.on_message(
+            0,
+            p(0),
+            &crate::consensus::RotatingMsg::Ack { r: 0 },
+            ProcessSet::empty(),
+        );
+        assert!(sends.is_empty() && decided.is_none());
+        // And resolve never overwrites an existing decision.
+        d.resolve(0, 99);
+        assert_eq!(d.decision(0), Some(&6));
+    }
+
+    #[test]
+    fn tick_advances_past_a_suspected_coordinator() {
+        let mut d: Driver = SlotDriver::new(p(1), 3);
+        let _ = d.open(0, 5, ProcessSet::empty());
+        // Suspecting round 0's coordinator p0 nacks and re-estimates.
+        let (sends, decisions) = d.tick(ProcessSet::singleton(p(0)));
+        assert!(decisions.is_empty());
+        assert!(
+            sends.iter().any(|(to, _, _)| *to == p(0)),
+            "a nack goes back to the suspected coordinator: {sends:?}"
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //!   emulation (§5), both exposing their `output(P)` for class checking.
 //! * **Verdicts** ([`check`]): uniform/correct-restricted consensus and
 //!   TRB property checkers with violation witnesses.
+//! * **Step drivers** ([`driver`]): the [`SlotDriver`] adapter that runs
+//!   a consensus core per replicated-log slot outside the simulator —
+//!   the engine room of `rfd_net::service`'s live decision service.
 //!
 //! ## Example: uniform consensus over a Perfect oracle
 //!
@@ -44,8 +47,10 @@
 pub mod broadcast;
 pub mod check;
 pub mod consensus;
+pub mod driver;
 pub mod reduction;
 pub mod trb;
 
 pub use check::{check_consensus, check_trb, ConsensusVerdict, Disagreement, TrbVerdict};
 pub use consensus::{ConsensusAutomaton, ConsensusCore, Outbox};
+pub use driver::{SlotDecision, SlotDriver, SlotSend, TickEffects};

@@ -197,6 +197,10 @@ impl<V: Clone + Eq + Ord> Automaton for TrbProcess<V> {
             ctx.output(v);
         }
     }
+
+    fn decision(&self) -> Option<Self::Output> {
+        self.delivered.clone()
+    }
 }
 
 #[cfg(test)]

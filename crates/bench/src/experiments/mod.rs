@@ -1,4 +1,4 @@
-//! The experiment suite: one module per derived experiment E1–E12.
+//! The experiment suite: one module per derived experiment E1–E13.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; each
 //! experiment here regenerates one of its theorems, constructions or
@@ -8,6 +8,7 @@
 pub mod e10_lattice;
 pub mod e11_online;
 pub mod e12_reconverge;
+pub mod e13_service;
 pub mod e1_totality;
 pub mod e2_reduction;
 pub mod e3_trb;
@@ -45,6 +46,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E11", e11_online::run_experiment),
         ("E11B", e11_online::run_membership_ablation),
         ("E12", e12_reconverge::run_experiment),
+        ("E13", e13_service::run_experiment),
     ]
 }
 

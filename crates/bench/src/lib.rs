@@ -19,11 +19,13 @@
 //! | E10 | §2.5         | class lattice containments are strict |
 //! | E11 | §1.3         | online detection under churn (streaming driver) |
 //! | E12 | §1.3         | partition-heal view reconvergence (heal-merge membership) |
+//! | E13 | §1.1/§1.3    | the live decision service: consensus over emulated `P`, post-heal state transfer |
 //!
 //! Run `cargo run -p rfd-bench --bin experiments` for the full suite, or
 //! `--bin experiments -- E7` for one experiment. Criterion
-//! microbenchmarks live in `benches/microbench.rs`. `RFD_E12_UDP=1`
-//! appends E12's wall-clock rows over real loopback UDP sockets.
+//! microbenchmarks live in `benches/microbench.rs`. `RFD_E12_UDP=1` /
+//! `RFD_E13_UDP=1` append E12's and E13's wall-clock rows over real
+//! loopback UDP sockets.
 
 #![deny(missing_docs)]
 

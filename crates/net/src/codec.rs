@@ -1,10 +1,26 @@
-//! Wire format for heartbeats and membership messages.
+//! Wire format for heartbeats, membership and decision-service messages.
+//!
+//! One magic, one tag byte per message kind. Decoding is total: any byte
+//! string returns `Ok` or a [`DecodeError`] — never a panic, never an
+//! attacker-controlled allocation (list lengths are validated against
+//! both a hard cap and the bytes actually present). The service-layer
+//! messages (tags 3–7) carry the live replicated log:
+//! [`Command`] gossips client submissions, [`ConsensusFrame`] wraps one
+//! slot-scoped message of the rotating-coordinator consensus,
+//! [`DecidedMsg`] relays decisions TRB-style, and
+//! [`SyncRequest`]/[`SyncReply`] implement post-heal state transfer.
 
 use crate::clock::Nanos;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rfd_algo::consensus::RotatingMsg;
 use rfd_core::{ProcessId, ProcessSet};
 
 const MAGIC: u16 = 0xFD02; // "failure detector, DSN'02"
+
+/// Hard cap on log entries per [`SyncReply`] datagram: keeps every
+/// chunk under a typical MTU and bounds what a corrupt length field can
+/// make the decoder allocate.
+pub const MAX_SYNC_ENTRIES: usize = 32;
 
 /// A heartbeat message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,13 +42,74 @@ pub struct ViewChange {
     pub members: u128,
 }
 
-/// Any wire message.
+/// A client command gossiped to the group (service layer). The value
+/// alone identifies the command — values must be unique per run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Command {
+    /// The command value.
+    pub value: u64,
+}
+
+/// One slot-scoped message of the rotating-coordinator consensus the
+/// decision service runs per log index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsensusFrame {
+    /// The log slot (consensus instance) the message belongs to.
+    pub slot: u64,
+    /// The wrapped consensus message.
+    pub msg: RotatingMsg<u64>,
+}
+
+/// A decision announcement, relayed TRB-style so every member — even
+/// one that sat out the deciding quorum — learns the log entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecidedMsg {
+    /// The log index.
+    pub index: u64,
+    /// Id of the view the decision was taken in.
+    pub view_id: u64,
+    /// Member bitmap of that view (the tiebreaker of the total view
+    /// order used to resolve conflicting suffixes on merge).
+    pub view_members: u128,
+    /// The decided command.
+    pub value: u64,
+}
+
+/// A state-transfer request: "send me your decision log from
+/// `from_index`" — issued after a view change re-admits members.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncRequest {
+    /// First log index the requester is missing.
+    pub from_index: u64,
+}
+
+/// A state-transfer chunk: a contiguous run of decision-log entries
+/// starting at `start` (at most [`MAX_SYNC_ENTRIES`] per datagram).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyncReply {
+    /// Index of the first entry.
+    pub start: u64,
+    /// `(value, view_id, view_members)` per consecutive entry.
+    pub entries: Vec<(u64, u64, u128)>,
+}
+
+/// Any wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireMsg {
     /// A heartbeat.
     Heartbeat(Heartbeat),
     /// A view change.
     ViewChange(ViewChange),
+    /// A client command submission (service layer).
+    Command(Command),
+    /// A slot-scoped consensus message (service layer).
+    Consensus(ConsensusFrame),
+    /// A decision relay (service layer).
+    Decided(DecidedMsg),
+    /// A state-transfer request (service layer).
+    SyncRequest(SyncRequest),
+    /// A state-transfer chunk (service layer).
+    SyncReply(SyncReply),
 }
 
 /// Encoding/decoding failure.
@@ -56,6 +133,11 @@ impl core::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Encodes a message.
+///
+/// # Panics
+///
+/// Panics if a [`SyncReply`] carries more than [`MAX_SYNC_ENTRIES`]
+/// entries — senders must chunk.
 #[must_use]
 pub fn encode(msg: &WireMsg) -> Bytes {
     let mut b = BytesMut::with_capacity(40);
@@ -71,6 +153,65 @@ pub fn encode(msg: &WireMsg) -> Bytes {
             b.put_u8(2);
             b.put_u64(vc.view_id);
             b.put_u128(vc.members);
+        }
+        WireMsg::Command(c) => {
+            b.put_u8(3);
+            b.put_u64(c.value);
+        }
+        WireMsg::Consensus(frame) => {
+            b.put_u8(4);
+            b.put_u64(frame.slot);
+            match &frame.msg {
+                RotatingMsg::Estimate { r, ts, v } => {
+                    b.put_u8(1);
+                    b.put_u64(*r);
+                    b.put_u64(*ts);
+                    b.put_u64(*v);
+                }
+                RotatingMsg::Propose { r, v } => {
+                    b.put_u8(2);
+                    b.put_u64(*r);
+                    b.put_u64(*v);
+                }
+                RotatingMsg::Ack { r } => {
+                    b.put_u8(3);
+                    b.put_u64(*r);
+                }
+                RotatingMsg::Nack { r } => {
+                    b.put_u8(4);
+                    b.put_u64(*r);
+                }
+                RotatingMsg::Decide(v) => {
+                    b.put_u8(5);
+                    b.put_u64(*v);
+                }
+            }
+        }
+        WireMsg::Decided(d) => {
+            b.put_u8(5);
+            b.put_u64(d.index);
+            b.put_u64(d.view_id);
+            b.put_u128(d.view_members);
+            b.put_u64(d.value);
+        }
+        WireMsg::SyncRequest(s) => {
+            b.put_u8(6);
+            b.put_u64(s.from_index);
+        }
+        WireMsg::SyncReply(s) => {
+            assert!(
+                s.entries.len() <= MAX_SYNC_ENTRIES,
+                "SyncReply overflows a chunk: {} entries",
+                s.entries.len()
+            );
+            b.put_u8(7);
+            b.put_u64(s.start);
+            b.put_u16(s.entries.len() as u16);
+            for (value, view_id, view_members) in &s.entries {
+                b.put_u64(*value);
+                b.put_u64(*view_id);
+                b.put_u128(*view_members);
+            }
         }
     }
     b.freeze()
@@ -107,6 +248,81 @@ pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
                 view_id: data.get_u64(),
                 members: data.get_u128(),
             }))
+        }
+        3 => {
+            if data.len() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(WireMsg::Command(Command {
+                value: data.get_u64(),
+            }))
+        }
+        4 => {
+            if data.len() < 8 + 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let slot = data.get_u64();
+            let kind = data.get_u8();
+            let need = match kind {
+                1 => 24,
+                2 => 16,
+                3..=5 => 8,
+                _ => return Err(DecodeError::Malformed),
+            };
+            if data.len() < need {
+                return Err(DecodeError::Truncated);
+            }
+            let msg = match kind {
+                1 => RotatingMsg::Estimate {
+                    r: data.get_u64(),
+                    ts: data.get_u64(),
+                    v: data.get_u64(),
+                },
+                2 => RotatingMsg::Propose {
+                    r: data.get_u64(),
+                    v: data.get_u64(),
+                },
+                3 => RotatingMsg::Ack { r: data.get_u64() },
+                4 => RotatingMsg::Nack { r: data.get_u64() },
+                _ => RotatingMsg::Decide(data.get_u64()),
+            };
+            Ok(WireMsg::Consensus(ConsensusFrame { slot, msg }))
+        }
+        5 => {
+            if data.len() < 8 + 8 + 16 + 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(WireMsg::Decided(DecidedMsg {
+                index: data.get_u64(),
+                view_id: data.get_u64(),
+                view_members: data.get_u128(),
+                value: data.get_u64(),
+            }))
+        }
+        6 => {
+            if data.len() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(WireMsg::SyncRequest(SyncRequest {
+                from_index: data.get_u64(),
+            }))
+        }
+        7 => {
+            if data.len() < 8 + 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let start = data.get_u64();
+            let count = usize::from(data.get_u16());
+            if count > MAX_SYNC_ENTRIES {
+                return Err(DecodeError::Malformed);
+            }
+            if data.len() < count * (8 + 8 + 16) {
+                return Err(DecodeError::Truncated);
+            }
+            let entries = (0..count)
+                .map(|_| (data.get_u64(), data.get_u64(), data.get_u128()))
+                .collect();
+            Ok(WireMsg::SyncReply(SyncReply { start, entries }))
         }
         _ => Err(DecodeError::Malformed),
     }
@@ -162,6 +378,51 @@ mod tests {
         assert_eq!(decode(&[0xFD, 0x02, 9, 0, 0]), Err(DecodeError::Malformed));
         // Right magic and tag, short body.
         assert_eq!(decode(&[0xFD, 0x02, 1, 0]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn service_messages_roundtrip() {
+        let msgs = vec![
+            WireMsg::Command(Command { value: 41 }),
+            WireMsg::Consensus(ConsensusFrame {
+                slot: 9,
+                msg: RotatingMsg::Estimate { r: 4, ts: 2, v: 17 },
+            }),
+            WireMsg::Consensus(ConsensusFrame {
+                slot: 0,
+                msg: RotatingMsg::Decide(5),
+            }),
+            WireMsg::Decided(DecidedMsg {
+                index: 3,
+                view_id: 2,
+                view_members: 0b1011,
+                value: 7,
+            }),
+            WireMsg::SyncRequest(SyncRequest { from_index: 12 }),
+            WireMsg::SyncReply(SyncReply {
+                start: 4,
+                entries: vec![(10, 1, 0b111), (11, 2, 0b011)],
+            }),
+        ];
+        for msg in msgs {
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn sync_reply_rejects_an_inflated_count() {
+        let good = encode(&WireMsg::SyncReply(SyncReply {
+            start: 0,
+            entries: vec![(1, 1, 1)],
+        }));
+        let mut bad = good.to_vec();
+        // The count field sits after magic (2), tag (1) and start (8).
+        bad[11] = 0xFF;
+        bad[12] = 0xFF;
+        assert_eq!(decode(&bad), Err(DecodeError::Malformed));
+        bad[11] = 0;
+        bad[12] = 9; // claims 9 entries, carries 1
+        assert_eq!(decode(&bad), Err(DecodeError::Truncated));
     }
 
     #[test]

@@ -136,8 +136,12 @@ where
         let now = self.clock.now();
         while let Some(dg) = self.transport.recv() {
             if let Ok(WireMsg::Heartbeat(hb)) = decode(&dg.payload) {
-                self.detector
-                    .on_heartbeat(ProcessId::new(hb.sender as usize), dg.delivered_at);
+                // Out-of-range guard: `ProcessId::new` panics at 128, and
+                // a corrupt or foreign datagram can claim any sender.
+                if usize::from(hb.sender) < self.n {
+                    self.detector
+                        .on_heartbeat(ProcessId::new(usize::from(hb.sender)), dg.delivered_at);
+                }
             }
         }
         if now >= self.next_beat {

@@ -26,6 +26,10 @@
 //!   resumable [`OnlineRunner`] with live per-pair QoS, and the
 //!   churn-capable [`online::MembershipWatcher`] with split-brain /
 //!   reconvergence accounting (experiments E11, E12).
+//! * [`service`] — the replicated-decision service on top of it all:
+//!   rotating-coordinator consensus per log slot over the
+//!   membership-emulated `P`, TRB-style decision relaying, and
+//!   post-heal state transfer between re-merged views (experiment E13).
 //!
 //! ## Example: measure an estimator's QoS
 //!
@@ -56,6 +60,7 @@ pub mod estimator;
 pub mod membership;
 pub mod online;
 pub mod qos;
+pub mod service;
 pub mod transport;
 
 pub use clock::{Clock, Nanos, Pacer, SystemClock, VirtualClock};
@@ -66,6 +71,9 @@ pub use online::{
     MembershipWatcher, OnlineEvent, OnlineRunner, OnlineScenario,
 };
 pub use qos::{evaluate_qos, QosMonitor, QosReport, QosScenario, QosTracker};
+pub use service::{
+    run_service, DecisionService, ReplicatedLog, ServiceReport, ServiceRunner, ServiceScenario,
+};
 pub use transport::{
     faulty_cluster, ChurnableTransport, FaultInjector, FaultyTransport, InMemoryNetwork, LossModel,
     NetworkConfig, Transport, UdpTransport,

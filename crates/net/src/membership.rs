@@ -145,6 +145,14 @@ where
         self.views_installed
     }
 
+    /// The node's transport handle — layers stacked on top of the
+    /// membership (the decision service) send their own traffic through
+    /// the same socket.
+    #[must_use]
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     /// Total order on views used by heal-merge adoption: primary key the
     /// monotone id, tiebreaker the member bitmap. Concurrent merge
     /// proposals from two healed sides can carry the same id; comparing
@@ -175,36 +183,69 @@ where
         }
     }
 
-    /// One iteration of the membership loop.
+    /// One iteration of the membership loop: drain the transport, then
+    /// run the periodic duties ([`MembershipNode::tick`]).
     pub fn poll(&mut self) {
         if self.halted {
             return;
         }
-        let now = self.clock.now();
-        // Drain traffic.
         while let Some(dg) = self.transport.recv() {
-            match decode(&dg.payload) {
-                Ok(WireMsg::Heartbeat(hb)) => {
-                    let from = ProcessId::new(hb.sender as usize);
-                    // Heal-merge mode listens to everyone: a heartbeat
-                    // from outside the view is exactly the liveness
-                    // evidence a rejoin needs.
-                    if self.heal_merge || self.view.members.contains(from) {
-                        self.detector.on_heartbeat(from, dg.delivered_at);
-                    }
+            if let Ok(msg) = decode(&dg.payload) {
+                self.on_wire(&msg, dg.delivered_at);
+                if self.halted {
+                    return;
                 }
-                Ok(WireMsg::ViewChange(vc)) => {
-                    self.adopt(View {
-                        id: vc.view_id,
-                        members: members_to_set(vc.members, self.n),
-                    });
-                    if self.halted {
-                        return;
-                    }
-                }
-                Err(_) => {}
             }
         }
+        self.tick();
+    }
+
+    /// Feeds one decoded wire message into the membership state machine
+    /// (heartbeats and view changes; other protocol layers' messages are
+    /// ignored). A caller that multiplexes several protocols over one
+    /// transport — e.g. [`crate::service::DecisionService`] — drains the
+    /// socket itself, routes membership traffic here, and then calls
+    /// [`MembershipNode::tick`] once per loop iteration.
+    pub fn on_wire(&mut self, msg: &WireMsg, delivered_at: Nanos) {
+        if self.halted {
+            return;
+        }
+        match msg {
+            WireMsg::Heartbeat(hb) => {
+                // Out-of-range guard: a corrupt or foreign datagram can
+                // carry any sender index; `ProcessId::new` would panic at
+                // 128 and the detector has no monitor beyond `n`.
+                let sender = usize::from(hb.sender);
+                if sender >= self.n {
+                    return;
+                }
+                let from = ProcessId::new(sender);
+                // Heal-merge mode listens to everyone: a heartbeat
+                // from outside the view is exactly the liveness
+                // evidence a rejoin needs.
+                if self.heal_merge || self.view.members.contains(from) {
+                    self.detector.on_heartbeat(from, delivered_at);
+                }
+            }
+            WireMsg::ViewChange(vc) => {
+                self.adopt(View {
+                    id: vc.view_id,
+                    members: members_to_set(vc.members, self.n),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// The periodic (send-side) half of the membership loop: heartbeat
+    /// emission, view re-announcement, and coordinator exclusion/rejoin
+    /// duty. [`MembershipNode::poll`] calls this after draining the
+    /// transport.
+    pub fn tick(&mut self) {
+        if self.halted {
+            return;
+        }
+        let now = self.clock.now();
         // Coordinator duty: exclude suspected members. The acting
         // coordinator is the lowest-index member *this node does not
         // suspect*; when the nominal coordinator crashes, duty fails

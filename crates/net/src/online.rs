@@ -119,7 +119,7 @@ impl FaultSchedule {
 /// drivers cannot drift in churn semantics — and generic over
 /// [`ChurnableTransport`], so the semantics are also identical between
 /// the simulated and the real-socket fleets.
-fn apply_due_faults<N: ChurnableTransport, F: FnMut(Nanos, &Fault)>(
+pub(crate) fn apply_due_faults<N: ChurnableTransport, F: FnMut(Nanos, &Fault)>(
     schedule: &FaultSchedule,
     next: &mut usize,
     now: Nanos,
@@ -590,6 +590,14 @@ pub struct MembershipChurnReport {
     /// split-brains forever; the heal-merge reconciliation is what makes
     /// these finite.
     pub time_to_reconverge: Vec<Option<Nanos>>,
+    /// Decision-log entries adopted via post-heal **state transfer**
+    /// ([`MembershipWatcher::note_state_transfer`]) across the fleet —
+    /// the work the heal-merge re-sync did.
+    pub decisions_transferred: u64,
+    /// Decision-log entries *discarded* while reconciling (a conflicting
+    /// suffix lost to the total view order). Zero as long as the service
+    /// layer's agreement holds; any other value is a safety red flag.
+    pub decisions_lost: u64,
 }
 
 /// An incremental observer of a membership fleet under churn: feed it
@@ -617,6 +625,8 @@ pub struct MembershipWatcher {
     /// `(heal time, time to reconverge)` per noted heal; the second
     /// component stays `None` until a convergent observation follows.
     heals: Vec<(Nanos, Option<Nanos>)>,
+    decisions_transferred: u64,
+    decisions_lost: u64,
 }
 
 impl MembershipWatcher {
@@ -636,20 +646,39 @@ impl MembershipWatcher {
             last_observed: None,
             split_brain: Nanos::ZERO,
             heals: Vec::new(),
+            decisions_transferred: 0,
+            decisions_lost: 0,
         }
     }
 
-    /// Notes a ground-truth crash of `p` at `at`.
+    /// Notes a ground-truth crash of `p` at `at`. Out-of-range processes
+    /// (`p.index() >= n`) are ignored — the watcher tracks only the
+    /// fleet it was sized for.
     pub fn note_crash(&mut self, p: ProcessId, at: Nanos) {
+        if p.index() >= self.n {
+            return;
+        }
         self.down.insert(p);
         if self.first_crash[p.index()].is_none() {
             self.first_crash[p.index()] = Some(at);
         }
     }
 
-    /// Notes a ground-truth recovery of `p`.
+    /// Notes a ground-truth recovery of `p` (out-of-range ignored, as in
+    /// [`MembershipWatcher::note_crash`]).
     pub fn note_recover(&mut self, p: ProcessId) {
+        if p.index() >= self.n {
+            return;
+        }
         self.down.remove(p);
+    }
+
+    /// Notes one state-transfer reconciliation at the service layer:
+    /// `adopted` log entries were received from a peer, `lost` local
+    /// entries were discarded to the total view order while merging.
+    pub fn note_state_transfer(&mut self, adopted: u64, lost: u64) {
+        self.decisions_transferred += adopted;
+        self.decisions_lost += lost;
     }
 
     /// Notes that the network partition healed at `at`: the fleet's time
@@ -666,6 +695,10 @@ impl MembershipWatcher {
     /// coordinator lineage — omits it. (Judging against *every* view
     /// would deadlock under split-brain: a partitioned minority keeps a
     /// stale view containing itself until it learns of its exclusion.)
+    ///
+    /// Members with an out-of-range index (`>= n`) are skipped rather
+    /// than indexed — the same latent panic family as the heartbeat
+    /// sender guard in [`crate::membership::MembershipNode::on_wire`].
     pub fn observe<I>(&mut self, now: Nanos, views: I)
     where
         I: IntoIterator<Item = (ProcessId, u64, ProcessSet)>,
@@ -675,6 +708,9 @@ impl MembershipWatcher {
         let mut saw_view = false;
         let mut diverged_now = false;
         for (member, view_id, members) in views {
+            if member.index() >= self.n {
+                continue;
+            }
             match &authority {
                 Some((lowest, _)) if member >= *lowest => {}
                 _ => authority = Some((member, members)),
@@ -746,6 +782,8 @@ impl MembershipWatcher {
             view_changes: self.view_changes,
             split_brain_duration: self.split_brain,
             time_to_reconverge: self.heals.iter().map(|(_, r)| *r).collect(),
+            decisions_transferred: self.decisions_transferred,
+            decisions_lost: self.decisions_lost,
         }
     }
 }

@@ -1,0 +1,293 @@
+//! The replicated decision log: totally ordered decisions, each stamped
+//! with the membership view it was decided in, plus the reconciliation
+//! rule post-heal state transfer uses to merge divergent logs.
+
+use rfd_core::ProcessSet;
+
+/// The membership view a decision was taken in, carrying the **total
+/// view order** of the heal-merge membership: primary key the monotone
+/// view id, tiebreaker the member bitmap. The derived `Ord` is exactly
+/// that `(id, members)` lexicographic order, so "resolved by the total
+/// view order" is a plain comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ViewStamp {
+    /// Monotone view identifier.
+    pub id: u64,
+    /// Member bitmap of the view (bit `i` = `pᵢ`).
+    pub members: u128,
+}
+
+impl ViewStamp {
+    /// The members as a [`ProcessSet`] (restricted to an `n`-process
+    /// universe).
+    #[must_use]
+    pub fn member_set(&self, n: usize) -> ProcessSet {
+        crate::codec::members_to_set(self.members, n)
+    }
+}
+
+/// One totally ordered decision of the service: the `index`-th entry of
+/// every replica's log holds the same `value` (uniform agreement), and
+/// records the view it was decided in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Position in the total order.
+    pub index: u64,
+    /// The decided command.
+    pub value: u64,
+    /// The view the decision was taken in.
+    pub view: ViewStamp,
+}
+
+/// What one [`ReplicatedLog::merge_suffix`] reconciliation did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Remote entries adopted into the local log.
+    pub adopted: u64,
+    /// Local entries discarded to the total view order. Non-zero only
+    /// if two replicas actually decided different values at one index —
+    /// impossible while the consensus layer's (global-majority) safety
+    /// holds, so this doubles as a safety alarm.
+    pub lost: u64,
+}
+
+/// An append-only decision log with prefix-consistent merging.
+///
+/// Replicas normally grow their logs through consensus decisions and
+/// decision relays; after a partition heals, the merged sides exchange
+/// suffixes and [`ReplicatedLog::merge_suffix`] reconciles them:
+/// matching entries are skipped (prefix consistency), gaps are adopted,
+/// and a genuinely conflicting entry — two different values at one index
+/// — hands the whole suffix to the side whose entry was decided in the
+/// higher-ranked view ([`ViewStamp`]'s total order).
+#[derive(Clone, Debug, Default)]
+pub struct ReplicatedLog {
+    entries: Vec<Decision>,
+    transferred: u64,
+    lost: u64,
+}
+
+impl ReplicatedLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of decisions in the log.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Whether the log has no decisions yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The decision at `index`, if decided.
+    #[must_use]
+    pub fn get(&self, index: u64) -> Option<&Decision> {
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| self.entries.get(i))
+    }
+
+    /// All decisions, in index order.
+    #[must_use]
+    pub fn entries(&self) -> &[Decision] {
+        &self.entries
+    }
+
+    /// The decided values, in index order.
+    #[must_use]
+    pub fn values(&self) -> Vec<u64> {
+        self.entries.iter().map(|d| d.value).collect()
+    }
+
+    /// The suffix from `index` on (empty if the log is shorter).
+    #[must_use]
+    pub fn suffix(&self, index: u64) -> &[Decision] {
+        let from = usize::try_from(index)
+            .unwrap_or(usize::MAX)
+            .min(self.entries.len());
+        &self.entries[from..]
+    }
+
+    /// Entries adopted via state transfer over the log's lifetime.
+    #[must_use]
+    pub fn transferred(&self) -> u64 {
+        self.transferred
+    }
+
+    /// Entries discarded to the total view order over the log's
+    /// lifetime (zero while consensus safety holds).
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Appends the next decision, returning its index.
+    pub fn append(&mut self, value: u64, view: ViewStamp) -> u64 {
+        let index = self.len();
+        self.entries.push(Decision { index, value, view });
+        index
+    }
+
+    /// Reconciles a remote contiguous run of `(value, view_id,
+    /// view_members)` entries starting at index `start` into this log:
+    ///
+    /// * entries matching the local value are skipped (already agreed);
+    /// * entries extending the log are adopted;
+    /// * entries beyond the current end + run (a gap) are ignored — the
+    ///   caller requests the missing prefix instead;
+    /// * a conflicting entry resolves by [`ViewStamp`] order: if the
+    ///   remote view ranks higher, the local suffix from that index is
+    ///   discarded (counted in [`MergeOutcome::lost`]) and the remote
+    ///   run adopted; otherwise the rest of the remote run is ignored.
+    pub fn merge_suffix(&mut self, start: u64, incoming: &[(u64, u64, u128)]) -> MergeOutcome {
+        let mut outcome = MergeOutcome::default();
+        for (offset, &(value, view_id, view_members)) in incoming.iter().enumerate() {
+            let Some(index) = start.checked_add(offset as u64) else {
+                break;
+            };
+            let view = ViewStamp {
+                id: view_id,
+                members: view_members,
+            };
+            if index > self.len() {
+                break;
+            }
+            if index == self.len() {
+                self.entries.push(Decision { index, value, view });
+                outcome.adopted += 1;
+                continue;
+            }
+            let local = self.entries[index as usize];
+            if local.value == value {
+                continue;
+            }
+            if view > local.view {
+                let dropped = self.len() - index;
+                outcome.lost += dropped;
+                self.entries.truncate(index as usize);
+                self.entries.push(Decision { index, value, view });
+                outcome.adopted += 1;
+            } else {
+                break;
+            }
+        }
+        self.transferred += outcome.adopted;
+        self.lost += outcome.lost;
+        outcome
+    }
+
+    /// Whether this log and `other` agree on every index both have
+    /// decided — the pairwise form of uniform agreement.
+    #[must_use]
+    pub fn prefix_consistent_with(&self, other: &ReplicatedLog) -> bool {
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .all(|(a, b)| a.value == b.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(id: u64, members: u128) -> ViewStamp {
+        ViewStamp { id, members }
+    }
+
+    #[test]
+    fn append_assigns_consecutive_indices() {
+        let mut log = ReplicatedLog::new();
+        assert_eq!(log.append(10, stamp(0, 0b11)), 0);
+        assert_eq!(log.append(20, stamp(1, 0b01)), 1);
+        assert_eq!(log.values(), vec![10, 20]);
+        assert_eq!(log.get(1).unwrap().view.id, 1);
+        assert!(log.get(2).is_none());
+    }
+
+    #[test]
+    fn merge_adopts_missing_suffix_and_skips_agreed_prefix() {
+        let mut log = ReplicatedLog::new();
+        log.append(10, stamp(0, 0b111));
+        let outcome = log.merge_suffix(0, &[(10, 0, 0b111), (20, 1, 0b011), (30, 1, 0b011)]);
+        assert_eq!(
+            outcome,
+            MergeOutcome {
+                adopted: 2,
+                lost: 0
+            }
+        );
+        assert_eq!(log.values(), vec![10, 20, 30]);
+        assert_eq!(log.transferred(), 2);
+        assert_eq!(log.lost(), 0);
+    }
+
+    #[test]
+    fn merge_ignores_a_gapped_run() {
+        let mut log = ReplicatedLog::new();
+        log.append(10, stamp(0, 0b11));
+        // A run starting at index 3 would leave a hole at 1..3.
+        let outcome = log.merge_suffix(3, &[(40, 2, 0b11)]);
+        assert_eq!(outcome, MergeOutcome::default());
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_suffix_resolves_to_the_higher_view() {
+        // Local: decided 20,21 in view (1, {p2,p3}); remote decided
+        // 30,31 at the same indices in view (1, {p0,p1}) — same id, and
+        // {p2,p3} = 0b1100 outranks {p0,p1} = 0b0011 on the bitmap
+        // tiebreaker, so the local suffix must survive...
+        let mut local = ReplicatedLog::new();
+        local.append(20, stamp(1, 0b1100));
+        local.append(21, stamp(1, 0b1100));
+        let outcome = local.merge_suffix(0, &[(30, 1, 0b0011), (31, 1, 0b0011)]);
+        assert_eq!(outcome, MergeOutcome::default());
+        assert_eq!(local.values(), vec![20, 21]);
+
+        // ...and the mirror side loses its whole conflicting suffix.
+        let mut remote = ReplicatedLog::new();
+        remote.append(30, stamp(1, 0b0011));
+        remote.append(31, stamp(1, 0b0011));
+        let outcome = remote.merge_suffix(0, &[(20, 1, 0b1100), (21, 1, 0b1100)]);
+        assert_eq!(
+            outcome,
+            MergeOutcome {
+                adopted: 2,
+                lost: 2
+            }
+        );
+        assert_eq!(remote.values(), vec![20, 21]);
+        assert_eq!(remote.lost(), 2);
+    }
+
+    #[test]
+    fn higher_view_id_beats_any_bitmap() {
+        let mut log = ReplicatedLog::new();
+        log.append(20, stamp(1, u128::MAX));
+        let outcome = log.merge_suffix(0, &[(30, 2, 0b1)]);
+        assert_eq!(outcome.adopted, 1);
+        assert_eq!(outcome.lost, 1);
+        assert_eq!(log.values(), vec![30]);
+    }
+
+    #[test]
+    fn prefix_consistency_is_checked_on_the_common_prefix() {
+        let mut a = ReplicatedLog::new();
+        let mut b = ReplicatedLog::new();
+        a.append(1, stamp(0, 0b11));
+        a.append(2, stamp(0, 0b11));
+        b.append(1, stamp(0, 0b11));
+        assert!(a.prefix_consistent_with(&b));
+        assert!(b.prefix_consistent_with(&a));
+        b.append(9, stamp(0, 0b11));
+        assert!(!a.prefix_consistent_with(&b));
+    }
+}

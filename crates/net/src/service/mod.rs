@@ -1,0 +1,36 @@
+//! The live replicated-decision service: the paper's algorithms running
+//! **on top of** the online membership runtime.
+//!
+//! §1.3's practitioners build replicated services on a group membership
+//! that emulates `P` by exclusion — this module closes that loop
+//! executably. A [`DecisionService`] node stacks, over one transport:
+//!
+//! * the membership service ([`crate::membership::MembershipNode`]),
+//!   whose view is the emulated Perfect detector;
+//! * one rotating-coordinator consensus instance per log slot
+//!   ([`rfd_algo::consensus::RotatingConsensus`] driven by
+//!   [`rfd_algo::driver::SlotDriver`]), fed the emulated `P` as its
+//!   suspect source and quorum-sized over all `n` processes, so a
+//!   partitioned minority stalls instead of forking the log;
+//! * TRB-style decision relaying and — under heal-merge membership —
+//!   post-heal **state transfer**: re-merged members exchange log
+//!   suffixes and reconcile them prefix-consistently, conflicts (a
+//!   safety alarm, impossible while the quorum intersection holds)
+//!   resolved by the total view order ([`ViewStamp`]).
+//!
+//! Client commands enter through a typed queue
+//! ([`DecisionService::propose`] / [`ServiceScenario::command`]); what
+//! comes out is a [`ReplicatedLog`] of totally ordered [`Decision`]s,
+//! each recording the membership view it was decided in.
+//! [`ServiceRunner`] drives a whole fleet through a fault schedule,
+//! tick-resumable like [`crate::online::OnlineRunner`]; experiment E13
+//! tabulates decided throughput and post-heal recovery latency per
+//! estimator, and `examples/live_service.rs` is the live dashboard.
+
+mod log;
+mod node;
+mod runner;
+
+pub use log::{Decision, MergeOutcome, ReplicatedLog, ViewStamp};
+pub use node::{DecisionService, ServiceOutput};
+pub use runner::{run_service, ServiceEvent, ServiceReport, ServiceRunner, ServiceScenario};

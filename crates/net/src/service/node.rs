@@ -1,0 +1,478 @@
+//! One node of the live replicated-decision service.
+
+use super::log::{Decision, ReplicatedLog, ViewStamp};
+use crate::clock::{Clock, Nanos};
+use crate::codec::{
+    decode, encode, set_to_members, Command, ConsensusFrame, DecidedMsg, SyncReply, SyncRequest,
+    WireMsg, MAX_SYNC_ENTRIES,
+};
+use crate::estimator::ArrivalEstimator;
+use crate::membership::{MembershipNode, View};
+use crate::transport::Transport;
+use bytes::Bytes;
+use rfd_algo::consensus::{RotatingConsensus, RotatingMsg};
+use rfd_algo::driver::{SlotDriver, SlotSend};
+use rfd_core::{ProcessId, ProcessSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many pending commands one node re-gossips per heartbeat period —
+/// the anti-entropy that lets a command submitted on a once-partitioned
+/// side reach the rest of the group after the heal.
+const GOSSIP_BATCH: usize = 8;
+
+/// How far ahead of the local log tail a buffered decision relay may
+/// sit. Anything further is dropped (the sync path re-fetches real
+/// entries anyway), so a flood of forged far-future `Decided` frames
+/// cannot grow the buffer without bound — the node-level counterpart of
+/// the codec's allocation caps.
+const FUTURE_WINDOW: u64 = 1024;
+
+/// A typed event produced by one [`DecisionService::poll`].
+#[derive(Clone, Debug)]
+pub enum ServiceOutput {
+    /// A decision was appended to this node's log — the moment a real
+    /// service would acknowledge the command's client.
+    Decided(Decision),
+    /// The node installed a new membership view.
+    ViewInstalled(View),
+    /// A state-transfer reconciliation ran against this node's log.
+    Transferred {
+        /// Entries adopted from the peer.
+        adopted: u64,
+        /// Local entries discarded to the total view order (zero while
+        /// consensus safety holds).
+        lost: u64,
+    },
+}
+
+/// A long-lived replicated-decision service node: the paper's §1.3
+/// stack, live.
+///
+/// Each node layers three protocols over **one** transport:
+///
+/// 1. the group membership ([`MembershipNode`]), whose view emulates a
+///    Perfect detector by exclusion — `output(P)` = everyone outside
+///    the view;
+/// 2. a rotating-coordinator consensus instance per log slot
+///    ([`rfd_algo::consensus::RotatingConsensus`] under a
+///    [`SlotDriver`]), fed that emulated `P` as its suspect source, and
+///    quorum-sized over **all** `n` processes so a partitioned minority
+///    can stall but never split the log;
+/// 3. a TRB-style decision relay plus post-heal **state transfer**:
+///    after a view change re-admits members, nodes exchange log
+///    suffixes and reconcile them prefix-consistently
+///    ([`ReplicatedLog::merge_suffix`]).
+///
+/// Commands enter through [`DecisionService::propose`] (a typed command
+/// queue: the pending pool), are gossiped to the group, and leave as
+/// totally ordered [`Decision`]s that record the membership view they
+/// were decided in. Drive the node by calling
+/// [`DecisionService::poll`] once per tick —
+/// [`crate::service::ServiceRunner`] does exactly that under a fault
+/// schedule.
+#[derive(Debug)]
+pub struct DecisionService<E, T, C> {
+    n: usize,
+    membership: MembershipNode<E, T, C>,
+    clock: C,
+    period: Nanos,
+    driver: SlotDriver<RotatingConsensus<u64>>,
+    log: ReplicatedLog,
+    /// Known, not yet decided commands (ordered: proposals pick the
+    /// minimum, so identical pools propose identically).
+    pool: BTreeSet<u64>,
+    /// Commands seen decided (dedup for late gossip).
+    decided_values: BTreeSet<u64>,
+    /// Decision relays that arrived ahead of the log tail (bounded to
+    /// [`FUTURE_WINDOW`] entries past the tail).
+    future: BTreeMap<u64, (u64, ViewStamp)>,
+    /// The log length at which the last gap-triggered [`SyncRequest`]
+    /// went out: while the tail hasn't moved, further ahead-of-tail
+    /// relays don't re-request (each peer would otherwise stream the
+    /// whole missing suffix once per relayed decision).
+    gap_synced_at: Option<u64>,
+    last_view: View,
+    next_gossip: Nanos,
+}
+
+impl<E, T, C> DecisionService<E, T, C>
+where
+    E: ArrivalEstimator + Clone,
+    T: Transport,
+    C: Clock + Clone,
+{
+    /// Creates a service node (initial full view, empty log) whose
+    /// membership heartbeats every `period`.
+    #[must_use]
+    pub fn new(n: usize, prototype: E, transport: T, clock: C, period: Nanos) -> Self {
+        let membership = MembershipNode::new(n, prototype, transport, clock.clone(), period);
+        let me = membership.transport().me();
+        Self {
+            n,
+            last_view: membership.view(),
+            membership,
+            clock,
+            period,
+            driver: SlotDriver::new(me, n),
+            log: ReplicatedLog::new(),
+            pool: BTreeSet::new(),
+            decided_values: BTreeSet::new(),
+            future: BTreeMap::new(),
+            gap_synced_at: None,
+            next_gossip: Nanos::ZERO,
+        }
+    }
+
+    /// Enables partition-heal view reconciliation on the underlying
+    /// membership (builder style) — required for post-heal state
+    /// transfer to have surviving nodes to transfer *to*; see
+    /// [`MembershipNode::with_heal_merge`].
+    #[must_use]
+    pub fn with_heal_merge(mut self) -> Self {
+        self.membership = self.membership.with_heal_merge();
+        self
+    }
+
+    /// This node's identity.
+    #[must_use]
+    pub fn me(&self) -> ProcessId {
+        self.membership.transport().me()
+    }
+
+    /// The current membership view.
+    #[must_use]
+    pub fn view(&self) -> View {
+        self.membership.view()
+    }
+
+    /// Whether the node halted after a (merge-less) exclusion.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.membership.is_halted()
+    }
+
+    /// The node's decision log.
+    #[must_use]
+    pub fn log(&self) -> &ReplicatedLog {
+        &self.log
+    }
+
+    /// Commands known but not yet decided.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The membership-emulated Perfect-detector output this node feeds
+    /// its consensus instances.
+    #[must_use]
+    pub fn emulated_suspects(&self) -> ProcessSet {
+        self.membership.emulated_suspects()
+    }
+
+    /// Submits a client command: enqueues it in the pending pool and
+    /// gossips it to the group. Returns `false` (and does nothing) if
+    /// the node has halted or the command was already decided — command
+    /// values identify commands, so they must be unique per run.
+    pub fn propose(&mut self, value: u64) -> bool {
+        if self.is_halted() || self.decided_values.contains(&value) {
+            return false;
+        }
+        if self.pool.insert(value) {
+            self.broadcast(&WireMsg::Command(Command { value }));
+        }
+        true
+    }
+
+    /// One service tick: drain and route the transport (membership,
+    /// commands, consensus, relays, state transfer), run the membership
+    /// duties, react to view changes, advance the per-slot consensus,
+    /// and re-gossip pending commands. Returns the tick's events.
+    pub fn poll(&mut self) -> Vec<ServiceOutput> {
+        let mut events = Vec::new();
+        if self.is_halted() {
+            return events;
+        }
+        let now = self.clock.now();
+        let mut consensus_in: Vec<(u64, ProcessId, RotatingMsg<u64>)> = Vec::new();
+        while let Some(dg) = self.membership.transport().recv() {
+            let Ok(msg) = decode(&dg.payload) else {
+                continue;
+            };
+            match msg {
+                WireMsg::Heartbeat(_) | WireMsg::ViewChange(_) => {
+                    self.membership.on_wire(&msg, dg.delivered_at);
+                    if self.membership.is_halted() {
+                        return events;
+                    }
+                }
+                WireMsg::Command(c) => self.learn_command(c.value),
+                WireMsg::Consensus(frame) => {
+                    if dg.from.index() < self.n {
+                        consensus_in.push((frame.slot, dg.from, frame.msg));
+                    }
+                }
+                WireMsg::Decided(d) => self.on_decided(dg.from, &d, &mut events),
+                WireMsg::SyncRequest(s) => self.on_sync_request(dg.from, s.from_index),
+                WireMsg::SyncReply(s) => self.on_sync_reply(&s, &mut events),
+            }
+        }
+        self.membership.tick();
+        if self.membership.is_halted() {
+            return events;
+        }
+        let view = self.membership.view();
+        if view != self.last_view {
+            let members_changed = view.members != self.last_view.members;
+            self.last_view = view;
+            events.push(ServiceOutput::ViewInstalled(view));
+            if members_changed {
+                // State transfer: a changed member set means someone may
+                // hold decisions we missed (and vice versa — they will
+                // ask us symmetrically). Ask every other member for our
+                // missing suffix.
+                let req = encode(&WireMsg::SyncRequest(SyncRequest {
+                    from_index: self.log.len(),
+                }));
+                for to in view.members.iter() {
+                    if to != self.me() {
+                        self.send_raw(to, req.clone());
+                    }
+                }
+            }
+        }
+        // Consensus over the membership-emulated P.
+        let suspects = self.membership.emulated_suspects();
+        let mut sends: Vec<SlotSend<RotatingMsg<u64>>> = Vec::new();
+        let mut decided: Vec<(u64, u64)> = Vec::new();
+        for (slot, from, msg) in consensus_in {
+            let (s, d) = self.driver.on_message(slot, from, &msg, suspects);
+            sends.extend(s);
+            decided.extend(d.map(|v| (slot, v)));
+        }
+        let next = self.log.len();
+        if !self.driver.is_open(next) && self.driver.decision(next).is_none() {
+            if let Some(&cmd) = self.pool.iter().next() {
+                let (s, d) = self.driver.open(next, cmd, suspects);
+                sends.extend(s);
+                decided.extend(d.map(|v| (next, v)));
+            }
+        }
+        let (s, ds) = self.driver.tick(suspects);
+        sends.extend(s);
+        decided.extend(ds);
+        self.flush_consensus(sends, suspects, &mut decided);
+        for (slot, value) in decided {
+            self.commit(slot, value, &mut events);
+        }
+        if now >= self.next_gossip {
+            self.next_gossip = now.saturating_add(self.period);
+            for value in self
+                .pool
+                .iter()
+                .take(GOSSIP_BATCH)
+                .copied()
+                .collect::<Vec<_>>()
+            {
+                self.broadcast(&WireMsg::Command(Command { value }));
+            }
+        }
+        events
+    }
+
+    /// Routes consensus sends: peers get encoded frames, self-addressed
+    /// messages loop straight back into the driver (cores rely on
+    /// self-delivery; looping locally keeps that deterministic on any
+    /// transport).
+    fn flush_consensus(
+        &mut self,
+        mut sends: Vec<SlotSend<RotatingMsg<u64>>>,
+        suspects: ProcessSet,
+        decided: &mut Vec<(u64, u64)>,
+    ) {
+        let me = self.me();
+        while let Some((to, slot, msg)) = sends.pop() {
+            if to == me {
+                let (more, d) = self.driver.on_message(slot, me, &msg, suspects);
+                sends.extend(more);
+                decided.extend(d.map(|v| (slot, v)));
+            } else {
+                self.send_raw(
+                    to,
+                    encode(&WireMsg::Consensus(ConsensusFrame { slot, msg })),
+                );
+            }
+        }
+    }
+
+    /// Applies a consensus decision for `slot`.
+    fn commit(&mut self, slot: u64, value: u64, events: &mut Vec<ServiceOutput>) {
+        match slot.cmp(&self.log.len()) {
+            std::cmp::Ordering::Less => {
+                // Already in the log (a relay or transfer beat the local
+                // instance); uniform agreement makes them equal.
+                debug_assert_eq!(self.log.get(slot).map(|d| d.value), Some(value));
+            }
+            std::cmp::Ordering::Equal => {
+                self.apply_at_tail(value, self.stamp(), events);
+                self.commit_ready(events);
+            }
+            std::cmp::Ordering::Greater => {
+                // Defensive: instances are opened at the tail, so a
+                // decision can't normally outrun the log.
+                self.buffer_future(slot, value, self.stamp());
+            }
+        }
+    }
+
+    /// Buffers an ahead-of-tail decision, inside the bounded window.
+    fn buffer_future(&mut self, index: u64, value: u64, stamp: ViewStamp) {
+        if index.saturating_sub(self.log.len()) <= FUTURE_WINDOW {
+            self.future.insert(index, (value, stamp));
+        }
+    }
+
+    /// A decision relay from `from`.
+    fn on_decided(&mut self, from: ProcessId, d: &DecidedMsg, events: &mut Vec<ServiceOutput>) {
+        let stamp = ViewStamp {
+            id: d.view_id,
+            members: d.view_members,
+        };
+        match d.index.cmp(&self.log.len()) {
+            std::cmp::Ordering::Less => {}
+            std::cmp::Ordering::Equal => {
+                self.apply_at_tail(d.value, stamp, events);
+                self.commit_ready(events);
+            }
+            std::cmp::Ordering::Greater => {
+                self.buffer_future(d.index, d.value, stamp);
+                // We are missing a prefix — ask the relay's sender, but
+                // only once per tail position: every peer relays every
+                // decision, and one full-suffix reply per stall is
+                // enough.
+                if self.gap_synced_at != Some(self.log.len())
+                    && from != self.me()
+                    && from.index() < self.n
+                {
+                    self.gap_synced_at = Some(self.log.len());
+                    self.send_raw(
+                        from,
+                        encode(&WireMsg::SyncRequest(SyncRequest {
+                            from_index: self.log.len(),
+                        })),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Appends at the log tail, retires the command, and relays the
+    /// decision TRB-style (each node relays each index at most once —
+    /// it can only be appended once).
+    fn apply_at_tail(&mut self, value: u64, stamp: ViewStamp, events: &mut Vec<ServiceOutput>) {
+        let index = self.log.append(value, stamp);
+        self.note_committed(index, value);
+        events.push(ServiceOutput::Decided(Decision {
+            index,
+            value,
+            view: stamp,
+        }));
+        self.broadcast(&WireMsg::Decided(DecidedMsg {
+            index,
+            view_id: stamp.id,
+            view_members: stamp.members,
+            value,
+        }));
+    }
+
+    /// Drains buffered future decisions that now touch the tail.
+    fn commit_ready(&mut self, events: &mut Vec<ServiceOutput>) {
+        while let Some((value, stamp)) = self.future.remove(&self.log.len()) {
+            self.apply_at_tail(value, stamp, events);
+        }
+    }
+
+    /// A state-transfer request: stream the suffix back in chunks.
+    fn on_sync_request(&mut self, from: ProcessId, from_index: u64) {
+        if from == self.me() || from.index() >= self.n {
+            return;
+        }
+        let mut start = from_index;
+        while start < self.log.len() {
+            let entries: Vec<(u64, u64, u128)> = self
+                .log
+                .suffix(start)
+                .iter()
+                .take(MAX_SYNC_ENTRIES)
+                .map(|d| (d.value, d.view.id, d.view.members))
+                .collect();
+            let sent = entries.len() as u64;
+            self.send_raw(
+                from,
+                encode(&WireMsg::SyncReply(SyncReply { start, entries })),
+            );
+            start += sent;
+        }
+    }
+
+    /// A state-transfer chunk: reconcile it into the log.
+    fn on_sync_reply(&mut self, reply: &SyncReply, events: &mut Vec<ServiceOutput>) {
+        let before = self.log.len();
+        let outcome = self.log.merge_suffix(reply.start, &reply.entries);
+        if outcome.adopted == 0 && outcome.lost == 0 {
+            return;
+        }
+        // Rewritten tail: retire its commands and resolve its slots. On
+        // the (safety-alarm) lost path the rewrite reaches back to the
+        // chunk start; otherwise only fresh entries were appended.
+        let rewritten_from = if outcome.lost > 0 {
+            reply.start
+        } else {
+            before
+        };
+        for d in self.log.suffix(rewritten_from).to_vec() {
+            self.note_committed(d.index, d.value);
+        }
+        events.push(ServiceOutput::Transferred {
+            adopted: outcome.adopted,
+            lost: outcome.lost,
+        });
+        self.commit_ready(events);
+    }
+
+    fn learn_command(&mut self, value: u64) {
+        if !self.decided_values.contains(&value) {
+            self.pool.insert(value);
+        }
+    }
+
+    /// Bookkeeping shared by every way an entry enters the log.
+    fn note_committed(&mut self, index: u64, value: u64) {
+        self.pool.remove(&value);
+        self.decided_values.insert(value);
+        self.driver.resolve(index, value);
+    }
+
+    /// The current view as a [`ViewStamp`].
+    fn stamp(&self) -> ViewStamp {
+        let view = self.membership.view();
+        ViewStamp {
+            id: view.id,
+            members: set_to_members(view.members),
+        }
+    }
+
+    fn send_raw(&self, to: ProcessId, payload: Bytes) {
+        self.membership.transport().send(to, payload);
+    }
+
+    fn broadcast(&self, msg: &WireMsg) {
+        let payload = encode(msg);
+        for ix in 0..self.n {
+            let to = ProcessId::new(ix);
+            if to != self.me() {
+                self.send_raw(to, payload.clone());
+            }
+        }
+    }
+}

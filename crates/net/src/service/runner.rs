@@ -1,0 +1,635 @@
+//! The churn driver for a [`DecisionService`] fleet: the same
+//! tick-resumable shape as [`crate::online::OnlineRunner`], one layer
+//! up — faults from a [`crate::online::FaultSchedule`], client commands
+//! from a typed command queue, decisions out as typed events.
+
+use super::log::Decision;
+use super::node::{DecisionService, ServiceOutput};
+use crate::clock::{Nanos, Pacer, VirtualClock};
+use crate::estimator::ArrivalEstimator;
+use crate::membership::View;
+use crate::online::OnlineScenario;
+use crate::online::{apply_due_faults, Fault, MembershipChurnReport, MembershipWatcher};
+use crate::transport::{ChurnableTransport, Endpoint, InMemoryNetwork, NetworkConfig, Transport};
+use rfd_core::ProcessId;
+
+/// A service scenario: an [`OnlineScenario`] (fleet size, network,
+/// fault schedule, duration) plus the client workload — the typed
+/// command queue of `(submit time, receiving node, command value)`
+/// entries. Command values must be unique: the value identifies the
+/// command across gossip, consensus and the log.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceScenario {
+    /// The fleet/network/fault-schedule parameters.
+    pub online: OnlineScenario,
+    /// Client submissions, in any order (the runner sorts by time).
+    pub commands: Vec<(Nanos, ProcessId, u64)>,
+}
+
+impl ServiceScenario {
+    /// Adds one client submission (builder style).
+    #[must_use]
+    pub fn command(mut self, at: Nanos, node: ProcessId, value: u64) -> Self {
+        self.commands.push((at, node, value));
+        self
+    }
+}
+
+/// A typed event yielded by [`ServiceRunner::step`].
+#[derive(Clone, Debug)]
+pub enum ServiceEvent {
+    /// A scheduled fault took effect.
+    Fault {
+        /// Injection time.
+        at: Nanos,
+        /// The fault.
+        fault: Fault,
+    },
+    /// A client command entered a node's pending pool.
+    Submitted {
+        /// Submission time.
+        at: Nanos,
+        /// The node the client talked to.
+        node: ProcessId,
+        /// The command.
+        value: u64,
+    },
+    /// A node appended a decision to its log (the client-ack moment).
+    Decided {
+        /// Observation time.
+        at: Nanos,
+        /// The deciding node.
+        node: ProcessId,
+        /// The appended decision.
+        decision: Decision,
+    },
+    /// A node installed a membership view.
+    ViewInstalled {
+        /// Observation time.
+        at: Nanos,
+        /// The node.
+        node: ProcessId,
+        /// The view.
+        view: View,
+    },
+    /// A node ran a state-transfer reconciliation.
+    Transferred {
+        /// Observation time.
+        at: Nanos,
+        /// The node.
+        node: ProcessId,
+        /// Entries adopted.
+        adopted: u64,
+        /// Entries lost (safety alarm; zero in a healthy run).
+        lost: u64,
+    },
+}
+
+/// The post-run report of a [`ServiceRunner`].
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Per node: its final decision log.
+    pub logs: Vec<Vec<Decision>>,
+    /// Per node: whether it ended halted (merge-less exclusion).
+    pub halted: Vec<bool>,
+    /// Per node: ground-truth up/down at the end of the run.
+    pub up: Vec<bool>,
+    /// The membership watcher's report, including the state-transfer
+    /// metrics (`decisions_transferred` / `decisions_lost`).
+    pub membership: MembershipChurnReport,
+    /// Every decision event in observation order.
+    pub decisions: Vec<(Nanos, ProcessId, Decision)>,
+}
+
+impl ServiceReport {
+    /// Uniform agreement over the final logs: every pair of replicas —
+    /// crashed, halted or live — agrees on every index both decided.
+    #[must_use]
+    pub fn agreement_holds(&self) -> bool {
+        self.logs.iter().enumerate().all(|(a, log_a)| {
+            self.logs
+                .iter()
+                .skip(a + 1)
+                .all(|log_b| log_a.iter().zip(log_b).all(|(da, db)| da.value == db.value))
+        })
+    }
+
+    /// Whether every live (up, non-halted) replica ended with the same
+    /// full log — the post-heal convergence E13 gates on.
+    #[must_use]
+    pub fn live_logs_converged(&self) -> bool {
+        let mut live = (0..self.logs.len()).filter(|&ix| self.up[ix] && !self.halted[ix]);
+        let Some(first) = live.next() else {
+            return true;
+        };
+        let reference: Vec<u64> = self.logs[first].iter().map(|d| d.value).collect();
+        live.all(|ix| {
+            self.logs[ix].len() == reference.len()
+                && self.logs[ix]
+                    .iter()
+                    .zip(&reference)
+                    .all(|(d, v)| d.value == *v)
+        })
+    }
+
+    /// The longest final log length across replicas.
+    #[must_use]
+    pub fn decided_len(&self) -> u64 {
+        self.logs.iter().map(|l| l.len() as u64).max().unwrap_or(0)
+    }
+
+    /// The decided sequence of the longest final log.
+    #[must_use]
+    pub fn decided_values(&self) -> Vec<u64> {
+        self.logs
+            .iter()
+            .max_by_key(|l| l.len())
+            .map(|l| l.iter().map(|d| d.value).collect())
+            .unwrap_or_default()
+    }
+
+    /// Time of the first decision observed at or after `t` (e.g. the
+    /// last heal) — E13's time-to-first-post-heal-decision.
+    #[must_use]
+    pub fn first_decision_at_or_after(&self, t: Nanos) -> Option<Nanos> {
+        self.decisions
+            .iter()
+            .find(|(at, _, _)| *at >= t)
+            .map(|(at, _, _)| *at)
+    }
+}
+
+/// A resumable service-under-churn scenario: `n` [`DecisionService`]
+/// nodes over any substrate, advanced one sample tick at a time —
+/// faults and client commands injected on schedule, decisions and view
+/// changes yielded as typed [`ServiceEvent`]s, the fleet observed by a
+/// [`MembershipWatcher`] (including the state-transfer metrics).
+///
+/// Generic over the same three substrate traits as
+/// [`crate::online::OnlineRunner`]; [`ServiceRunner::new`] builds the
+/// simulated stack, [`ServiceRunner::over`] accepts any other (e.g.
+/// real UDP sockets under a [`crate::transport::FaultyTransport`]).
+///
+/// # Examples
+///
+/// ```
+/// use rfd_core::ProcessId;
+/// use rfd_net::clock::Nanos;
+/// use rfd_net::estimator::ChenEstimator;
+/// use rfd_net::online::OnlineScenario;
+/// use rfd_net::service::{ServiceRunner, ServiceScenario};
+///
+/// let ms = Nanos::from_millis;
+/// let scenario = ServiceScenario {
+///     online: OnlineScenario { n: 3, duration: ms(8_000), ..OnlineScenario::default() },
+///     ..ServiceScenario::default()
+/// }
+/// .command(ms(1_000), ProcessId::new(1), 41)
+/// .command(ms(3_000), ProcessId::new(2), 42);
+/// let mut runner =
+///     ServiceRunner::new(ChenEstimator::new(ms(50), 32, ms(500)), scenario);
+/// while runner.step().is_some() {}
+/// let report = runner.report();
+/// assert_eq!(report.decided_values(), vec![41, 42]);
+/// assert!(report.agreement_holds());
+/// ```
+#[derive(Debug)]
+pub struct ServiceRunner<E, T = Endpoint, C = VirtualClock, N = InMemoryNetwork>
+where
+    E: ArrivalEstimator + Clone,
+{
+    scenario: ServiceScenario,
+    clock: C,
+    net: N,
+    nodes: Vec<DecisionService<E, T, C>>,
+    watcher: MembershipWatcher,
+    up: Vec<bool>,
+    next_fault: usize,
+    next_command: usize,
+    decisions: Vec<(Nanos, ProcessId, Decision)>,
+    done: bool,
+}
+
+impl<E: ArrivalEstimator + Clone> ServiceRunner<E> {
+    /// Builds the simulated runner over a fresh seeded in-memory
+    /// network (deterministic per seed).
+    #[must_use]
+    pub fn new(prototype: E, scenario: ServiceScenario) -> Self {
+        let n = scenario.online.n;
+        let clock = VirtualClock::new();
+        let config = NetworkConfig::reliable(scenario.online.delay.0, scenario.online.delay.1)
+            .with_loss(scenario.online.loss)
+            .with_seed(scenario.online.seed);
+        let net = InMemoryNetwork::new(n, config, clock.clone());
+        let endpoints = (0..n).map(|ix| net.endpoint(ProcessId::new(ix))).collect();
+        Self::over(prototype, scenario, endpoints, net, clock)
+    }
+}
+
+impl<E, T, C, N> ServiceRunner<E, T, C, N>
+where
+    E: ArrivalEstimator + Clone,
+    T: Transport,
+    C: Pacer + Clone,
+    N: ChurnableTransport,
+{
+    /// Builds the runner over an arbitrary substrate (one [`Transport`]
+    /// per node in id order, the fault plane, the pacing clock) — the
+    /// scenario's transport-level fields (`loss`, `delay`, `seed`) are
+    /// ignored, exactly as in [`crate::online::OnlineRunner::over`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints.len() != scenario.online.n` or an endpoint
+    /// disagrees with its position.
+    #[must_use]
+    pub fn over(
+        prototype: E,
+        mut scenario: ServiceScenario,
+        endpoints: Vec<T>,
+        net: N,
+        clock: C,
+    ) -> Self {
+        let n = scenario.online.n;
+        assert_eq!(endpoints.len(), n, "one endpoint per process");
+        scenario.commands.sort_by_key(|(at, _, _)| *at);
+        let nodes = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(ix, endpoint)| {
+                assert_eq!(endpoint.me(), ProcessId::new(ix), "endpoints out of order");
+                let node = DecisionService::new(
+                    n,
+                    prototype.clone(),
+                    endpoint,
+                    clock.clone(),
+                    scenario.online.period,
+                );
+                if scenario.online.heal_merge {
+                    node.with_heal_merge()
+                } else {
+                    node
+                }
+            })
+            .collect();
+        Self {
+            watcher: MembershipWatcher::new(n),
+            up: vec![true; n],
+            nodes,
+            net,
+            clock,
+            next_fault: 0,
+            next_command: 0,
+            decisions: Vec::new(),
+            done: false,
+            scenario,
+        }
+    }
+
+    /// The current time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Whether the scenario duration has elapsed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Read access to one node (e.g. its live log mid-run).
+    #[must_use]
+    pub fn node(&self, ix: usize) -> &DecisionService<E, T, C> {
+        &self.nodes[ix]
+    }
+
+    /// Executes one sample tick: injects due faults and commands, polls
+    /// every up node, observes the fleet, and paces the clock. `None`
+    /// once the duration has elapsed.
+    pub fn step(&mut self) -> Option<Vec<ServiceEvent>> {
+        if self.done {
+            return None;
+        }
+        let now = self.clock.now();
+        if now >= self.scenario.online.duration {
+            self.done = true;
+            return None;
+        }
+        let mut events = Vec::new();
+        let watcher = &mut self.watcher;
+        apply_due_faults(
+            &self.scenario.online.schedule,
+            &mut self.next_fault,
+            now,
+            &self.net,
+            &mut self.up,
+            |at, fault| {
+                match fault {
+                    Fault::Crash(p) => watcher.note_crash(*p, at),
+                    Fault::Recover(p) => watcher.note_recover(*p),
+                    Fault::Heal => watcher.note_heal(at),
+                    Fault::Partition(_) => {}
+                }
+                events.push(ServiceEvent::Fault {
+                    at,
+                    fault: fault.clone(),
+                });
+            },
+        );
+        while let Some(&(at, node, value)) = self.scenario.commands.get(self.next_command) {
+            if at > now {
+                break;
+            }
+            self.next_command += 1;
+            if node.index() < self.nodes.len()
+                && self.up[node.index()]
+                && self.nodes[node.index()].propose(value)
+            {
+                events.push(ServiceEvent::Submitted { at, node, value });
+            }
+        }
+        for (ix, node) in self.nodes.iter_mut().enumerate() {
+            if !self.up[ix] {
+                continue;
+            }
+            let me = ProcessId::new(ix);
+            for output in node.poll() {
+                match output {
+                    ServiceOutput::Decided(decision) => {
+                        self.decisions.push((now, me, decision));
+                        events.push(ServiceEvent::Decided {
+                            at: now,
+                            node: me,
+                            decision,
+                        });
+                    }
+                    ServiceOutput::ViewInstalled(view) => {
+                        events.push(ServiceEvent::ViewInstalled {
+                            at: now,
+                            node: me,
+                            view,
+                        });
+                    }
+                    ServiceOutput::Transferred { adopted, lost } => {
+                        self.watcher.note_state_transfer(adopted, lost);
+                        events.push(ServiceEvent::Transferred {
+                            at: now,
+                            node: me,
+                            adopted,
+                            lost,
+                        });
+                    }
+                }
+            }
+        }
+        self.watcher.observe(
+            now,
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(ix, node)| self.up[*ix] && !node.is_halted())
+                .map(|(ix, node)| {
+                    let v = node.view();
+                    (ProcessId::new(ix), v.id, v.members)
+                }),
+        );
+        self.clock
+            .pace_to(now.saturating_add(self.scenario.online.sample_every));
+        Some(events)
+    }
+
+    /// Runs the remaining ticks, returning every event produced.
+    pub fn run_to_end(&mut self) -> Vec<ServiceEvent> {
+        let mut all = Vec::new();
+        while let Some(mut events) = self.step() {
+            all.append(&mut events);
+        }
+        all
+    }
+
+    /// The report as of now (complete once [`ServiceRunner::is_done`]).
+    #[must_use]
+    pub fn report(&self) -> ServiceReport {
+        ServiceReport {
+            logs: self
+                .nodes
+                .iter()
+                .map(|node| node.log().entries().to_vec())
+                .collect(),
+            halted: self.nodes.iter().map(DecisionService::is_halted).collect(),
+            up: self.up.clone(),
+            membership: self.watcher.report(),
+            decisions: self.decisions.clone(),
+        }
+    }
+}
+
+/// Convenience: drives a full simulated service scenario to completion
+/// and returns the report — deterministic per `scenario.online.seed`.
+#[must_use]
+pub fn run_service<E: ArrivalEstimator + Clone>(
+    prototype: E,
+    scenario: &ServiceScenario,
+) -> ServiceReport {
+    let mut runner = ServiceRunner::new(prototype, scenario.clone());
+    runner.run_to_end();
+    runner.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::ChenEstimator;
+    use crate::online::{Fault, FaultSchedule};
+    use rfd_core::ProcessSet;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn chen() -> ChenEstimator {
+        ChenEstimator::new(ms(150), 16, ms(600))
+    }
+
+    /// `k` spaced commands with increasing values, round-robin clients.
+    fn spaced_commands(
+        scenario: ServiceScenario,
+        k: u64,
+        from: Nanos,
+        gap: Nanos,
+    ) -> ServiceScenario {
+        (0..k).fold(scenario, |s, i| {
+            let n = s.online.n;
+            s.command(
+                Nanos::from_nanos(from.as_nanos() + i * gap.as_nanos()),
+                p((i as usize) % n),
+                100 + i,
+            )
+        })
+    }
+
+    #[test]
+    fn stable_fleet_decides_every_submission_in_order() {
+        let scenario = spaced_commands(
+            ServiceScenario {
+                online: OnlineScenario {
+                    n: 4,
+                    duration: ms(20_000),
+                    ..OnlineScenario::default()
+                },
+                ..ServiceScenario::default()
+            },
+            5,
+            ms(1_000),
+            ms(2_000),
+        );
+        let report = run_service(chen(), &scenario);
+        assert_eq!(report.decided_values(), vec![100, 101, 102, 103, 104]);
+        assert!(report.agreement_holds());
+        assert!(report.live_logs_converged());
+        assert_eq!(report.membership.decisions_transferred, 0);
+        assert_eq!(report.membership.decisions_lost, 0);
+        // Every decision recorded the stable full view.
+        for log in &report.logs {
+            for d in log {
+                assert_eq!(d.view.member_set(4), ProcessSet::full(4), "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_crash_excludes_then_the_log_resumes() {
+        // p0 coordinates both the membership and consensus round 0; its
+        // crash must stall decisions only until the membership excludes
+        // it (emulating P), after which rounds rotate past it.
+        let scenario = spaced_commands(
+            ServiceScenario {
+                online: OnlineScenario {
+                    n: 4,
+                    duration: ms(30_000),
+                    schedule: FaultSchedule::new().at(ms(6_500), Fault::Crash(p(0))),
+                    ..OnlineScenario::default()
+                },
+                ..ServiceScenario::default()
+            },
+            6,
+            ms(1_000),
+            ms(3_500),
+        );
+        let report = run_service(chen(), &scenario);
+        // Commands submitted to the crashed p0 after its crash are not
+        // accepted; every other one decides.
+        let decided = report.decided_values();
+        assert!(decided.len() >= 4, "{decided:?}");
+        assert!(report.agreement_holds());
+        assert!(report.live_logs_converged());
+        // The post-crash view excluded p0, and decisions after the
+        // exclusion record a view without it.
+        let last = report.logs[1].last().expect("survivor decided");
+        assert!(!last.view.member_set(4).contains(p(0)), "{last:?}");
+    }
+
+    #[test]
+    fn healed_partition_transfers_the_missed_decisions() {
+        // p3 is cut off while the majority keeps deciding; after the
+        // heal the merged view triggers state transfer and p3 ends with
+        // the full log without ever having been in the deciding quorum.
+        let scenario = spaced_commands(
+            ServiceScenario {
+                online: OnlineScenario {
+                    n: 4,
+                    duration: ms(30_000),
+                    heal_merge: true,
+                    schedule: FaultSchedule::new()
+                        .at(ms(4_000), Fault::Partition(ProcessSet::singleton(p(3))))
+                        .at(ms(16_000), Fault::Heal),
+                    ..OnlineScenario::default()
+                },
+                ..ServiceScenario::default()
+            },
+            5,
+            ms(5_000),
+            ms(2_200),
+        );
+        let report = run_service(chen(), &scenario);
+        assert!(report.agreement_holds());
+        assert!(report.live_logs_converged(), "{:?}", report.logs);
+        assert_eq!(report.decided_values().len(), 5);
+        assert!(
+            report.membership.decisions_transferred > 0,
+            "p3 must catch up via state transfer: {:?}",
+            report.membership
+        );
+        assert_eq!(
+            report.membership.decisions_lost, 0,
+            "no acked decision lost"
+        );
+        assert_eq!(report.logs[3].len(), 5, "p3 holds the full log");
+    }
+
+    #[test]
+    fn merge_less_exclusion_freezes_but_never_forks_the_log() {
+        // Default §1.3 policy: the partitioned p3 is excluded forever
+        // (and halts once it learns); its frozen log must still be a
+        // prefix of the survivors' — uniform agreement by fiat.
+        let scenario = spaced_commands(
+            ServiceScenario {
+                online: OnlineScenario {
+                    n: 4,
+                    duration: ms(30_000),
+                    schedule: FaultSchedule::new()
+                        .at(ms(6_000), Fault::Partition(ProcessSet::singleton(p(3))))
+                        .at(ms(18_000), Fault::Heal),
+                    ..OnlineScenario::default()
+                },
+                ..ServiceScenario::default()
+            },
+            5,
+            ms(1_000),
+            ms(2_500),
+        );
+        let report = run_service(chen(), &scenario);
+        assert!(report.agreement_holds());
+        assert_eq!(report.decided_values().len(), 5);
+        assert!(
+            report.logs[3].len() <= report.logs[0].len(),
+            "the excluded node can only be behind"
+        );
+    }
+
+    #[test]
+    fn service_runs_are_deterministic_per_seed() {
+        let scenario = spaced_commands(
+            ServiceScenario {
+                online: OnlineScenario {
+                    n: 4,
+                    duration: ms(24_000),
+                    seed: 9,
+                    heal_merge: true,
+                    schedule: FaultSchedule::new()
+                        .at(ms(5_000), Fault::Partition(ProcessSet::singleton(p(2))))
+                        .at(ms(12_000), Fault::Heal),
+                    ..OnlineScenario::default()
+                },
+                ..ServiceScenario::default()
+            },
+            4,
+            ms(1_500),
+            ms(2_500),
+        );
+        let a = run_service(chen(), &scenario);
+        let b = run_service(chen(), &scenario);
+        assert_eq!(a.logs, b.logs);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(
+            a.membership.decisions_transferred,
+            b.membership.decisions_transferred
+        );
+        assert_eq!(a.membership.view_changes, b.membership.view_changes);
+    }
+}

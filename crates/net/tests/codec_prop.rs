@@ -1,0 +1,144 @@
+//! Wire-codec robustness: round-trip fidelity for every message kind,
+//! and totality of `decode` under corruption — truncated, bit-flipped
+//! or outright arbitrary datagrams must return an error (or a different
+//! message), never panic and never over-allocate.
+
+use proptest::prelude::*;
+use rfd_algo::consensus::RotatingMsg;
+use rfd_net::clock::Nanos;
+use rfd_net::codec::{
+    decode, encode, Command, ConsensusFrame, DecidedMsg, DecodeError, Heartbeat, SyncReply,
+    SyncRequest, ViewChange, WireMsg, MAX_SYNC_ENTRIES,
+};
+
+/// Builds one arbitrary wire message from a flattened parameter tuple
+/// (the vendored proptest subset has no `prop_oneof`; a selector byte
+/// plus generic scalars covers every variant and sub-variant).
+fn wire_msg(selector: u8, a: u64, b: u64, wide: u128, entries: Vec<(u64, u64, u128)>) -> WireMsg {
+    match selector % 7 {
+        0 => WireMsg::Heartbeat(Heartbeat {
+            sender: a as u16,
+            seq: b,
+            sent_at: Nanos::from_nanos(a ^ b),
+        }),
+        1 => WireMsg::ViewChange(ViewChange {
+            view_id: a,
+            members: wide,
+        }),
+        2 => WireMsg::Command(Command { value: a }),
+        3 => WireMsg::Consensus(ConsensusFrame {
+            slot: a,
+            msg: match b % 5 {
+                0 => RotatingMsg::Estimate {
+                    r: b,
+                    ts: a.wrapping_add(b),
+                    v: wide as u64,
+                },
+                1 => RotatingMsg::Propose {
+                    r: b,
+                    v: wide as u64,
+                },
+                2 => RotatingMsg::Ack { r: b },
+                3 => RotatingMsg::Nack { r: b },
+                _ => RotatingMsg::Decide(wide as u64),
+            },
+        }),
+        4 => WireMsg::Decided(DecidedMsg {
+            index: a,
+            view_id: b,
+            view_members: wide,
+            value: a.wrapping_mul(3),
+        }),
+        5 => WireMsg::SyncRequest(SyncRequest { from_index: a }),
+        _ => WireMsg::SyncReply(SyncReply { start: a, entries }),
+    }
+}
+
+proptest! {
+    /// Every message survives an encode/decode round trip bit-exact.
+    #[test]
+    fn round_trip_is_identity(
+        selector in 0u8..7,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        wide in any::<u128>(),
+        entries in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u128>()), 0..=MAX_SYNC_ENTRIES),
+    ) {
+        let msg = wire_msg(selector, a, b, wide, entries);
+        let encoded = encode(&msg);
+        prop_assert_eq!(decode(&encoded), Ok(msg));
+    }
+
+    /// Decoding arbitrary bytes is total: it returns `Ok` or `Err`,
+    /// never panics (the assertion is the call itself).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..192),
+    ) {
+        let _ = decode(&bytes);
+    }
+
+    /// Every strict prefix of a valid datagram fails to decode — the
+    /// formats carry no optional tail, so truncation is always caught.
+    #[test]
+    fn truncated_datagrams_are_rejected(
+        selector in 0u8..7,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        wide in any::<u128>(),
+        entries in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u128>()), 0..=MAX_SYNC_ENTRIES),
+        cut in any::<usize>(),
+    ) {
+        let msg = wire_msg(selector, a, b, wide, entries);
+        let encoded = encode(&msg);
+        let cut = cut % encoded.len();
+        prop_assert!(decode(&encoded[..cut]).is_err(), "prefix of {} bytes decoded", cut);
+    }
+
+    /// A flipped byte never panics the decoder and never decodes back
+    /// to the original message (every encoded byte is load-bearing).
+    #[test]
+    fn bit_flips_never_panic_or_alias(
+        selector in 0u8..7,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        wide in any::<u128>(),
+        entries in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u128>()), 0..=MAX_SYNC_ENTRIES),
+        position in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let msg = wire_msg(selector, a, b, wide, entries);
+        let mut corrupted = encode(&msg).to_vec();
+        let position = position % corrupted.len();
+        corrupted[position] ^= mask;
+        match decode(&corrupted) {
+            Ok(other) => prop_assert_ne!(other, msg, "corruption at byte {} went unnoticed", position),
+            Err(DecodeError::Truncated | DecodeError::Malformed) => {}
+        }
+    }
+}
+
+/// Deterministic spot checks of the corruption classes the properties
+/// sweep (kept as plain tests so a regression names the exact case).
+#[test]
+fn corrupt_magic_and_tag_are_malformed() {
+    let msg = WireMsg::SyncRequest(SyncRequest { from_index: 4 });
+    let good = encode(&msg);
+    let mut bad_magic = good.to_vec();
+    bad_magic[0] ^= 0xFF;
+    assert_eq!(decode(&bad_magic), Err(DecodeError::Malformed));
+    let mut bad_tag = good.to_vec();
+    bad_tag[2] = 0xEE;
+    assert_eq!(decode(&bad_tag), Err(DecodeError::Malformed));
+}
+
+#[test]
+fn consensus_frame_with_unknown_kind_is_malformed() {
+    let good = encode(&WireMsg::Consensus(ConsensusFrame {
+        slot: 1,
+        msg: RotatingMsg::Ack { r: 0 },
+    }));
+    let mut bad = good.to_vec();
+    bad[11] = 9; // kind byte after magic(2) + tag(1) + slot(8)
+    assert_eq!(decode(&bad), Err(DecodeError::Malformed));
+}

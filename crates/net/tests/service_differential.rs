@@ -1,0 +1,196 @@
+//! Differential test: the **online** `DecisionService` (live heartbeat
+//! membership emulating `P`, message-passing consensus over a seeded
+//! virtual network) against the **batch** `rfd_algo` path (the same
+//! rotating-coordinator core in the lock-step simulator under an oracle
+//! `P` history).
+//!
+//! Contract — the E13 acceptance gate, mirroring PR 2's
+//! `monitor_matches_batch` pattern one layer up: for the same command
+//! workload and the same fault pattern, the online service's decided
+//! sequence equals the batch algorithm's output, slot by slot, for
+//! every estimator × schedule cell; and the online sequence reproduces
+//! bit-for-bit per seed.
+
+use rfd_algo::consensus::{ConsensusAutomaton, RotatingConsensus};
+use rfd_core::oracles::{Oracle, PerfectOracle};
+use rfd_core::{FailurePattern, ProcessId, ProcessSet, Time};
+use rfd_net::clock::Nanos;
+use rfd_net::estimator::{ChenEstimator, FixedTimeout, JacobsonEstimator};
+use rfd_net::online::{Fault, FaultSchedule, OnlineScenario};
+use rfd_net::service::{run_service, ServiceScenario};
+use rfd_net::ArrivalEstimator;
+use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+const N: usize = 4;
+
+/// One differential cell: the fault schedule, the nodes clients may
+/// talk to (kept clear of crashed/partitioned submitters so every
+/// command is decidable in submission order), and heal-merge policy.
+struct Cell {
+    name: &'static str,
+    schedule: FaultSchedule,
+    clients: &'static [usize],
+    heal_merge: bool,
+    duration_ms: u64,
+}
+
+fn cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            name: "steady",
+            schedule: FaultSchedule::new(),
+            clients: &[0, 1, 2, 3],
+            heal_merge: false,
+            duration_ms: 22_000,
+        },
+        Cell {
+            name: "coordinator crash",
+            schedule: FaultSchedule::new().at(ms(6_500), Fault::Crash(p(0))),
+            clients: &[1, 2, 3],
+            heal_merge: false,
+            duration_ms: 30_000,
+        },
+        Cell {
+            name: "minority cut + heal",
+            schedule: FaultSchedule::new()
+                .at(ms(5_000), Fault::Partition(ProcessSet::singleton(p(3))))
+                .at(ms(13_000), Fault::Heal),
+            clients: &[0, 1, 2],
+            heal_merge: true,
+            duration_ms: 30_000,
+        },
+    ]
+}
+
+/// The command workload of a cell: values increasing in submission
+/// order, spaced far enough apart that each decision lands (even
+/// through an exclusion window) before the next command exists.
+fn workload(cell: &Cell, seed: u64) -> ServiceScenario {
+    let mut scenario = ServiceScenario {
+        online: OnlineScenario {
+            n: N,
+            duration: ms(cell.duration_ms),
+            seed,
+            heal_merge: cell.heal_merge,
+            schedule: cell.schedule.clone(),
+            ..OnlineScenario::default()
+        },
+        ..ServiceScenario::default()
+    };
+    for i in 0..6u64 {
+        let client = cell.clients[(i as usize) % cell.clients.len()];
+        scenario = scenario.command(ms(1_000 + i * 2_500), p(client), 100 + i);
+    }
+    scenario
+}
+
+/// The batch reference: one `rfd_algo` rotating-coordinator run per log
+/// slot, in the lock-step simulator under a Perfect oracle history —
+/// every process proposes the slot's command (the same state the online
+/// gossip reaches before each spaced submission's instance runs), with
+/// the processes already crashed at submission time crashed in the
+/// pattern. Returns the decided sequence.
+fn batch_reference(cell: &Cell, commands: &[u64], submit_ms: &[u64]) -> Vec<u64> {
+    let rounds = 400;
+    commands
+        .iter()
+        .zip(submit_ms)
+        .map(|(&value, &at)| {
+            let mut pattern = FailurePattern::new(N);
+            for ix in 0..N {
+                if let Some(crash) = cell.schedule.final_crash(p(ix)) {
+                    if crash.as_millis() <= at {
+                        pattern = pattern.with_crash(p(ix), Time::new(1));
+                    }
+                }
+            }
+            let oracle = PerfectOracle::new(6, 2);
+            let history = oracle.generate(&pattern, ticks_for_rounds(N, rounds), 11);
+            let proposals = vec![value; N];
+            let automata = ConsensusAutomaton::<RotatingConsensus<u64>>::fleet(&proposals);
+            let config = SimConfig::new(5, rounds).with_stop(StopCondition::EachCorrectOutput(1));
+            let result = run(&pattern, &history, automata, &config);
+            let mut decisions = result.trace.events.iter().map(|e| e.value);
+            let first = decisions.next().expect("the batch run decides");
+            assert!(
+                decisions.all(|d| d == first),
+                "batch agreement violated in the reference itself"
+            );
+            first
+        })
+        .collect()
+}
+
+fn assert_cell_matches<E: ArrivalEstimator + Clone>(estimator: E, est_name: &str, cell: &Cell) {
+    let scenario = workload(cell, 7);
+    let commands: Vec<u64> = scenario.commands.iter().map(|(_, _, v)| *v).collect();
+    let submit_ms: Vec<u64> = scenario
+        .commands
+        .iter()
+        .map(|(at, _, _)| at.as_millis())
+        .collect();
+
+    let online = run_service(estimator.clone(), &scenario);
+    assert!(
+        online.agreement_holds(),
+        "[{est_name}/{}] logs fork",
+        cell.name
+    );
+    assert!(
+        online.live_logs_converged(),
+        "[{est_name}/{}] live logs diverge: {:?}",
+        cell.name,
+        online.logs
+    );
+    let online_seq = online.decided_values();
+    assert_eq!(
+        online_seq.len(),
+        commands.len(),
+        "[{est_name}/{}] not every command decided: {online_seq:?}",
+        cell.name
+    );
+
+    let batch_seq = batch_reference(cell, &commands, &submit_ms);
+    assert_eq!(
+        online_seq, batch_seq,
+        "[{est_name}/{}] online decisions diverge from the batch algorithm",
+        cell.name
+    );
+
+    // Same seed ⇒ bit-identical decision sequence (and timeline).
+    let again = run_service(estimator, &scenario);
+    assert_eq!(
+        online.decisions, again.decisions,
+        "[{est_name}/{}]",
+        cell.name
+    );
+}
+
+#[test]
+fn online_decisions_match_batch_for_fixed_timeout() {
+    for cell in cells() {
+        assert_cell_matches(FixedTimeout::new(ms(400)), "fixed", &cell);
+    }
+}
+
+#[test]
+fn online_decisions_match_batch_for_chen() {
+    for cell in cells() {
+        assert_cell_matches(ChenEstimator::new(ms(150), 16, ms(600)), "chen", &cell);
+    }
+}
+
+#[test]
+fn online_decisions_match_batch_for_jacobson() {
+    for cell in cells() {
+        assert_cell_matches(JacobsonEstimator::new(4.0, ms(600)), "jacobson", &cell);
+    }
+}

@@ -1,0 +1,319 @@
+//! Adversarial safety battery for the live replicated-decision service.
+//!
+//! The contract under test is the paper's reason group membership
+//! exists: the service's log must behave like `P`-based consensus —
+//! **no two nodes ever decide different values at the same log index**,
+//! whatever crash / recover / partition / heal schedule the run is put
+//! through, and post-heal state transfer must never lose a decision
+//! that was acknowledged to a client. Schedules are random (the same
+//! generator family as `reconverge.rs`), runs are deterministic per
+//! seed, and the checks read the *event timeline*, not just the final
+//! state, so even a transient disagreement would fail the property.
+//!
+//! The deterministic half regression-tests the out-of-range
+//! `ProcessId` handling fixed alongside this layer: wild heartbeat
+//! senders, oversized watcher members, and hostile service frames.
+
+use proptest::prelude::*;
+use rfd_core::{ProcessId, ProcessSet};
+use rfd_net::clock::{Nanos, VirtualClock};
+use rfd_net::codec::{encode, DecidedMsg, Heartbeat, SyncReply, WireMsg};
+use rfd_net::estimator::ChenEstimator;
+use rfd_net::membership::MembershipNode;
+use rfd_net::online::{Fault, FaultSchedule, MembershipWatcher, OnlineScenario};
+use rfd_net::service::{run_service, ServiceEvent, ServiceRunner, ServiceScenario};
+use rfd_net::transport::{InMemoryNetwork, NetworkConfig, Transport};
+use rfd_net::DetectorNode;
+use std::collections::BTreeMap;
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn chen() -> ChenEstimator {
+    ChenEstimator::new(ms(150), 16, ms(600))
+}
+
+/// Builds a service scenario from generated churn: `cuts` are
+/// `(gap, hold, side_bits)` partition/heal rounds, `crash` an optional
+/// `(victim, at, recovery_hold)` cycle, commands spaced through the run.
+fn churn_scenario(
+    seed: u64,
+    heal_merge: bool,
+    cuts: &[(u64, u64, u8)],
+    crash: Option<(usize, u64, u64)>,
+) -> ServiceScenario {
+    let n = 4;
+    let mut schedule = FaultSchedule::new();
+    let mut t = 0u64;
+    for &(gap, hold, side_bits) in cuts {
+        t += gap;
+        let side: ProcessSet = (0..n)
+            .filter(|ix| side_bits & (1 << ix) != 0)
+            .map(p)
+            .collect();
+        schedule = schedule.at(ms(t), Fault::Partition(side));
+        t += hold;
+        schedule = schedule.at(ms(t), Fault::Heal);
+    }
+    if let Some((victim, at, hold)) = crash {
+        schedule = schedule
+            .at(ms(at), Fault::Crash(p(victim)))
+            .at(ms(at + hold), Fault::Recover(p(victim)));
+    }
+    let duration = ms(t.max(10_000) + 12_000);
+    let mut scenario = ServiceScenario {
+        online: OnlineScenario {
+            n,
+            duration,
+            seed,
+            heal_merge,
+            schedule,
+            ..OnlineScenario::default()
+        },
+        ..ServiceScenario::default()
+    };
+    // Six commands spread across the run, round-robin clients.
+    let gap = duration.as_millis() / 8;
+    for i in 0..6u64 {
+        scenario = scenario.command(ms(gap * (i + 1)), p((i as usize) % n), 100 + i);
+    }
+    scenario
+}
+
+/// Drives the scenario and checks the safety contract on the live
+/// event stream *and* the final logs (panics on violation, so it works
+/// both as a property body and as a plain test helper).
+fn assert_safety(scenario: &ServiceScenario) {
+    let mut runner = ServiceRunner::new(chen(), scenario.clone());
+    // index -> first value ever acknowledged at that index, across the
+    // whole fleet and the whole run.
+    let mut acked: BTreeMap<u64, u64> = BTreeMap::new();
+    while let Some(events) = runner.step() {
+        for event in events {
+            if let ServiceEvent::Decided { decision, node, .. } = event {
+                let first = *acked.entry(decision.index).or_insert(decision.value);
+                assert_eq!(
+                    first, decision.value,
+                    "agreement violated live at index {} by {node}",
+                    decision.index
+                );
+            }
+        }
+    }
+    let report = runner.report();
+    assert!(
+        report.agreement_holds(),
+        "final logs disagree: {:?}",
+        report.logs
+    );
+    assert_eq!(
+        report.membership.decisions_lost, 0,
+        "state transfer discarded decided entries"
+    );
+    // No acknowledged decision is ever lost: every final log that
+    // reaches an acked index still holds the acked value.
+    for (&index, &value) in &acked {
+        let mut holders = 0;
+        for log in &report.logs {
+            if let Some(d) = log.get(index as usize) {
+                assert_eq!(d.value, value, "acked decision rewritten at {index}");
+                holders += 1;
+            }
+        }
+        assert!(holders > 0, "acked index {index} vanished from every log");
+    }
+}
+
+proptest! {
+    // Each case is a full multi-second virtual run; keep the count
+    // modest (the CI quick suite re-runs this file on every push).
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Safety under random crash/partition/heal churn, with heal-merge
+    /// reconciliation (and therefore live state transfer) enabled.
+    #[test]
+    fn no_two_nodes_ever_decide_differently_under_heal_merge_churn(
+        seed in 0u64..1024,
+        cuts in prop::collection::vec((2_000u64..7_000, 2_000u64..6_000, 1u8..15), 1..3),
+        crash in prop::option::of((1usize..4, 3_000u64..15_000, 2_000u64..6_000)),
+    ) {
+        assert_safety(&churn_scenario(seed, true, &cuts, crash));
+    }
+
+    /// The same contract under the default merge-less policy: excluded
+    /// nodes halt (by-fiat accuracy) but the logs never fork.
+    #[test]
+    fn merge_less_exclusion_preserves_agreement_too(
+        seed in 0u64..1024,
+        cuts in prop::collection::vec((2_000u64..7_000, 2_000u64..6_000, 1u8..15), 1..2),
+        crash in prop::option::of((1usize..4, 3_000u64..15_000, 2_000u64..6_000)),
+    ) {
+        assert_safety(&churn_scenario(seed, false, &cuts, crash));
+    }
+
+    /// Determinism: the full report of a churned service run is a pure
+    /// function of the scenario seed.
+    #[test]
+    fn churned_service_reports_reproduce_per_seed(
+        seed in 0u64..64,
+        cuts in prop::collection::vec((2_000u64..7_000, 2_000u64..6_000, 1u8..15), 1..2),
+    ) {
+        let scenario = churn_scenario(seed, true, &cuts, None);
+        let a = run_service(chen(), &scenario);
+        let b = run_service(chen(), &scenario);
+        prop_assert_eq!(a.logs, b.logs);
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(a.membership.view_changes, b.membership.view_changes);
+        prop_assert_eq!(a.membership.decisions_transferred, b.membership.decisions_transferred);
+    }
+}
+
+/// A heal with traffic on both sides: the majority decides during the
+/// cut, the healed minority catches up purely by state transfer, and
+/// every acknowledged decision survives — the deterministic anchor of
+/// the property above.
+#[test]
+fn healed_minority_recovers_every_acknowledged_decision() {
+    let scenario = churn_scenario(3, true, &[(4_000, 8_000, 0b1000)], None);
+    let report = run_service(chen(), &scenario);
+    assert!(report.agreement_holds());
+    assert!(report.live_logs_converged(), "{:?}", report.logs);
+    assert_eq!(
+        report.decided_values().len(),
+        6,
+        "{:?}",
+        report.decided_values()
+    );
+    assert!(report.membership.decisions_transferred > 0);
+    assert_eq!(report.membership.decisions_lost, 0);
+}
+
+// ---- out-of-range ProcessId regressions (the PR 2 panic family) ------
+
+/// `MembershipWatcher::observe` with a member index beyond the fleet
+/// used to panic on its per-member bookkeeping vectors.
+#[test]
+fn watcher_observe_ignores_out_of_range_members() {
+    let mut w = MembershipWatcher::new(3);
+    let v = ProcessSet::full(3);
+    w.observe(ms(10), vec![(p(0), 1, v), (p(120), 7, v)]);
+    let report = w.report();
+    assert_eq!(report.view_changes, 1, "only the in-range member counts");
+}
+
+/// Ground-truth notes about processes outside the fleet are ignored
+/// rather than indexed.
+#[test]
+fn watcher_notes_ignore_out_of_range_processes() {
+    let mut w = MembershipWatcher::new(2);
+    w.note_crash(p(90), ms(5));
+    w.note_recover(p(91));
+    let report = w.report();
+    assert_eq!(report.exclusion_latency.len(), 2);
+    assert!(report.false_exclusions.is_empty());
+}
+
+/// A heartbeat claiming a wild sender index (arbitrary u16 from the
+/// wire) used to panic `ProcessId::new` inside the membership drain.
+#[test]
+fn membership_survives_heartbeats_with_wild_senders() {
+    let clock = VirtualClock::new();
+    let net = InMemoryNetwork::new(2, NetworkConfig::reliable(ms(1), ms(2)), clock.clone());
+    let mut node =
+        MembershipNode::new(2, chen(), net.endpoint(p(1)), clock.clone(), ms(50)).with_heal_merge();
+    let hostile = net.endpoint(p(0));
+    for sender in [2u16, 127, 128, 999, u16::MAX] {
+        hostile.send(
+            p(1),
+            encode(&WireMsg::Heartbeat(Heartbeat {
+                sender,
+                seq: 1,
+                sent_at: Nanos::ZERO,
+            })),
+        );
+    }
+    clock.advance(ms(10));
+    node.poll(); // must not panic
+    assert_eq!(node.view().members, ProcessSet::full(2));
+}
+
+/// Same guard on the plain detector node loop.
+#[test]
+fn detector_node_survives_heartbeats_with_wild_senders() {
+    let clock = VirtualClock::new();
+    let net = InMemoryNetwork::new(2, NetworkConfig::reliable(ms(1), ms(2)), clock.clone());
+    let mut node = DetectorNode::new(2, chen(), net.endpoint(p(1)), clock.clone(), ms(50));
+    let hostile = net.endpoint(p(0));
+    hostile.send(
+        p(1),
+        encode(&WireMsg::Heartbeat(Heartbeat {
+            sender: 40_000,
+            seq: 0,
+            sent_at: Nanos::ZERO,
+        })),
+    );
+    clock.advance(ms(10));
+    assert!(node.poll().is_empty());
+}
+
+/// Hostile service frames: a decision relay at an absurd index and a
+/// sync chunk claiming a near-overflow start must be absorbed without
+/// panicking or corrupting the log.
+#[test]
+fn service_node_absorbs_hostile_frames() {
+    let n = 3;
+    let clock = VirtualClock::new();
+    let net = InMemoryNetwork::new(n, NetworkConfig::reliable(ms(1), ms(2)), clock.clone());
+    let mut runner = ServiceRunner::new(
+        chen(),
+        ServiceScenario {
+            online: OnlineScenario {
+                n,
+                duration: ms(2_000),
+                ..OnlineScenario::default()
+            },
+            ..ServiceScenario::default()
+        },
+    );
+    // The runner owns its own network; craft hostile traffic on a
+    // second fleet sharing the codec instead.
+    let mut victim = rfd_net::service::DecisionService::new(
+        n,
+        chen(),
+        net.endpoint(p(1)),
+        clock.clone(),
+        ms(50),
+    );
+    let hostile = net.endpoint(p(0));
+    hostile.send(
+        p(1),
+        encode(&WireMsg::Decided(DecidedMsg {
+            index: u64::MAX,
+            view_id: u64::MAX,
+            view_members: u128::MAX,
+            value: 7,
+        })),
+    );
+    hostile.send(
+        p(1),
+        encode(&WireMsg::SyncReply(SyncReply {
+            start: u64::MAX - 1,
+            entries: vec![(1, 1, 1), (2, 2, 2)],
+        })),
+    );
+    hostile.send(p(1), bytes::Bytes::from_static(b"\xfd\x02\x07garbage"));
+    clock.advance(ms(10));
+    let _ = victim.poll(); // must not panic
+    assert!(
+        victim.log().is_empty(),
+        "hostile frames must not mint decisions"
+    );
+    // And the real runner still works end to end afterwards.
+    runner.run_to_end();
+    assert!(runner.report().agreement_holds());
+}

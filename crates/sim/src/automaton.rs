@@ -139,6 +139,16 @@ pub trait Automaton {
     fn emulated_suspects(&self) -> Option<ProcessSet> {
         None
     }
+
+    /// The automaton's decided (or delivered) value, if the algorithm it
+    /// runs has irrevocably reached one — a consensus decision, a TRB
+    /// delivery. Unlike [`StepContext::output`] (a per-step event log),
+    /// this is sampled *state*: streaming drivers poll it after every
+    /// round and surface the `None → Some` transition as a typed
+    /// decision event ([`crate::stream::StreamEvent::Decided`]).
+    fn decision(&self) -> Option<Self::Output> {
+        None
+    }
 }
 
 #[cfg(test)]

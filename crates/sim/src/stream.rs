@@ -80,6 +80,18 @@ pub enum StreamEvent<O> {
         /// The recorded event (same data as the trace entry).
         event: OutputEvent<O>,
     },
+    /// An automaton irrevocably decided ([`Automaton::decision`] turned
+    /// `Some`): the streaming view of a consensus decision or TRB
+    /// delivery. Emitted exactly once per process, after that round's
+    /// [`StreamEvent::Output`] events.
+    Decided {
+        /// The deciding process.
+        process: ProcessId,
+        /// Round in which the decision was first observed.
+        round: u64,
+        /// The decided value.
+        value: O,
+    },
 }
 
 /// A resumable, incremental run: wraps a [`Scheduler`] and turns each
@@ -125,6 +137,7 @@ pub struct StreamRun<'a, A: Automaton> {
     pending: VecDeque<StreamEvent<A::Output>>,
     emitted_outputs: usize,
     last_emulated: Vec<Option<ProcessSet>>,
+    reported_decided: Vec<bool>,
     reported_crashed: ProcessSet,
     exhausted: bool,
 }
@@ -153,6 +166,7 @@ impl<'a, A: Automaton> StreamRun<'a, A> {
             pending: VecDeque::new(),
             emitted_outputs: 0,
             last_emulated: vec![None; n],
+            reported_decided: vec![false; n],
             reported_crashed: ProcessSet::empty(),
             exhausted: false,
         }
@@ -222,6 +236,18 @@ impl<'a, A: Automaton> StreamRun<'a, A> {
             });
         }
         self.emitted_outputs = events.len();
+        for (ix, automaton) in self.scheduler.automata().iter().enumerate() {
+            if !self.reported_decided[ix] {
+                if let Some(value) = automaton.decision() {
+                    self.reported_decided[ix] = true;
+                    self.pending.push_back(StreamEvent::Decided {
+                        process: ProcessId::new(ix),
+                        round,
+                        value,
+                    });
+                }
+            }
+        }
         true
     }
 
@@ -410,6 +436,64 @@ mod tests {
         let result = stream.finish();
         let batch = run(&pattern, &silent, gossip_automata(n), &config);
         assert_eq!(result.trace.messages_sent, batch.trace.messages_sent);
+    }
+
+    /// Broadcasts once and irrevocably "decides" on the first token it
+    /// receives (exposes the [`Automaton::decision`] hook).
+    struct FirstToken {
+        started: bool,
+        decided: Option<usize>,
+    }
+
+    impl Automaton for FirstToken {
+        type Msg = usize;
+        type Output = usize;
+
+        fn on_step(
+            &mut self,
+            input: Option<&Envelope<usize>>,
+            ctx: &mut StepContext<usize, usize>,
+        ) {
+            if !self.started {
+                self.started = true;
+                ctx.broadcast_others(ctx.me().index());
+            }
+            if let (Some(env), None) = (input, self.decided) {
+                self.decided = Some(env.payload);
+                ctx.output(env.payload);
+            }
+        }
+
+        fn decision(&self) -> Option<usize> {
+            self.decided
+        }
+    }
+
+    #[test]
+    fn decisions_stream_exactly_once_per_process() {
+        let n = 4;
+        let pattern = FailurePattern::new(n);
+        let config = SimConfig::new(11, 300);
+        let silent = silent_history(n);
+        let automata: Vec<FirstToken> = (0..n)
+            .map(|_| FirstToken {
+                started: false,
+                decided: None,
+            })
+            .collect();
+        let mut decided: Vec<Option<usize>> = vec![None; n];
+        let mut count = 0;
+        for ev in StreamRun::new(&pattern, &silent, automata, &config) {
+            if let StreamEvent::Decided { process, value, .. } = ev {
+                assert!(
+                    decided[process.index()].is_none(),
+                    "{process} decided twice in the stream"
+                );
+                decided[process.index()] = Some(value);
+                count += 1;
+            }
+        }
+        assert_eq!(count, n, "every process decides exactly once: {decided:?}");
     }
 
     /// An automaton that exposes an emulated detector: it "suspects"

@@ -58,6 +58,9 @@ fn main() {
                     event.time, event.process, event.value
                 );
             }
+            StreamEvent::Decided { process, value, .. } => {
+                println!("{process} decided {value:?}");
+            }
             StreamEvent::Delivery(_) => {}
         }
     }
