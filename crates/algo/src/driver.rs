@@ -26,7 +26,6 @@
 
 use crate::consensus::{ConsensusCore, Outbox};
 use rfd_core::{ProcessId, ProcessSet};
-use std::collections::BTreeMap;
 
 /// One outgoing message of a [`SlotDriver`]: destination, slot, payload.
 pub type SlotSend<M> = (ProcessId, u64, M);
@@ -52,26 +51,54 @@ pub type TickEffects<M, V> = (Vec<SlotSend<M>>, Vec<SlotDecision<V>>);
 ///
 /// let me = ProcessId::new(0);
 /// let mut driver: SlotDriver<RotatingConsensus<u64>> = SlotDriver::new(me, 1);
-/// let (mut sends, decided) = driver.open(0, 7, ProcessSet::empty());
+/// let (sends, decided) = driver.open(0, 7, ProcessSet::empty());
 /// assert!(decided.is_none());
-/// // Deliver the self-addressed traffic until the slot decides.
-/// while let Some((to, slot, msg)) = sends.pop() {
+/// // Deliver the self-addressed traffic, in send order, until the slot
+/// // decides. (FIFO matters: draining newest-first would starve the
+/// // round-0 ack behind the round-chasing estimates and spin through
+/// // the core's round cap before deciding.)
+/// let mut queue: std::collections::VecDeque<_> = sends.into();
+/// while let Some((to, slot, msg)) = queue.pop_front() {
 ///     assert_eq!(to, me);
 ///     let (more, _) = driver.on_message(slot, me, &msg, ProcessSet::empty());
-///     sends.extend(more);
+///     queue.extend(more);
 /// }
 /// assert_eq!(driver.decision(0), Some(&7));
 /// ```
-#[derive(Debug)]
 pub struct SlotDriver<C: ConsensusCore> {
     me: ProcessId,
     n: usize,
-    /// Live cores, one per open undecided slot.
-    open: BTreeMap<u64, C>,
-    /// Traffic for slots this process has not opened yet.
-    buffered: BTreeMap<u64, Vec<(ProcessId, C::Msg)>>,
-    /// Decided slots (cores dropped on decision).
-    decided: BTreeMap<u64, C::Val>,
+    /// Grow-only slot arena, indexed by log position. Slots of a
+    /// replicated log are dense by construction (every index is
+    /// eventually opened or resolved), so a flat `Vec` replaces the
+    /// former three `BTreeMap`s: O(1) slot access with no per-slot tree
+    /// nodes, and the one allocation amortizes over the log's lifetime.
+    slots: Vec<SlotState<C>>,
+    /// Indices of currently open slots, kept sorted ascending so
+    /// [`SlotDriver::tick`] visits them in the same order the old
+    /// `BTreeMap` iteration did.
+    open_slots: Vec<u64>,
+}
+
+/// One arena entry: the lifecycle of a log slot.
+enum SlotState<C: ConsensusCore> {
+    /// Not opened locally; holds early traffic from faster peers.
+    Pending(Vec<(ProcessId, C::Msg)>),
+    /// A live consensus core.
+    Open(C),
+    /// Decided (core dropped on decision).
+    Decided(C::Val),
+}
+
+impl<C: ConsensusCore> std::fmt::Debug for SlotDriver<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotDriver")
+            .field("me", &self.me)
+            .field("n", &self.n)
+            .field("slots", &self.slots.len())
+            .field("open", &self.open_slots)
+            .finish()
+    }
 }
 
 impl<C: ConsensusCore> SlotDriver<C> {
@@ -81,23 +108,38 @@ impl<C: ConsensusCore> SlotDriver<C> {
         Self {
             me,
             n,
-            open: BTreeMap::new(),
-            buffered: BTreeMap::new(),
-            decided: BTreeMap::new(),
+            slots: Vec::new(),
+            open_slots: Vec::new(),
         }
+    }
+
+    /// Grows the arena to cover `slot` and returns its index.
+    fn ensure(&mut self, slot: u64) -> usize {
+        let ix = usize::try_from(slot).expect("slot index fits in memory");
+        if ix >= self.slots.len() {
+            self.slots
+                .resize_with(ix + 1, || SlotState::Pending(Vec::new()));
+        }
+        ix
     }
 
     /// Whether `slot` currently has a live (open, undecided) core.
     #[must_use]
     pub fn is_open(&self, slot: u64) -> bool {
-        self.open.contains_key(&slot)
+        usize::try_from(slot)
+            .ok()
+            .and_then(|ix| self.slots.get(ix))
+            .is_some_and(|s| matches!(s, SlotState::Open(_)))
     }
 
     /// The decision of `slot`, if it has one (locally decided or
     /// externally resolved).
     #[must_use]
     pub fn decision(&self, slot: u64) -> Option<&C::Val> {
-        self.decided.get(&slot)
+        match usize::try_from(slot).ok().and_then(|ix| self.slots.get(ix)) {
+            Some(SlotState::Decided(v)) => Some(v),
+            _ => None,
+        }
     }
 
     /// Opens the consensus instance of `slot` with this process's
@@ -112,11 +154,16 @@ impl<C: ConsensusCore> SlotDriver<C> {
         proposal: C::Val,
         suspects: ProcessSet,
     ) -> (Vec<SlotSend<C::Msg>>, Option<C::Val>) {
-        if self.open.contains_key(&slot) || self.decided.contains_key(&slot) {
+        let ix = self.ensure(slot);
+        let SlotState::Pending(backlog) = &mut self.slots[ix] else {
             return (Vec::new(), None);
+        };
+        let backlog = std::mem::take(backlog);
+        self.slots[ix] = SlotState::Open(C::new(self.me, self.n, proposal));
+        match self.open_slots.binary_search(&slot) {
+            Ok(_) => unreachable!("slot was pending, not open"),
+            Err(pos) => self.open_slots.insert(pos, slot),
         }
-        self.open.insert(slot, C::new(self.me, self.n, proposal));
-        let backlog = self.buffered.remove(&slot).unwrap_or_default();
         let mut sends = Vec::new();
         let mut decision = self.step_slot(slot, None, suspects, &mut sends);
         for (from, msg) in backlog {
@@ -138,19 +185,20 @@ impl<C: ConsensusCore> SlotDriver<C> {
         msg: &C::Msg,
         suspects: ProcessSet,
     ) -> (Vec<SlotSend<C::Msg>>, Option<C::Val>) {
-        if self.decided.contains_key(&slot) {
-            return (Vec::new(), None);
+        let ix = self.ensure(slot);
+        match &mut self.slots[ix] {
+            SlotState::Decided(_) => (Vec::new(), None),
+            SlotState::Pending(backlog) => {
+                backlog.push((from, msg.clone()));
+                (Vec::new(), None)
+            }
+            SlotState::Open(_) => {
+                let mut sends = Vec::new();
+                let decision =
+                    self.step_slot(slot, Some((from, msg.clone())), suspects, &mut sends);
+                (sends, decision)
+            }
         }
-        if !self.open.contains_key(&slot) {
-            self.buffered
-                .entry(slot)
-                .or_default()
-                .push((from, msg.clone()));
-            return (Vec::new(), None);
-        }
-        let mut sends = Vec::new();
-        let decision = self.step_slot(slot, Some((from, msg.clone())), suspects, &mut sends);
-        (sends, decision)
     }
 
     /// λ-steps every open slot with the current detector value, so
@@ -160,10 +208,15 @@ impl<C: ConsensusCore> SlotDriver<C> {
     pub fn tick(&mut self, suspects: ProcessSet) -> TickEffects<C::Msg, C::Val> {
         let mut sends = Vec::new();
         let mut decisions = Vec::new();
-        let slots: Vec<u64> = self.open.keys().copied().collect();
-        for slot in slots {
+        // A deciding step removes its own entry from `open_slots` (and
+        // shifts the tail left), so only advance past survivors.
+        let mut pos = 0;
+        while pos < self.open_slots.len() {
+            let slot = self.open_slots[pos];
             if let Some(v) = self.step_slot(slot, None, suspects, &mut sends) {
                 decisions.push((slot, v));
+            } else {
+                pos += 1;
             }
         }
         (sends, decisions)
@@ -173,13 +226,18 @@ impl<C: ConsensusCore> SlotDriver<C> {
     /// transfer), dropping the slot's core and any buffered traffic.
     /// No-op if the slot already holds a decision.
     pub fn resolve(&mut self, slot: u64, value: C::Val) {
-        self.open.remove(&slot);
-        self.buffered.remove(&slot);
-        self.decided.entry(slot).or_insert(value);
+        let ix = self.ensure(slot);
+        if matches!(self.slots[ix], SlotState::Decided(_)) {
+            return;
+        }
+        if let Ok(pos) = self.open_slots.binary_search(&slot) {
+            self.open_slots.remove(pos);
+        }
+        self.slots[ix] = SlotState::Decided(value);
     }
 
     /// Steps one open slot, harvesting sends; on decision, retires the
-    /// core into the decided map.
+    /// core in place.
     fn step_slot(
         &mut self,
         slot: u64,
@@ -187,7 +245,10 @@ impl<C: ConsensusCore> SlotDriver<C> {
         suspects: ProcessSet,
         sends: &mut Vec<SlotSend<C::Msg>>,
     ) -> Option<C::Val> {
-        let core = self.open.get_mut(&slot)?;
+        let ix = usize::try_from(slot).ok()?;
+        let Some(SlotState::Open(core)) = self.slots.get_mut(ix) else {
+            return None;
+        };
         let mut out = Outbox::new(self.me, self.n);
         let decided = core.step(
             input.as_ref().map(|(from, msg)| (*from, msg)),
@@ -196,8 +257,10 @@ impl<C: ConsensusCore> SlotDriver<C> {
         );
         sends.extend(out.drain().into_iter().map(|(to, msg)| (to, slot, msg)));
         if let Some(v) = &decided {
-            self.open.remove(&slot);
-            self.decided.insert(slot, v.clone());
+            self.slots[ix] = SlotState::Decided(v.clone());
+            if let Ok(pos) = self.open_slots.binary_search(&slot) {
+                self.open_slots.remove(pos);
+            }
         }
         decided
     }

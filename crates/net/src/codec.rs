@@ -9,6 +9,25 @@
 //! slot-scoped message of the rotating-coordinator consensus,
 //! [`DecidedMsg`] relays decisions TRB-style, and
 //! [`SyncRequest`]/[`SyncReply`] implement post-heal state transfer.
+//! Tag 8 is a [`Batch`](WireMsg::Batch): every frame a node owes one
+//! destination in one tick, packed into a single datagram.
+//!
+//! ## Allocation-free paths and the buffer-reuse contract
+//!
+//! The codec has two tiers:
+//!
+//! * **Owned**: [`encode`] returns a fresh [`Bytes`]; [`decode`] returns
+//!   a [`WireMsg`], allocating only for variants with variable-length
+//!   payloads ([`SyncReply`], [`Batch`](WireMsg::Batch)).
+//! * **Zero-copy**: [`encode_into`] writes into a caller-supplied
+//!   [`BytesMut`] — it **clears the buffer first** (the frame replaces
+//!   any previous content; it never appends), so a warmed buffer is
+//!   reused allocation-free. [`decode_borrowed`] returns a
+//!   [`WireView`] that borrows variable-length payloads from the
+//!   datagram instead of copying them out.
+//!
+//! The owned functions are thin shims over the zero-copy tier and
+//! accept/produce byte-identical frames.
 
 use crate::clock::Nanos;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -21,6 +40,12 @@ const MAGIC: u16 = 0xFD02; // "failure detector, DSN'02"
 /// chunk under a typical MTU and bounds what a corrupt length field can
 /// make the decoder allocate.
 pub const MAX_SYNC_ENTRIES: usize = 32;
+
+/// Hard cap on sub-frames per [`Batch`](WireMsg::Batch) datagram.
+pub const MAX_BATCH_FRAMES: usize = 64;
+
+/// Bytes per [`SyncReply`] log entry on the wire.
+const SYNC_ENTRY_LEN: usize = 8 + 8 + 16;
 
 /// A heartbeat message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +135,9 @@ pub enum WireMsg {
     SyncRequest(SyncRequest),
     /// A state-transfer chunk (service layer).
     SyncReply(SyncReply),
+    /// A coalesced datagram: every frame a node owes one destination in
+    /// one tick. Batches never nest.
+    Batch(Vec<WireMsg>),
 }
 
 /// Encoding/decoding failure.
@@ -132,15 +160,193 @@ impl core::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Encodes a message.
+/// A borrowed view of a decoded [`SyncReply`]: the entry array stays in
+/// the datagram; [`SyncReplyView::iter`] reads entries in place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncReplyView<'a> {
+    /// Index of the first entry.
+    pub start: u64,
+    /// The raw entry array, exactly `len × 32` bytes.
+    raw: &'a [u8],
+}
+
+impl<'a> SyncReplyView<'a> {
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.raw.len() / SYNC_ENTRY_LEN
+    }
+
+    /// Whether the chunk is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterates `(value, view_id, view_members)` entries in place.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u128)> + 'a {
+        self.raw
+            .chunks_exact(SYNC_ENTRY_LEN)
+            .map(|mut chunk| (chunk.get_u64(), chunk.get_u64(), chunk.get_u128()))
+    }
+
+    /// Copies the view into an owned [`SyncReply`].
+    #[must_use]
+    pub fn to_owned(&self) -> SyncReply {
+        SyncReply {
+            start: self.start,
+            entries: self.iter().collect(),
+        }
+    }
+}
+
+/// A borrowed view of a decoded [`Batch`](WireMsg::Batch): sub-frames
+/// stay in the datagram, re-parsed lazily by [`BatchView::iter`]. The
+/// whole batch was validated by [`decode_borrowed`], so iteration never
+/// fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchView<'a> {
+    count: u8,
+    /// The raw sub-frame area: `count` length-prefixed frames.
+    raw: &'a [u8],
+}
+
+impl<'a> BatchView<'a> {
+    /// Number of sub-frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.count)
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the sub-frames as borrowed views.
+    #[must_use]
+    pub fn iter(&self) -> BatchIter<'a> {
+        BatchIter {
+            remaining: self.count,
+            rest: self.raw,
+        }
+    }
+}
+
+/// Iterator over a [`BatchView`]'s sub-frames.
+#[derive(Clone, Debug)]
+pub struct BatchIter<'a> {
+    remaining: u8,
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = WireView<'a>;
+
+    fn next(&mut self) -> Option<WireView<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let len = usize::from(self.rest.get_u16());
+        let (frame, tail) = self.rest.split_at(len);
+        self.rest = tail;
+        Some(decode_borrowed(frame).expect("batch was validated by decode_borrowed"))
+    }
+}
+
+/// A decoded wire message that borrows variable-length payloads from
+/// the datagram. Fixed-size frames decode to the same owned structs as
+/// [`WireMsg`]; [`SyncReply`] and [`Batch`](WireMsg::Batch) stay
+/// borrowed. Convert with [`WireView::into_owned`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireView<'a> {
+    /// A heartbeat.
+    Heartbeat(Heartbeat),
+    /// A view change.
+    ViewChange(ViewChange),
+    /// A client command submission (service layer).
+    Command(Command),
+    /// A slot-scoped consensus message (service layer).
+    Consensus(ConsensusFrame),
+    /// A decision relay (service layer).
+    Decided(DecidedMsg),
+    /// A state-transfer request (service layer).
+    SyncRequest(SyncRequest),
+    /// A state-transfer chunk, borrowed from the datagram.
+    SyncReply(SyncReplyView<'a>),
+    /// A coalesced datagram, borrowed from the datagram.
+    Batch(BatchView<'a>),
+}
+
+impl WireView<'_> {
+    /// Copies the view into an owned [`WireMsg`].
+    #[must_use]
+    pub fn into_owned(self) -> WireMsg {
+        match self {
+            WireView::Heartbeat(hb) => WireMsg::Heartbeat(hb),
+            WireView::ViewChange(vc) => WireMsg::ViewChange(vc),
+            WireView::Command(c) => WireMsg::Command(c),
+            WireView::Consensus(frame) => WireMsg::Consensus(frame),
+            WireView::Decided(d) => WireMsg::Decided(d),
+            WireView::SyncRequest(s) => WireMsg::SyncRequest(s),
+            WireView::SyncReply(view) => WireMsg::SyncReply(view.to_owned()),
+            WireView::Batch(batch) => {
+                WireMsg::Batch(batch.iter().map(WireView::into_owned).collect())
+            }
+        }
+    }
+}
+
+/// The exact encoded frame length of a message, in bytes.
+///
+/// `encode(msg).len() == encoded_len(msg)` for every encodable message;
+/// the batch encoder uses this to emit sub-frame length prefixes in one
+/// forward pass.
+#[must_use]
+pub fn encoded_len(msg: &WireMsg) -> usize {
+    let body = match msg {
+        WireMsg::Heartbeat(_) => 2 + 8 + 8,
+        WireMsg::ViewChange(_) => 8 + 16,
+        WireMsg::Command(_) | WireMsg::SyncRequest(_) => 8,
+        WireMsg::Consensus(frame) => {
+            8 + 1
+                + match frame.msg {
+                    RotatingMsg::Estimate { .. } => 24,
+                    RotatingMsg::Propose { .. } => 16,
+                    RotatingMsg::Ack { .. } | RotatingMsg::Nack { .. } => 8,
+                    RotatingMsg::Decide(_) => 8,
+                }
+        }
+        WireMsg::Decided(_) => 8 + 8 + 16 + 8,
+        WireMsg::SyncReply(s) => 8 + 2 + s.entries.len() * SYNC_ENTRY_LEN,
+        WireMsg::Batch(frames) => 1 + frames.iter().map(|sub| 2 + encoded_len(sub)).sum::<usize>(),
+    };
+    2 + 1 + body
+}
+
+/// Encodes a message into `buf`, **clearing it first** — the frame
+/// replaces any previous content. Reusing one warmed buffer across
+/// calls is allocation-free once it has reached its steady capacity.
 ///
 /// # Panics
 ///
 /// Panics if a [`SyncReply`] carries more than [`MAX_SYNC_ENTRIES`]
-/// entries — senders must chunk.
-#[must_use]
-pub fn encode(msg: &WireMsg) -> Bytes {
-    let mut b = BytesMut::with_capacity(40);
+/// entries, a [`Batch`](WireMsg::Batch) more than [`MAX_BATCH_FRAMES`]
+/// sub-frames, or a batch nests another batch — senders must chunk and
+/// flatten.
+pub fn encode_into(msg: &WireMsg, buf: &mut BytesMut) {
+    // One uniqueness check for the whole frame: write through the
+    // backing vector instead of paying `Arc::make_mut` per field.
+    let v = buf.as_mut_vec();
+    v.clear();
+    v.reserve(encoded_len(msg));
+    encode_frame(msg, v);
+}
+
+/// Appends one full frame (magic, tag, body) to `buf`.
+fn encode_frame(msg: &WireMsg, b: &mut Vec<u8>) {
     b.put_u16(MAGIC);
     match msg {
         WireMsg::Heartbeat(hb) => {
@@ -206,6 +412,7 @@ pub fn encode(msg: &WireMsg) -> Bytes {
             );
             b.put_u8(7);
             b.put_u64(s.start);
+            #[allow(clippy::cast_possible_truncation)]
             b.put_u16(s.entries.len() as u16);
             for (value, view_id, view_members) in &s.entries {
                 b.put_u64(*value);
@@ -213,16 +420,76 @@ pub fn encode(msg: &WireMsg) -> Bytes {
                 b.put_u128(*view_members);
             }
         }
+        WireMsg::Batch(frames) => put_batch_body(frames, b),
     }
+}
+
+/// Appends a batch tag and body: sub-frame count, then each sub-frame
+/// length-prefixed. Shared by the [`WireMsg::Batch`] arm of the frame
+/// encoder and the slice-based [`encode_batch_into`].
+fn put_batch_body(frames: &[WireMsg], b: &mut Vec<u8>) {
+    assert!(
+        frames.len() <= MAX_BATCH_FRAMES,
+        "Batch overflows a datagram: {} frames",
+        frames.len()
+    );
+    b.put_u8(8);
+    #[allow(clippy::cast_possible_truncation)]
+    b.put_u8(frames.len() as u8);
+    for sub in frames {
+        assert!(
+            !matches!(sub, WireMsg::Batch(_)),
+            "batches must not nest — flatten before encoding"
+        );
+        let len = encoded_len(sub);
+        #[allow(clippy::cast_possible_truncation)]
+        b.put_u16(len as u16);
+        encode_frame(sub, b);
+    }
+}
+
+/// Encodes a [`Batch`](WireMsg::Batch) frame directly from a slice of
+/// sub-frames, **clearing `buf` first** exactly like [`encode_into`].
+/// The coalescing send paths reuse one frame list and one buffer per
+/// tick without ever building a `WireMsg::Batch` (whose `Vec` would
+/// allocate every tick). Byte-identical to
+/// `encode_into(&WireMsg::Batch(frames.to_vec()), buf)`.
+///
+/// # Panics
+///
+/// As [`encode_into`] of the equivalent [`WireMsg::Batch`].
+pub fn encode_batch_into(frames: &[WireMsg], buf: &mut BytesMut) {
+    let total = 2 + 1 + 1 + frames.iter().map(|sub| 2 + encoded_len(sub)).sum::<usize>();
+    let v = buf.as_mut_vec();
+    v.clear();
+    v.reserve(total);
+    v.put_u16(MAGIC);
+    put_batch_body(frames, v);
+}
+
+/// Encodes a message into a fresh buffer. Thin shim over
+/// [`encode_into`]; hot paths should reuse a buffer instead.
+///
+/// # Panics
+///
+/// As [`encode_into`].
+#[must_use]
+pub fn encode(msg: &WireMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(encoded_len(msg));
+    encode_frame(msg, b.as_mut_vec());
     b.freeze()
 }
 
-/// Decodes a datagram.
+/// Decodes a datagram into a borrowed [`WireView`] — variable-length
+/// payloads ([`SyncReply`], [`Batch`](WireMsg::Batch)) stay in `data`;
+/// nothing is copied or allocated. Batches are validated sub-frame by
+/// sub-frame here, so [`BatchView::iter`] cannot fail later; nested
+/// batches are rejected as [`DecodeError::Malformed`].
 ///
 /// # Errors
 ///
 /// Returns [`DecodeError`] on short or malformed input.
-pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
+pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
     if data.len() < 3 {
         return Err(DecodeError::Truncated);
     }
@@ -234,7 +501,7 @@ pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
             if data.len() < 2 + 8 + 8 {
                 return Err(DecodeError::Truncated);
             }
-            Ok(WireMsg::Heartbeat(Heartbeat {
+            Ok(WireView::Heartbeat(Heartbeat {
                 sender: data.get_u16(),
                 seq: data.get_u64(),
                 sent_at: Nanos::from_nanos(data.get_u64()),
@@ -244,7 +511,7 @@ pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
             if data.len() < 8 + 16 {
                 return Err(DecodeError::Truncated);
             }
-            Ok(WireMsg::ViewChange(ViewChange {
+            Ok(WireView::ViewChange(ViewChange {
                 view_id: data.get_u64(),
                 members: data.get_u128(),
             }))
@@ -253,7 +520,7 @@ pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
             if data.len() < 8 {
                 return Err(DecodeError::Truncated);
             }
-            Ok(WireMsg::Command(Command {
+            Ok(WireView::Command(Command {
                 value: data.get_u64(),
             }))
         }
@@ -286,13 +553,13 @@ pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
                 4 => RotatingMsg::Nack { r: data.get_u64() },
                 _ => RotatingMsg::Decide(data.get_u64()),
             };
-            Ok(WireMsg::Consensus(ConsensusFrame { slot, msg }))
+            Ok(WireView::Consensus(ConsensusFrame { slot, msg }))
         }
         5 => {
             if data.len() < 8 + 8 + 16 + 8 {
                 return Err(DecodeError::Truncated);
             }
-            Ok(WireMsg::Decided(DecidedMsg {
+            Ok(WireView::Decided(DecidedMsg {
                 index: data.get_u64(),
                 view_id: data.get_u64(),
                 view_members: data.get_u128(),
@@ -303,7 +570,7 @@ pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
             if data.len() < 8 {
                 return Err(DecodeError::Truncated);
             }
-            Ok(WireMsg::SyncRequest(SyncRequest {
+            Ok(WireView::SyncRequest(SyncRequest {
                 from_index: data.get_u64(),
             }))
         }
@@ -316,16 +583,53 @@ pub fn decode(mut data: &[u8]) -> Result<WireMsg, DecodeError> {
             if count > MAX_SYNC_ENTRIES {
                 return Err(DecodeError::Malformed);
             }
-            if data.len() < count * (8 + 8 + 16) {
+            if data.len() < count * SYNC_ENTRY_LEN {
                 return Err(DecodeError::Truncated);
             }
-            let entries = (0..count)
-                .map(|_| (data.get_u64(), data.get_u64(), data.get_u128()))
-                .collect();
-            Ok(WireMsg::SyncReply(SyncReply { start, entries }))
+            Ok(WireView::SyncReply(SyncReplyView {
+                start,
+                raw: &data[..count * SYNC_ENTRY_LEN],
+            }))
+        }
+        8 => {
+            if data.is_empty() {
+                return Err(DecodeError::Truncated);
+            }
+            let count = data.get_u8();
+            if usize::from(count) > MAX_BATCH_FRAMES {
+                return Err(DecodeError::Malformed);
+            }
+            let raw = data;
+            let mut rest = data;
+            for _ in 0..count {
+                if rest.len() < 2 {
+                    return Err(DecodeError::Truncated);
+                }
+                let len = usize::from(rest.get_u16());
+                if rest.len() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let (frame, tail) = rest.split_at(len);
+                if matches!(decode_borrowed(frame)?, WireView::Batch(_)) {
+                    return Err(DecodeError::Malformed);
+                }
+                rest = tail;
+            }
+            Ok(WireView::Batch(BatchView { count, raw }))
         }
         _ => Err(DecodeError::Malformed),
     }
+}
+
+/// Decodes a datagram into an owned [`WireMsg`]. Thin shim over
+/// [`decode_borrowed`]; hot paths should use the borrowed form to skip
+/// the copy-out of variable-length payloads.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on short or malformed input.
+pub fn decode(data: &[u8]) -> Result<WireMsg, DecodeError> {
+    decode_borrowed(data).map(WireView::into_owned)
 }
 
 /// Converts a member bitmap to a [`ProcessSet`].
@@ -406,6 +710,140 @@ mod tests {
         ];
         for msg in msgs {
             assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let batch = WireMsg::Batch(vec![
+            WireMsg::Heartbeat(Heartbeat {
+                sender: 2,
+                seq: 5,
+                sent_at: Nanos::from_millis(10),
+            }),
+            WireMsg::ViewChange(ViewChange {
+                view_id: 3,
+                members: 0b111,
+            }),
+            WireMsg::SyncReply(SyncReply {
+                start: 0,
+                entries: vec![(1, 1, 0b1)],
+            }),
+        ]);
+        assert_eq!(decode(&encode(&batch)).unwrap(), batch);
+        // The empty batch is legal (if pointless) and round-trips too.
+        let empty = WireMsg::Batch(Vec::new());
+        assert_eq!(decode(&encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn slice_batch_encoder_matches_the_owned_one() {
+        let frames = vec![
+            WireMsg::Heartbeat(Heartbeat {
+                sender: 1,
+                seq: 7,
+                sent_at: Nanos::from_millis(3),
+            }),
+            WireMsg::ViewChange(ViewChange {
+                view_id: 2,
+                members: 0b101,
+            }),
+        ];
+        let mut via_slice = BytesMut::new();
+        encode_batch_into(&frames, &mut via_slice);
+        let via_owned = encode(&WireMsg::Batch(frames));
+        assert_eq!(&via_slice[..], &via_owned[..]);
+    }
+
+    #[test]
+    fn nested_batches_are_rejected() {
+        // Hand-built frame: a batch whose single sub-frame is itself a
+        // batch (the encoder refuses to produce this).
+        let inner = encode(&WireMsg::Batch(Vec::new()));
+        let mut bad = BytesMut::new();
+        bad.put_u16(0xFD02);
+        bad.put_u8(8);
+        bad.put_u8(1);
+        #[allow(clippy::cast_possible_truncation)]
+        bad.put_u16(inner.len() as u16);
+        bad.put_slice(&inner);
+        assert_eq!(decode(&bad), Err(DecodeError::Malformed));
+    }
+
+    #[test]
+    fn batch_with_short_subframe_is_truncated() {
+        let mut bad = BytesMut::new();
+        bad.put_u16(0xFD02);
+        bad.put_u8(8);
+        bad.put_u8(2); // claims two sub-frames, carries none
+        assert_eq!(decode(&bad), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn encoded_len_matches_the_encoder() {
+        let msgs = vec![
+            WireMsg::Heartbeat(Heartbeat {
+                sender: 1,
+                seq: 2,
+                sent_at: Nanos::from_millis(3),
+            }),
+            WireMsg::ViewChange(ViewChange {
+                view_id: 1,
+                members: 0b1,
+            }),
+            WireMsg::Command(Command { value: 9 }),
+            WireMsg::Consensus(ConsensusFrame {
+                slot: 1,
+                msg: RotatingMsg::Ack { r: 2 },
+            }),
+            WireMsg::Decided(DecidedMsg {
+                index: 0,
+                view_id: 0,
+                view_members: 0,
+                value: 0,
+            }),
+            WireMsg::SyncRequest(SyncRequest { from_index: 0 }),
+            WireMsg::SyncReply(SyncReply {
+                start: 0,
+                entries: vec![(1, 2, 3), (4, 5, 6)],
+            }),
+            WireMsg::Batch(vec![
+                WireMsg::Command(Command { value: 1 }),
+                WireMsg::SyncRequest(SyncRequest { from_index: 2 }),
+            ]),
+        ];
+        for msg in msgs {
+            assert_eq!(encode(&msg).len(), encoded_len(&msg), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn encode_into_clears_previous_content() {
+        let mut buf = BytesMut::new();
+        let big = WireMsg::SyncReply(SyncReply {
+            start: 0,
+            entries: (0..8).map(|i| (i, i, 0)).collect(),
+        });
+        encode_into(&big, &mut buf);
+        let small = WireMsg::Command(Command { value: 1 });
+        encode_into(&small, &mut buf);
+        assert_eq!(buf.len(), encoded_len(&small), "clears, never appends");
+        assert_eq!(decode(&buf).unwrap(), small);
+    }
+
+    #[test]
+    fn borrowed_sync_reply_matches_owned() {
+        let msg = WireMsg::SyncReply(SyncReply {
+            start: 4,
+            entries: vec![(10, 1, 0b111), (11, 2, 0b011)],
+        });
+        let wire = encode(&msg);
+        match decode_borrowed(&wire).unwrap() {
+            WireView::SyncReply(view) => {
+                assert_eq!(view.len(), 2);
+                assert_eq!(WireMsg::SyncReply(view.to_owned()), msg);
+            }
+            other => panic!("wrong view: {other:?}"),
         }
     }
 

@@ -2,9 +2,10 @@
 //! peer, a suspect-set view, and a transport-driven node loop.
 
 use crate::clock::{Clock, Nanos};
-use crate::codec::{decode, encode, Heartbeat, WireMsg};
+use crate::codec::{decode_borrowed, encode_into, Heartbeat, WireMsg, WireView};
 use crate::estimator::ArrivalEstimator;
-use crate::transport::Transport;
+use crate::transport::{Datagram, Transport};
+use bytes::Bytes;
 use rfd_core::{ProcessId, ProcessSet};
 
 /// Per-node heartbeat detector: monitors every peer with its own clone
@@ -92,6 +93,15 @@ impl<E: ArrivalEstimator + Clone> HeartbeatDetector<E> {
 
 /// A complete failure-detector node: emits heartbeats on a period and
 /// folds received heartbeats into a [`HeartbeatDetector`].
+///
+/// The node loop is allocation-free in steady state: datagrams drain
+/// through a reusable receive buffer, frames decode through the
+/// borrowed-view codec, and the heartbeat payload recycles one buffer
+/// through the `freeze`/`try_into_mut` cycle. A detector-only node owes
+/// each peer exactly one frame per period, so there is nothing to
+/// coalesce on the send side; [`Batch`](WireMsg::Batch) frames from
+/// richer peers (e.g. the membership layer) are always understood on
+/// the receive side.
 #[derive(Debug)]
 pub struct DetectorNode<E, T, C> {
     detector: HeartbeatDetector<E>,
@@ -101,6 +111,11 @@ pub struct DetectorNode<E, T, C> {
     next_beat: Nanos,
     seq: u64,
     n: usize,
+    /// Reusable receive buffer for [`Transport::recv_batch`].
+    rx_buf: Vec<Datagram>,
+    /// The heartbeat payload of the previous period, reclaimed and
+    /// refilled each period once the network has dropped its clones.
+    scratch: Option<Bytes>,
 }
 
 impl<E, T, C> DetectorNode<E, T, C>
@@ -126,6 +141,18 @@ where
             next_beat: Nanos::ZERO,
             seq: 0,
             n,
+            rx_buf: Vec::new(),
+            scratch: None,
+        }
+    }
+
+    /// Folds one decoded heartbeat into the detector.
+    fn note_heartbeat(&mut self, hb: &Heartbeat, delivered_at: Nanos) {
+        // Out-of-range guard: `ProcessId::new` panics at 128, and a
+        // corrupt or foreign datagram can claim any sender.
+        if usize::from(hb.sender) < self.n {
+            self.detector
+                .on_heartbeat(ProcessId::new(usize::from(hb.sender)), delivered_at);
         }
     }
 
@@ -134,30 +161,46 @@ where
     /// suspect set.
     pub fn poll(&mut self) -> ProcessSet {
         let now = self.clock.now();
-        while let Some(dg) = self.transport.recv() {
-            if let Ok(WireMsg::Heartbeat(hb)) = decode(&dg.payload) {
-                // Out-of-range guard: `ProcessId::new` panics at 128, and
-                // a corrupt or foreign datagram can claim any sender.
-                if usize::from(hb.sender) < self.n {
-                    self.detector
-                        .on_heartbeat(ProcessId::new(usize::from(hb.sender)), dg.delivered_at);
+        let mut rx = std::mem::take(&mut self.rx_buf);
+        self.transport.recv_batch(&mut rx);
+        for dg in rx.drain(..) {
+            match decode_borrowed(&dg.payload) {
+                Ok(WireView::Heartbeat(hb)) => self.note_heartbeat(&hb, dg.delivered_at),
+                Ok(WireView::Batch(batch)) => {
+                    for sub in batch.iter() {
+                        if let WireView::Heartbeat(hb) = sub {
+                            self.note_heartbeat(&hb, dg.delivered_at);
+                        }
+                    }
                 }
+                _ => {}
             }
         }
+        self.rx_buf = rx;
         if now >= self.next_beat {
             let hb = WireMsg::Heartbeat(Heartbeat {
+                #[allow(clippy::cast_possible_truncation)]
                 sender: self.transport.me().index() as u16,
                 seq: self.seq,
                 sent_at: now,
             });
             self.seq += 1;
-            let payload = encode(&hb);
+            // Reclaim last period's buffer if the network has let go of
+            // every clone; fall back to a fresh one otherwise.
+            let mut buf = self
+                .scratch
+                .take()
+                .and_then(|b| b.try_into_mut().ok())
+                .unwrap_or_default();
+            encode_into(&hb, &mut buf);
+            let payload = buf.freeze();
             for ix in 0..self.n {
                 let to = ProcessId::new(ix);
                 if to != self.transport.me() {
                     self.transport.send(to, payload.clone());
                 }
             }
+            self.scratch = Some(payload);
             self.next_beat = now.saturating_add(self.period);
         }
         self.detector.suspects(now)
@@ -174,6 +217,7 @@ where
 mod tests {
     use super::*;
     use crate::clock::VirtualClock;
+    use crate::codec::encode;
     use crate::estimator::FixedTimeout;
     use crate::transport::{InMemoryNetwork, NetworkConfig};
 
@@ -232,5 +276,37 @@ mod tests {
             clock.advance(Nanos::from_millis(10));
         }
         assert!(a.poll().contains(p(1)));
+    }
+
+    #[test]
+    fn heartbeats_inside_a_batch_frame_are_observed() {
+        let clock = VirtualClock::new();
+        let net = InMemoryNetwork::new(3, NetworkConfig::default(), clock.clone());
+        let mut a = DetectorNode::new(
+            3,
+            FixedTimeout::new(Nanos::from_millis(50)),
+            net.endpoint(p(0)),
+            clock.clone(),
+            Nanos::from_millis(10),
+        );
+        let sender = net.endpoint(p(1));
+        let batch = WireMsg::Batch(vec![WireMsg::Heartbeat(Heartbeat {
+            sender: 1,
+            seq: 0,
+            sent_at: clock.now(),
+        })]);
+        sender.send(p(0), encode(&batch));
+        clock.advance(Nanos::from_millis(1));
+        a.poll();
+        // p1 beat via the batch; p2 never did. Only never-heard p2 stays
+        // unsuspected after the timeout window by the trusting-start
+        // rule, and p1's batched beat must have registered.
+        clock.advance(Nanos::from_millis(60));
+        let suspects = a.poll();
+        assert!(
+            suspects.contains(p(1)),
+            "batched beat was observed, then timed out"
+        );
+        assert!(!suspects.contains(p(2)), "never-heard peers start trusted");
     }
 }

@@ -53,6 +53,12 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// The vendored byte-buffer crate backing [`codec`] and [`transport`]
+/// payloads, re-exported so downstream crates and integration tests can
+/// name [`bytes::Bytes`]/[`bytes::BytesMut`] without depending on the
+/// vendored path themselves.
+pub use bytes;
+
 pub mod clock;
 pub mod codec;
 pub mod detector;

@@ -22,14 +22,28 @@
 //! for *partition-heal reconciliation* — healed sides rejoin each other
 //! and the fleet reconverges onto a single view (measured by experiment
 //! E12 via [`crate::online::MembershipWatcher`]).
+//!
+//! ## Heartbeat coalescing
+//!
+//! In the announcing steady state (any installed view past the initial
+//! one) the acting coordinator owes every member two frames per period:
+//! its heartbeat and the view re-announcement. By default those are
+//! **coalesced** into one [`Batch`](WireMsg::Batch) datagram per
+//! destination, halving the coordinator's send rate without changing
+//! what any receiver observes (frames inside a batch are processed in
+//! order at the same delivery instant). [`MembershipNode::with_batching`]
+//! turns the coalescing off, reverting to one datagram per frame — the
+//! differential tests pin that both modes install the same views.
 
 use crate::clock::{Clock, Nanos, VirtualClock};
 use crate::codec::{
-    decode, encode, members_to_set, set_to_members, Heartbeat, ViewChange, WireMsg,
+    decode_borrowed, encode, encode_batch_into, encode_into, members_to_set, set_to_members,
+    Heartbeat, ViewChange, WireMsg, WireView,
 };
 use crate::detector::HeartbeatDetector;
 use crate::estimator::ArrivalEstimator;
-use crate::transport::{InMemoryNetwork, NetworkConfig, Transport};
+use crate::transport::{Datagram, InMemoryNetwork, NetworkConfig, Transport};
+use bytes::{Bytes, BytesMut};
 use rfd_core::{FailurePattern, History, ProcessId, ProcessSet, Time};
 
 /// A membership view: numbered, with a member set.
@@ -49,6 +63,15 @@ impl View {
     }
 }
 
+/// Reclaims a recycled send buffer: succeeds allocation-free when the
+/// transport has dropped every clone of the previous payload, falls back
+/// to a fresh buffer otherwise.
+fn reclaim(slot: &mut Option<Bytes>) -> BytesMut {
+    slot.take()
+        .and_then(|b| b.try_into_mut().ok())
+        .unwrap_or_default()
+}
+
 /// One membership node.
 #[derive(Debug)]
 pub struct MembershipNode<E, T, C> {
@@ -63,6 +86,16 @@ pub struct MembershipNode<E, T, C> {
     halted: bool,
     views_installed: u64,
     heal_merge: bool,
+    batching: bool,
+    /// Reusable receive buffer for [`Transport::recv_batch`].
+    rx_buf: Vec<Datagram>,
+    /// Recycled send payloads (previous period's buffers, reclaimed via
+    /// `try_into_mut` once the transport has let go of its clones).
+    hb_scratch: Option<Bytes>,
+    vc_scratch: Option<Bytes>,
+    batch_buf: Option<Bytes>,
+    /// Reusable frame list for [`encode_batch_into`].
+    batch_scratch: Vec<WireMsg>,
 }
 
 impl<E, T, C> MembershipNode<E, T, C>
@@ -90,6 +123,12 @@ where
             halted: false,
             views_installed: 0,
             heal_merge: false,
+            batching: true,
+            rx_buf: Vec::new(),
+            hb_scratch: None,
+            vc_scratch: None,
+            batch_buf: None,
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -118,6 +157,16 @@ where
     #[must_use]
     pub fn with_heal_merge(mut self) -> Self {
         self.heal_merge = true;
+        self
+    }
+
+    /// Sets heartbeat/view-change coalescing (builder style; the default
+    /// is **on**). Off, the node sends one datagram per frame exactly as
+    /// the pre-batching runtime did. Coalescing changes only the datagram
+    /// count, never what a receiver observes.
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -189,51 +238,103 @@ where
         if self.halted {
             return;
         }
-        while let Some(dg) = self.transport.recv() {
-            if let Ok(msg) = decode(&dg.payload) {
-                self.on_wire(&msg, dg.delivered_at);
-                if self.halted {
-                    return;
-                }
+        let mut rx = std::mem::take(&mut self.rx_buf);
+        self.transport.recv_batch(&mut rx);
+        for dg in rx.drain(..) {
+            if self.halted {
+                // A halted node never polls again, so dropping the rest
+                // of the drain matches the old leave-it-queued behavior.
+                break;
             }
+            if let Ok(view) = decode_borrowed(&dg.payload) {
+                self.on_wire_view(&view, dg.delivered_at);
+            }
+        }
+        self.rx_buf = rx;
+        if self.halted {
+            return;
         }
         self.tick();
     }
 
-    /// Feeds one decoded wire message into the membership state machine
-    /// (heartbeats and view changes; other protocol layers' messages are
-    /// ignored). A caller that multiplexes several protocols over one
-    /// transport — e.g. [`crate::service::DecisionService`] — drains the
-    /// socket itself, routes membership traffic here, and then calls
+    fn on_heartbeat_frame(&mut self, hb: &Heartbeat, delivered_at: Nanos) {
+        // Out-of-range guard: a corrupt or foreign datagram can
+        // carry any sender index; `ProcessId::new` would panic at
+        // 128 and the detector has no monitor beyond `n`.
+        let sender = usize::from(hb.sender);
+        if sender >= self.n {
+            return;
+        }
+        let from = ProcessId::new(sender);
+        // Heal-merge mode listens to everyone: a heartbeat
+        // from outside the view is exactly the liveness
+        // evidence a rejoin needs.
+        if self.heal_merge || self.view.members.contains(from) {
+            self.detector.on_heartbeat(from, delivered_at);
+        }
+    }
+
+    fn on_view_change_frame(&mut self, vc: &ViewChange) {
+        self.adopt(View {
+            id: vc.view_id,
+            members: members_to_set(vc.members, self.n),
+        });
+    }
+
+    /// Feeds one borrowed wire frame into the membership state machine
+    /// (heartbeats, view changes and batches of them; other protocol
+    /// layers' frames are ignored). A caller that multiplexes several
+    /// protocols over one transport — e.g.
+    /// [`crate::service::DecisionService`] — drains the socket itself,
+    /// routes membership traffic here, and then calls
     /// [`MembershipNode::tick`] once per loop iteration.
+    pub fn on_wire_view(&mut self, msg: &WireView<'_>, delivered_at: Nanos) {
+        if self.halted {
+            return;
+        }
+        match msg {
+            WireView::Heartbeat(hb) => self.on_heartbeat_frame(hb, delivered_at),
+            WireView::ViewChange(vc) => self.on_view_change_frame(vc),
+            WireView::Batch(batch) => {
+                for sub in batch.iter() {
+                    self.on_wire_view(&sub, delivered_at);
+                    if self.halted {
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Owned-message twin of [`MembershipNode::on_wire_view`], kept for
+    /// callers that hold a decoded [`WireMsg`].
     pub fn on_wire(&mut self, msg: &WireMsg, delivered_at: Nanos) {
         if self.halted {
             return;
         }
         match msg {
-            WireMsg::Heartbeat(hb) => {
-                // Out-of-range guard: a corrupt or foreign datagram can
-                // carry any sender index; `ProcessId::new` would panic at
-                // 128 and the detector has no monitor beyond `n`.
-                let sender = usize::from(hb.sender);
-                if sender >= self.n {
-                    return;
+            WireMsg::Heartbeat(hb) => self.on_heartbeat_frame(hb, delivered_at),
+            WireMsg::ViewChange(vc) => self.on_view_change_frame(vc),
+            WireMsg::Batch(frames) => {
+                for sub in frames {
+                    self.on_wire(sub, delivered_at);
+                    if self.halted {
+                        return;
+                    }
                 }
-                let from = ProcessId::new(sender);
-                // Heal-merge mode listens to everyone: a heartbeat
-                // from outside the view is exactly the liveness
-                // evidence a rejoin needs.
-                if self.heal_merge || self.view.members.contains(from) {
-                    self.detector.on_heartbeat(from, delivered_at);
-                }
-            }
-            WireMsg::ViewChange(vc) => {
-                self.adopt(View {
-                    id: vc.view_id,
-                    members: members_to_set(vc.members, self.n),
-                });
             }
             _ => {}
+        }
+    }
+
+    /// Sends `payload` to every process except this one, restricted to
+    /// `targets`.
+    fn fan_out(&self, targets: ProcessSet, payload: &Bytes) {
+        for to in targets.iter() {
+            if to != self.transport.me() {
+                self.transport.send(to, payload.clone());
+            }
         }
     }
 
@@ -261,38 +362,78 @@ where
         // process: cross-cut liveness evidence is what lets the healed
         // sides find each other again.
         if now >= self.next_beat {
-            let payload = encode(&WireMsg::Heartbeat(Heartbeat {
+            #[allow(clippy::cast_possible_truncation)]
+            let hb = WireMsg::Heartbeat(Heartbeat {
                 sender: self.transport.me().index() as u16,
                 seq: self.seq,
                 sent_at: now,
-            }));
+            });
             self.seq += 1;
-            let targets = if self.heal_merge {
+            let hb_targets = if self.heal_merge {
                 ProcessSet::full(self.n)
             } else {
                 self.view.members
             };
-            for to in targets.iter() {
-                if to != self.transport.me() {
-                    self.transport.send(to, payload.clone());
-                }
-            }
             // Re-announce the installed view each period: announcements
             // travel over the same lossy channel as everything else, and a
             // member that misses a one-shot announcement would otherwise
             // stay on the stale view forever (breaking the emulated
             // detector's strong completeness).
-            if acting_coordinator == self.transport.me() && self.view.id > 0 {
-                let announce = encode(&WireMsg::ViewChange(ViewChange {
+            let announcing = acting_coordinator == self.transport.me() && self.view.id > 0;
+            if announcing {
+                let vc = WireMsg::ViewChange(ViewChange {
                     view_id: self.view.id,
                     members: set_to_members(self.view.members),
-                }));
-                for ix in 0..self.n {
-                    let to = ProcessId::new(ix);
-                    if to != self.transport.me() {
-                        self.transport.send(to, announce.clone());
+                });
+                if self.batching {
+                    // Coalesced: one [heartbeat, view change] batch per
+                    // member, the view change alone to non-members — one
+                    // datagram per destination either way.
+                    let mut vc_buf = reclaim(&mut self.vc_scratch);
+                    encode_into(&vc, &mut vc_buf);
+                    let vc_only = vc_buf.freeze();
+                    let mut frames = std::mem::take(&mut self.batch_scratch);
+                    frames.clear();
+                    frames.push(hb);
+                    frames.push(vc);
+                    let mut both_buf = reclaim(&mut self.batch_buf);
+                    encode_batch_into(&frames, &mut both_buf);
+                    let both = both_buf.freeze();
+                    self.batch_scratch = frames;
+                    for ix in 0..self.n {
+                        let to = ProcessId::new(ix);
+                        if to == self.transport.me() {
+                            continue;
+                        }
+                        if hb_targets.contains(to) {
+                            self.transport.send(to, both.clone());
+                        } else {
+                            self.transport.send(to, vc_only.clone());
+                        }
                     }
+                    self.batch_buf = Some(both);
+                    self.vc_scratch = Some(vc_only);
+                } else {
+                    // Singleton frames: heartbeats to the members first,
+                    // then the announcement to everyone — the exact
+                    // pre-coalescing send order.
+                    let mut hb_buf = reclaim(&mut self.hb_scratch);
+                    encode_into(&hb, &mut hb_buf);
+                    let hb_payload = hb_buf.freeze();
+                    self.fan_out(hb_targets, &hb_payload);
+                    self.hb_scratch = Some(hb_payload);
+                    let mut vc_buf = reclaim(&mut self.vc_scratch);
+                    encode_into(&vc, &mut vc_buf);
+                    let vc_payload = vc_buf.freeze();
+                    self.fan_out(ProcessSet::full(self.n), &vc_payload);
+                    self.vc_scratch = Some(vc_payload);
                 }
+            } else {
+                let mut hb_buf = reclaim(&mut self.hb_scratch);
+                encode_into(&hb, &mut hb_buf);
+                let hb_payload = hb_buf.freeze();
+                self.fan_out(hb_targets, &hb_payload);
+                self.hb_scratch = Some(hb_payload);
             }
             self.next_beat = now.saturating_add(self.period);
         }
@@ -322,18 +463,15 @@ where
                     id: self.view.id + 1,
                     members: new_members,
                 };
+                // Cold path (at most once per view change): a plain owned
+                // encode is fine here.
                 let payload = encode(&WireMsg::ViewChange(ViewChange {
                     view_id: new_view.id,
                     members: set_to_members(new_view.members),
                 }));
                 // Announce to everyone (including the excluded, so they
                 // halt — or, under heal-merge, eventually rejoin).
-                for ix in 0..self.n {
-                    let to = ProcessId::new(ix);
-                    if to != self.transport.me() {
-                        self.transport.send(to, payload.clone());
-                    }
-                }
+                self.fan_out(ProcessSet::full(self.n), &payload);
                 self.adopt(new_view);
             }
         }
@@ -618,5 +756,55 @@ mod tests {
             // remaining group's view is still coherent.
             assert!(outcome.false_exclusions <= scenario.n);
         }
+    }
+
+    /// Runs one exclusion scenario with coalescing on vs off and asserts
+    /// identical membership observables — the reliable fixed-delay
+    /// network never consults its RNG, so the two runs are bit-identical
+    /// except for the datagram count (the batch run sends fewer).
+    #[test]
+    fn batched_and_singleton_announcing_install_the_same_views() {
+        let run = |batching: bool| {
+            let n = 4;
+            let clock = crate::clock::VirtualClock::new();
+            let net = InMemoryNetwork::new(n, NetworkConfig::reliable(ms(1), ms(1)), clock.clone());
+            let mut nodes: Vec<_> = (0..n)
+                .map(|ix| {
+                    MembershipNode::new(
+                        n,
+                        chen(),
+                        net.endpoint(ProcessId::new(ix)),
+                        clock.clone(),
+                        ms(50),
+                    )
+                    .with_batching(batching)
+                })
+                .collect();
+            let victim = ProcessId::new(3);
+            let mut down = false;
+            while clock.now() < ms(15_000) {
+                if !down && clock.now() >= ms(5_000) {
+                    down = true;
+                    net.take_down(victim);
+                }
+                for (ix, node) in nodes.iter_mut().enumerate() {
+                    if !(down && ix == victim.index()) {
+                        node.poll();
+                    }
+                }
+                clock.advance(ms(1));
+            }
+            let views: Vec<_> = nodes.iter().map(|node| node.view()).collect();
+            let installed: Vec<_> = nodes.iter().map(|n| n.views_installed()).collect();
+            (views, installed, net.stats().0)
+        };
+        let (views_on, installed_on, messages_on) = run(true);
+        let (views_off, installed_off, messages_off) = run(false);
+        assert_eq!(views_on, views_off);
+        assert_eq!(installed_on, installed_off);
+        assert!(
+            messages_on < messages_off,
+            "coalescing must shrink the datagram count: {messages_on} vs {messages_off}"
+        );
     }
 }

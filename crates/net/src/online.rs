@@ -42,7 +42,7 @@ use crate::transport::{ChurnableTransport, Endpoint, InMemoryNetwork, NetworkCon
 use rfd_core::{ProcessId, ProcessSet};
 
 /// One ground-truth fault injection.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// The process stops: no sends, no receives, no steps.
     Crash(ProcessId),
@@ -443,12 +443,7 @@ where
             now,
             &self.net,
             &mut self.up,
-            |at, fault| {
-                events.push(OnlineEvent::Fault {
-                    at,
-                    fault: fault.clone(),
-                })
-            },
+            |at, fault| events.push(OnlineEvent::Fault { at, fault: *fault }),
         );
         for ix in 0..self.scenario.n {
             if !self.up[ix] {

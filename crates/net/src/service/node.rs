@@ -3,12 +3,12 @@
 use super::log::{Decision, ReplicatedLog, ViewStamp};
 use crate::clock::{Clock, Nanos};
 use crate::codec::{
-    decode, encode, set_to_members, Command, ConsensusFrame, DecidedMsg, SyncReply, SyncRequest,
-    WireMsg, MAX_SYNC_ENTRIES,
+    decode_borrowed, encode, set_to_members, Command, ConsensusFrame, DecidedMsg, SyncReply,
+    SyncRequest, WireMsg, WireView, MAX_SYNC_ENTRIES,
 };
 use crate::estimator::ArrivalEstimator;
 use crate::membership::{MembershipNode, View};
-use crate::transport::Transport;
+use crate::transport::{Datagram, Transport};
 use bytes::Bytes;
 use rfd_algo::consensus::{RotatingConsensus, RotatingMsg};
 use rfd_algo::driver::{SlotDriver, SlotSend};
@@ -70,6 +70,13 @@ pub enum ServiceOutput {
 /// [`DecisionService::poll`] once per tick —
 /// [`crate::service::ServiceRunner`] does exactly that under a fault
 /// schedule.
+///
+/// The receive path is zero-copy: datagrams drain in one batch into a
+/// reusable buffer and route through the borrowed-view codec, so the
+/// steady-state tick of an idle or heartbeat-only fleet allocates
+/// nothing. [`Batch`](WireMsg::Batch) frames (e.g. a coordinator's
+/// coalesced heartbeat + view announcement) are unpacked inline and each
+/// sub-frame routed as if it had arrived alone.
 #[derive(Debug)]
 pub struct DecisionService<E, T, C> {
     n: usize,
@@ -93,6 +100,13 @@ pub struct DecisionService<E, T, C> {
     gap_synced_at: Option<u64>,
     last_view: View,
     next_gossip: Nanos,
+    /// Reusable receive buffer for [`Transport::recv_batch`].
+    rx_buf: Vec<Datagram>,
+    /// Reusable consensus-frame inbox, refilled each poll.
+    consensus_in: Vec<(u64, ProcessId, RotatingMsg<u64>)>,
+    /// Reusable entry list for copying a borrowed sync-reply view out of
+    /// its datagram before the merge (which needs a contiguous slice).
+    sync_scratch: Vec<(u64, u64, u128)>,
 }
 
 impl<E, T, C> DecisionService<E, T, C>
@@ -120,6 +134,9 @@ where
             future: BTreeMap::new(),
             gap_synced_at: None,
             next_gossip: Nanos::ZERO,
+            rx_buf: Vec::new(),
+            consensus_in: Vec::new(),
+            sync_scratch: Vec::new(),
         }
     }
 
@@ -130,6 +147,15 @@ where
     #[must_use]
     pub fn with_heal_merge(mut self) -> Self {
         self.membership = self.membership.with_heal_merge();
+        self
+    }
+
+    /// Sets heartbeat/view-change coalescing on the underlying
+    /// membership (builder style; default on) — see
+    /// [`MembershipNode::with_batching`].
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.membership = self.membership.with_batching(batching);
         self
     }
 
@@ -184,6 +210,52 @@ where
         true
     }
 
+    /// Routes one decoded frame. Returns `true` if the node halted while
+    /// processing it (the caller stops draining).
+    fn route_frame(
+        &mut self,
+        from: ProcessId,
+        delivered_at: Nanos,
+        frame: &WireView<'_>,
+        consensus_in: &mut Vec<(u64, ProcessId, RotatingMsg<u64>)>,
+        events: &mut Vec<ServiceOutput>,
+    ) -> bool {
+        match frame {
+            WireView::Heartbeat(_) | WireView::ViewChange(_) => {
+                self.membership.on_wire_view(frame, delivered_at);
+                if self.membership.is_halted() {
+                    return true;
+                }
+            }
+            WireView::Command(c) => self.learn_command(c.value),
+            WireView::Consensus(cf) => {
+                if from.index() < self.n {
+                    consensus_in.push((cf.slot, from, cf.msg.clone()));
+                }
+            }
+            WireView::Decided(d) => self.on_decided(from, d, events),
+            WireView::SyncRequest(s) => self.on_sync_request(from, s.from_index),
+            WireView::SyncReply(view) => {
+                // The merge needs a contiguous slice; copy the borrowed
+                // entries into the reusable scratch instead of a fresh
+                // Vec per chunk.
+                let mut entries = std::mem::take(&mut self.sync_scratch);
+                entries.clear();
+                entries.extend(view.iter());
+                self.on_sync_reply(view.start, &entries, events);
+                self.sync_scratch = entries;
+            }
+            WireView::Batch(batch) => {
+                for sub in batch.iter() {
+                    if self.route_frame(from, delivered_at, &sub, consensus_in, events) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
     /// One service tick: drain and route the transport (membership,
     /// commands, consensus, relays, state transfer), run the membership
     /// duties, react to view changes, advance the per-slot consensus,
@@ -194,31 +266,36 @@ where
             return events;
         }
         let now = self.clock.now();
-        let mut consensus_in: Vec<(u64, ProcessId, RotatingMsg<u64>)> = Vec::new();
-        while let Some(dg) = self.membership.transport().recv() {
-            let Ok(msg) = decode(&dg.payload) else {
+        let mut consensus_in = std::mem::take(&mut self.consensus_in);
+        consensus_in.clear();
+        let mut rx = std::mem::take(&mut self.rx_buf);
+        self.membership.transport().recv_batch(&mut rx);
+        let mut halted = false;
+        for dg in rx.drain(..) {
+            if halted {
+                // A halted node never polls again; dropping the rest of
+                // the drain matches the old leave-it-queued behavior.
+                break;
+            }
+            let Ok(frame) = decode_borrowed(&dg.payload) else {
                 continue;
             };
-            match msg {
-                WireMsg::Heartbeat(_) | WireMsg::ViewChange(_) => {
-                    self.membership.on_wire(&msg, dg.delivered_at);
-                    if self.membership.is_halted() {
-                        return events;
-                    }
-                }
-                WireMsg::Command(c) => self.learn_command(c.value),
-                WireMsg::Consensus(frame) => {
-                    if dg.from.index() < self.n {
-                        consensus_in.push((frame.slot, dg.from, frame.msg));
-                    }
-                }
-                WireMsg::Decided(d) => self.on_decided(dg.from, &d, &mut events),
-                WireMsg::SyncRequest(s) => self.on_sync_request(dg.from, s.from_index),
-                WireMsg::SyncReply(s) => self.on_sync_reply(&s, &mut events),
-            }
+            halted = self.route_frame(
+                dg.from,
+                dg.delivered_at,
+                &frame,
+                &mut consensus_in,
+                &mut events,
+            );
+        }
+        self.rx_buf = rx;
+        if halted {
+            self.consensus_in = consensus_in;
+            return events;
         }
         self.membership.tick();
         if self.membership.is_halted() {
+            self.consensus_in = consensus_in;
             return events;
         }
         let view = self.membership.view();
@@ -245,11 +322,12 @@ where
         let suspects = self.membership.emulated_suspects();
         let mut sends: Vec<SlotSend<RotatingMsg<u64>>> = Vec::new();
         let mut decided: Vec<(u64, u64)> = Vec::new();
-        for (slot, from, msg) in consensus_in {
+        for (slot, from, msg) in consensus_in.drain(..) {
             let (s, d) = self.driver.on_message(slot, from, &msg, suspects);
             sends.extend(s);
             decided.extend(d.map(|v| (slot, v)));
         }
+        self.consensus_in = consensus_in;
         let next = self.log.len();
         if !self.driver.is_open(next) && self.driver.decision(next).is_none() {
             if let Some(&cmd) = self.pool.iter().next() {
@@ -267,13 +345,16 @@ where
         }
         if now >= self.next_gossip {
             self.next_gossip = now.saturating_add(self.period);
-            for value in self
-                .pool
-                .iter()
-                .take(GOSSIP_BATCH)
-                .copied()
-                .collect::<Vec<_>>()
-            {
+            // GOSSIP_BATCH is small and fixed: snapshot the commands
+            // into a stack array (broadcasting mutates nothing, but the
+            // borrow checker cannot see that through `&mut self`).
+            let mut batch = [0u64; GOSSIP_BATCH];
+            let mut count = 0;
+            for &value in self.pool.iter().take(GOSSIP_BATCH) {
+                batch[count] = value;
+                count += 1;
+            }
+            for &value in &batch[..count] {
                 self.broadcast(&WireMsg::Command(Command { value }));
             }
         }
@@ -415,21 +496,23 @@ where
         }
     }
 
-    /// A state-transfer chunk: reconcile it into the log.
-    fn on_sync_reply(&mut self, reply: &SyncReply, events: &mut Vec<ServiceOutput>) {
+    /// A state-transfer chunk (already copied out of its datagram):
+    /// reconcile it into the log.
+    fn on_sync_reply(
+        &mut self,
+        start: u64,
+        entries: &[(u64, u64, u128)],
+        events: &mut Vec<ServiceOutput>,
+    ) {
         let before = self.log.len();
-        let outcome = self.log.merge_suffix(reply.start, &reply.entries);
+        let outcome = self.log.merge_suffix(start, entries);
         if outcome.adopted == 0 && outcome.lost == 0 {
             return;
         }
         // Rewritten tail: retire its commands and resolve its slots. On
         // the (safety-alarm) lost path the rewrite reaches back to the
         // chunk start; otherwise only fresh entries were appended.
-        let rewritten_from = if outcome.lost > 0 {
-            reply.start
-        } else {
-            before
-        };
+        let rewritten_from = if outcome.lost > 0 { start } else { before };
         for d in self.log.suffix(rewritten_from).to_vec() {
             self.note_committed(d.index, d.value);
         }

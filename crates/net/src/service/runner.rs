@@ -18,12 +18,27 @@ use rfd_core::ProcessId;
 /// command queue of `(submit time, receiving node, command value)`
 /// entries. Command values must be unique: the value identifies the
 /// command across gossip, consensus and the log.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServiceScenario {
     /// The fleet/network/fault-schedule parameters.
     pub online: OnlineScenario,
     /// Client submissions, in any order (the runner sorts by time).
     pub commands: Vec<(Nanos, ProcessId, u64)>,
+    /// Whether the fleet coalesces per-tick frames into batch datagrams
+    /// (see [`DecisionService::with_batching`]). On by default; the
+    /// differential tests run both settings and assert identical
+    /// decisions.
+    pub batching: bool,
+}
+
+impl Default for ServiceScenario {
+    fn default() -> Self {
+        Self {
+            online: OnlineScenario::default(),
+            commands: Vec::new(),
+            batching: true,
+        }
+    }
 }
 
 impl ServiceScenario {
@@ -31,6 +46,14 @@ impl ServiceScenario {
     #[must_use]
     pub fn command(mut self, at: Nanos, node: ProcessId, value: u64) -> Self {
         self.commands.push((at, node, value));
+        self
+    }
+
+    /// Enables or disables heartbeat coalescing for the fleet (builder
+    /// style).
+    #[must_use]
+    pub fn with_batching(mut self, on: bool) -> Self {
+        self.batching = on;
         self
     }
 }
@@ -264,7 +287,8 @@ where
                     endpoint,
                     clock.clone(),
                     scenario.online.period,
-                );
+                )
+                .with_batching(scenario.batching);
                 if scenario.online.heal_merge {
                     node.with_heal_merge()
                 } else {
@@ -331,10 +355,7 @@ where
                     Fault::Heal => watcher.note_heal(at),
                     Fault::Partition(_) => {}
                 }
-                events.push(ServiceEvent::Fault {
-                    at,
-                    fault: fault.clone(),
-                });
+                events.push(ServiceEvent::Fault { at, fault: *fault });
             },
         );
         while let Some(&(at, node, value)) = self.scenario.commands.get(self.next_command) {

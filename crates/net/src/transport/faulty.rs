@@ -273,6 +273,46 @@ impl<T: Transport, C: Clock> Transport for FaultyTransport<T, C> {
             });
         }
     }
+
+    fn recv_batch(&self, into: &mut Vec<Datagram>) -> usize {
+        let me = self.inner.me();
+        {
+            let mut g = self.injector.state.lock();
+            if g.down.contains(me) || g.flush.contains(me) {
+                // Muted, or freshly recovered: discard everything the
+                // inner transport buffered (see `recv`).
+                let mut purged = 0u64;
+                while self.inner.recv().is_some() {
+                    purged += 1;
+                }
+                g.dropped += purged;
+                g.flush.remove(me);
+                return 0;
+            }
+        }
+        let start = into.len();
+        self.inner.recv_batch(into);
+        // One lock for the whole batch: drop partition crossings in
+        // place (compacting with swaps preserves arrival order) and
+        // re-stamp what survives with the shared clock.
+        let now = self.clock.now();
+        let mut g = self.injector.state.lock();
+        let mut kept = start;
+        for ix in start..into.len() {
+            let crosses = g
+                .partition
+                .is_some_and(|side| side.contains(into[ix].from) != side.contains(me));
+            if crosses {
+                g.dropped += 1;
+            } else {
+                into.swap(kept, ix);
+                into[kept].delivered_at = now;
+                kept += 1;
+            }
+        }
+        into.truncate(kept);
+        kept - start
+    }
 }
 
 /// Wraps a fleet of per-node transports under one fresh

@@ -149,6 +149,13 @@ struct NetInner {
     rng: StdRng,
     /// Gilbert–Elliott channel state: `true` = bad (burst) state.
     in_burst: bool,
+    /// In-order traffic: datagrams whose due time is `>=` every earlier
+    /// queued one (always true under a fixed delay and a monotone
+    /// clock). Kept sorted by construction, so delivery is an O(1)
+    /// `pop_front` instead of a heap sift over the whole backlog.
+    fifo: VecDeque<InFlight>,
+    /// Out-of-order traffic (randomized delays): the general case,
+    /// merged with `fifo` by `(due, seq)` at delivery time.
     in_flight: BinaryHeap<InFlight>,
     inboxes: Vec<VecDeque<Datagram>>,
     /// Nodes taken down (crashed): they neither send nor receive.
@@ -206,6 +213,7 @@ impl InMemoryNetwork {
                 config,
                 rng: StdRng::seed_from_u64(seed),
                 in_burst: false,
+                fifo: VecDeque::new(),
                 in_flight: BinaryHeap::new(),
                 inboxes: (0..n).map(|_| VecDeque::new()).collect(),
                 down: ProcessSet::empty(),
@@ -279,12 +287,25 @@ impl InMemoryNetwork {
         (g.sent, g.lost, g.delivered)
     }
 
-    /// Moves due in-flight messages to inboxes.
-    fn pump(&self) {
-        let now = self.clock.now();
-        let mut g = self.inner.lock();
-        while matches!(g.in_flight.peek(), Some(m) if m.due <= now) {
-            let m = g.in_flight.pop().expect("peeked");
+    /// Moves due in-flight messages to inboxes (lock already held).
+    /// Two-way merge of the sorted `fifo` and the heap by `(due, seq)`:
+    /// delivery order is exactly the single-heap order, but the common
+    /// in-order case never pays a sift.
+    fn pump_locked(g: &mut NetInner, now: Nanos) {
+        loop {
+            let fifo_key = g.fifo.front().map(|m| (m.due, m.seq));
+            let heap_key = g.in_flight.peek().map(|m| (m.due, m.seq));
+            let from_fifo = match (fifo_key, heap_key) {
+                (Some((due, _)), None) if due <= now => true,
+                (None, Some((due, _))) if due <= now => false,
+                (Some(f), Some(h)) if f.min(h).0 <= now => f < h,
+                _ => break,
+            };
+            let m = if from_fifo {
+                g.fifo.pop_front().expect("peeked")
+            } else {
+                g.in_flight.pop().expect("peeked")
+            };
             if g.down.contains(m.datagram.to) {
                 continue;
             }
@@ -297,6 +318,7 @@ impl InMemoryNetwork {
     fn send_from(&self, from: ProcessId, to: ProcessId, payload: Bytes) {
         let now = self.clock.now();
         let mut g = self.inner.lock();
+        let g = &mut *g; // split the guard so disjoint fields borrow freely
         if g.down.contains(from) || g.down.contains(to) {
             return;
         }
@@ -307,8 +329,8 @@ impl InMemoryNetwork {
                 return;
             }
         }
-        let dropped = match g.config.loss.clone() {
-            LossModel::Bernoulli(p) => p > 0.0 && g.rng.gen_bool(p),
+        let dropped = match &g.config.loss {
+            LossModel::Bernoulli(p) => *p > 0.0 && g.rng.gen_bool(*p),
             LossModel::GilbertElliott {
                 p_enter,
                 p_exit,
@@ -316,13 +338,13 @@ impl InMemoryNetwork {
             } => {
                 // Advance the channel state per datagram, then draw.
                 if g.in_burst {
-                    if p_exit > 0.0 && g.rng.gen_bool(p_exit) {
+                    if *p_exit > 0.0 && g.rng.gen_bool(*p_exit) {
                         g.in_burst = false;
                     }
-                } else if p_enter > 0.0 && g.rng.gen_bool(p_enter) {
+                } else if *p_enter > 0.0 && g.rng.gen_bool(*p_enter) {
                     g.in_burst = true;
                 }
-                g.in_burst && loss_in_burst > 0.0 && g.rng.gen_bool(loss_in_burst)
+                g.in_burst && *loss_in_burst > 0.0 && g.rng.gen_bool(*loss_in_burst)
             }
         };
         if dropped {
@@ -339,7 +361,7 @@ impl InMemoryNetwork {
         let due = now.saturating_add(Nanos::from_nanos(delay));
         let seq = g.seq;
         g.seq += 1;
-        g.in_flight.push(InFlight {
+        let entry = InFlight {
             due,
             seq,
             datagram: Datagram {
@@ -348,16 +370,40 @@ impl InMemoryNetwork {
                 payload,
                 delivered_at: due,
             },
-        });
+        };
+        // `seq` is monotone, so a due no earlier than the FIFO tail
+        // keeps it sorted; only out-of-order dues touch the heap.
+        if g.fifo.back().map_or(true, |tail| due >= tail.due) {
+            g.fifo.push_back(entry);
+        } else {
+            g.in_flight.push(entry);
+        }
     }
 
     fn recv_for(&self, me: ProcessId) -> Option<Datagram> {
-        self.pump();
+        let now = self.clock.now();
         let mut g = self.inner.lock();
+        Self::pump_locked(&mut g, now);
         if g.down.contains(me) {
             return None;
         }
         g.inboxes[me.index()].pop_front()
+    }
+
+    /// Drains every datagram currently deliverable to `me` into `into`
+    /// under a single lock acquisition (the batch analogue of
+    /// [`InMemoryNetwork::recv_for`]).
+    fn recv_all_for(&self, me: ProcessId, into: &mut Vec<Datagram>) -> usize {
+        let now = self.clock.now();
+        let mut g = self.inner.lock();
+        Self::pump_locked(&mut g, now);
+        if g.down.contains(me) {
+            return 0;
+        }
+        let inbox = &mut g.inboxes[me.index()];
+        let count = inbox.len();
+        into.extend(inbox.drain(..));
+        count
     }
 }
 
@@ -399,6 +445,10 @@ impl Transport for Endpoint {
 
     fn recv(&self) -> Option<Datagram> {
         self.net.recv_for(self.me)
+    }
+
+    fn recv_batch(&self, into: &mut Vec<Datagram>) -> usize {
+        self.net.recv_all_for(self.me, into)
     }
 }
 

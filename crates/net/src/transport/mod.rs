@@ -43,6 +43,22 @@ pub trait Transport {
 
     /// Receives the next available datagram, if any.
     fn recv(&self) -> Option<Datagram>;
+
+    /// Drains every currently available datagram into `into` (appending —
+    /// the caller decides when to clear), returning how many arrived.
+    ///
+    /// The default loops [`Transport::recv`]; implementations whose inbox
+    /// sits behind a lock should override this to drain under a single
+    /// acquisition. Hot loops that poll every tick want this: one
+    /// `recv_batch` into a reused buffer replaces per-datagram lock
+    /// round-trips and lets the caller keep one long-lived allocation.
+    fn recv_batch(&self, into: &mut Vec<Datagram>) -> usize {
+        let before = into.len();
+        while let Some(datagram) = self.recv() {
+            into.push(datagram);
+        }
+        into.len() - before
+    }
 }
 
 /// The fleet-level fault-injection surface of a transport: what a churn

@@ -1,0 +1,210 @@
+//! Allocation regression tests for the runtime hot paths.
+//!
+//! A counting [`GlobalAlloc`] wrapper around the system allocator tracks
+//! per-thread allocation counts; each test warms its path until every
+//! buffer has reached steady-state capacity, then asserts the next
+//! cycles allocate **nothing**. These tests pin the allocation-free
+//! contract of the zero-copy codec (`encode_into` + `decode_borrowed`),
+//! the `freeze`/`try_into_mut` buffer-recycling cycle, and the detector
+//! receive drain.
+//!
+//! The counter is thread-local (const-initialized, so the allocator
+//! never recurses into itself), which keeps the tests immune to the
+//! libtest harness running other tests concurrently.
+
+// The workspace denies `unsafe_code`; a `GlobalAlloc` impl is the one
+// place that genuinely needs it.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use rfd_core::ProcessId;
+use rfd_net::bytes::BytesMut;
+use rfd_net::clock::{Clock, Nanos, VirtualClock};
+use rfd_net::codec::{
+    decode_borrowed, encode, encode_into, Heartbeat, SyncReply, WireMsg, WireView,
+};
+use rfd_net::estimator::FixedTimeout;
+use rfd_net::transport::{InMemoryNetwork, NetworkConfig, Transport};
+use rfd_net::DetectorNode;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts every `alloc`/`realloc` on the current thread; frees are not
+/// counted (the tests assert "no new memory requested", which is the
+/// contract that matters for steady-state churn).
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Allocation count on this thread while `f` runs.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn warmed_codec_round_trip_does_not_allocate() {
+    let msg = WireMsg::Heartbeat(Heartbeat {
+        sender: 5,
+        seq: 1234,
+        sent_at: Nanos::from_millis(77),
+    });
+    let mut buf = BytesMut::with_capacity(64);
+    // Warm: the buffer reaches its steady capacity.
+    encode_into(&msg, &mut buf);
+
+    let allocs = allocations_during(|| {
+        for _ in 0..100 {
+            encode_into(&msg, &mut buf);
+            match decode_borrowed(&buf).expect("round trip") {
+                WireView::Heartbeat(hb) => assert_eq!(hb.seq, 1234),
+                other => panic!("wrong frame: {other:?}"),
+            }
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state heartbeat round trip must be allocation-free"
+    );
+}
+
+#[test]
+fn borrowed_sync_reply_decode_does_not_allocate() {
+    let msg = WireMsg::SyncReply(SyncReply {
+        start: 3,
+        entries: (0..16).map(|i| (i, i * 7, 1u128 << i)).collect(),
+    });
+    let mut buf = BytesMut::with_capacity(1024);
+    encode_into(&msg, &mut buf);
+
+    let allocs = allocations_during(|| {
+        for _ in 0..100 {
+            encode_into(&msg, &mut buf);
+            match decode_borrowed(&buf).expect("round trip") {
+                WireView::SyncReply(view) => {
+                    assert_eq!(view.start, 3);
+                    let sum: u64 = view.iter().map(|(_, v, _)| v).sum();
+                    assert_eq!(sum, (0..16).map(|i| i * 7).sum::<u64>());
+                }
+                other => panic!("wrong frame: {other:?}"),
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "borrowed sync-reply decode must not allocate");
+}
+
+#[test]
+fn freeze_and_reclaim_cycle_does_not_allocate() {
+    let msg = WireMsg::Heartbeat(Heartbeat {
+        sender: 1,
+        seq: 0,
+        sent_at: Nanos::ZERO,
+    });
+    // Warm one full cycle so the backing vector exists.
+    let mut scratch = Some(encode(&msg));
+
+    let allocs = allocations_during(|| {
+        for _ in 0..100 {
+            let mut buf = scratch
+                .take()
+                .expect("scratch is always returned")
+                .try_into_mut()
+                .expect("sole owner between cycles");
+            encode_into(&msg, &mut buf);
+            let payload = buf.freeze();
+            // A fan-out clone that is dropped before the next cycle,
+            // as when the network delivers faster than the send period.
+            let wire_copy = payload.clone();
+            assert_eq!(wire_copy.len(), payload.len());
+            drop(wire_copy);
+            scratch = Some(payload);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "encode → freeze → clone → reclaim must be allocation-free"
+    );
+}
+
+#[test]
+fn detector_steady_state_drain_does_not_allocate() {
+    let n = 8usize;
+    let fan_in = 64usize;
+    let clock = VirtualClock::new();
+    // Fixed delay, zero loss: the network never consults its RNG.
+    let config = NetworkConfig::reliable(Nanos::from_millis(1), Nanos::from_millis(1));
+    let net = InMemoryNetwork::new(n, config, clock.clone());
+    let senders: Vec<_> = (1..n).map(|ix| net.endpoint(p(ix))).collect();
+    let payloads: Vec<_> = (1..n)
+        .map(|ix| {
+            #[allow(clippy::cast_possible_truncation)]
+            let sender = ix as u16;
+            encode(&WireMsg::Heartbeat(Heartbeat {
+                sender,
+                seq: 1,
+                sent_at: clock.now(),
+            }))
+        })
+        .collect();
+    // A period the virtual clock never reaches twice, so the node's own
+    // fan-out fires at most once and the cycle is pure receive drain.
+    let mut node = DetectorNode::new(
+        n,
+        FixedTimeout::new(Nanos::from_millis(100)),
+        net.endpoint(p(0)),
+        clock.clone(),
+        Nanos::from_nanos(u64::MAX),
+    );
+
+    let mut cycle = || {
+        for j in 0..fan_in {
+            let s = j % (n - 1);
+            senders[s].send(p(0), payloads[s].clone());
+        }
+        clock.advance(Nanos::from_millis(2));
+        node.poll()
+    };
+
+    // Warm: inboxes, the in-flight heap, and the node's receive scratch
+    // all grow to their steady capacity.
+    for _ in 0..5 {
+        cycle();
+    }
+
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            let suspects = cycle();
+            assert!(suspects.is_empty(), "everyone is heartbeating");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state detector drain must be allocation-free"
+    );
+}

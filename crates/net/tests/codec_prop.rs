@@ -5,10 +5,12 @@
 
 use proptest::prelude::*;
 use rfd_algo::consensus::RotatingMsg;
+use rfd_net::bytes::BytesMut;
 use rfd_net::clock::Nanos;
 use rfd_net::codec::{
-    decode, encode, Command, ConsensusFrame, DecidedMsg, DecodeError, Heartbeat, SyncReply,
-    SyncRequest, ViewChange, WireMsg, MAX_SYNC_ENTRIES,
+    decode, decode_borrowed, encode, encode_batch_into, encoded_len, Command, ConsensusFrame,
+    DecidedMsg, DecodeError, Heartbeat, SyncReply, SyncRequest, ViewChange, WireMsg,
+    MAX_BATCH_FRAMES, MAX_SYNC_ENTRIES,
 };
 
 /// Builds one arbitrary wire message from a flattened parameter tuple
@@ -93,6 +95,77 @@ proptest! {
         let encoded = encode(&msg);
         let cut = cut % encoded.len();
         prop_assert!(decode(&encoded[..cut]).is_err(), "prefix of {} bytes decoded", cut);
+    }
+
+    /// The zero-copy decoder agrees with the owned one on every valid
+    /// datagram: `decode_borrowed(bytes).map(into_owned) == decode(bytes)`.
+    #[test]
+    fn borrowed_decode_matches_owned_on_valid_frames(
+        selector in 0u8..7,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        wide in any::<u128>(),
+        entries in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u128>()), 0..=MAX_SYNC_ENTRIES),
+    ) {
+        let msg = wire_msg(selector, a, b, wide, entries);
+        let encoded = encode(&msg);
+        let borrowed = decode_borrowed(&encoded).expect("valid frame").into_owned();
+        prop_assert_eq!(&borrowed, &msg);
+        prop_assert_eq!(decode(&encoded), Ok(borrowed));
+        prop_assert_eq!(encoded.len(), encoded_len(&msg), "encoded_len must be exact");
+    }
+
+    /// ...and on arbitrary bytes the two decoders return the same
+    /// verdict — same error, or the same message (total, no panics,
+    /// including truncated/corrupt tag-8 batch frames).
+    #[test]
+    fn borrowed_decode_matches_owned_on_arbitrary_bytes(
+        mut bytes in prop::collection::vec(any::<u8>(), 0..192),
+        force_batch_tag in any::<bool>(),
+    ) {
+        // Half the cases get steered into the batch decoder: a valid
+        // header with tag 8 and arbitrary garbage behind it.
+        if force_batch_tag && bytes.len() >= 3 {
+            bytes[0] = 0xFD;
+            bytes[1] = 0x02;
+            bytes[2] = 8;
+        }
+        let owned = decode(&bytes);
+        let borrowed = decode_borrowed(&bytes).map(|v| v.into_owned());
+        prop_assert_eq!(owned, borrowed);
+    }
+
+    /// A coalesced batch is observationally identical to the singleton
+    /// frame sequence it packs: decoding yields the same sub-messages in
+    /// order, and the slice-based batch encoder produces byte-identical
+    /// output to encoding the equivalent `WireMsg::Batch`.
+    #[test]
+    fn batch_equals_its_singleton_sequence(
+        selectors in prop::collection::vec((0u8..7, any::<u64>(), any::<u64>(), any::<u128>()), 0..8),
+    ) {
+        let frames: Vec<WireMsg> = selectors
+            .into_iter()
+            .map(|(s, a, b, wide)| wire_msg(s, a, b, wide, Vec::new()))
+            .collect();
+        prop_assert!(frames.len() <= MAX_BATCH_FRAMES);
+        let mut via_slice = BytesMut::new();
+        encode_batch_into(&frames, &mut via_slice);
+        let via_owned = encode(&WireMsg::Batch(frames.clone()));
+        prop_assert_eq!(&via_slice[..], &via_owned[..]);
+        match decode(&via_owned) {
+            Ok(WireMsg::Batch(decoded)) => prop_assert_eq!(decoded, frames),
+            other => prop_assert!(false, "batch decoded to {:?}", other),
+        }
+        // The singleton encodings survive inside the batch bit-exact:
+        // decoding each sub-frame individually equals direct encoding.
+        let view = decode_borrowed(&via_owned).expect("valid batch");
+        let sub: Vec<WireMsg> = match view {
+            rfd_net::codec::WireView::Batch(batch) => batch.iter().map(|v| v.into_owned()).collect(),
+            other => { prop_assert!(false, "borrowed batch decoded to {:?}", other); unreachable!() }
+        };
+        for (msg, direct) in sub.iter().zip(&frames) {
+            prop_assert_eq!(msg, direct);
+        }
     }
 
     /// A flipped byte never panics the decoder and never decodes back

@@ -30,12 +30,25 @@ pub struct StepContext<M, O> {
 
 impl<M, O> StepContext<M, O> {
     pub(crate) fn new(me: ProcessId, n: usize, suspects: ProcessSet) -> Self {
+        Self::from_buffers(me, n, suspects, Vec::new(), Vec::new())
+    }
+
+    /// A context over caller-supplied (empty) effect buffers, so a hot
+    /// loop can recycle its allocations across steps.
+    pub(crate) fn from_buffers(
+        me: ProcessId,
+        n: usize,
+        suspects: ProcessSet,
+        outbox: Vec<(ProcessId, M)>,
+        outputs: Vec<O>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty() && outputs.is_empty());
         Self {
             me,
             n,
             suspects,
-            outbox: Vec::new(),
-            outputs: Vec::new(),
+            outbox,
+            outputs,
         }
     }
 

@@ -179,7 +179,7 @@ pub struct RunResult<A: Automaton> {
 pub struct Scheduler<'a, A: Automaton> {
     pattern: &'a FailurePattern,
     oracle: &'a History<ProcessSet>,
-    config: SimConfig,
+    config: &'a SimConfig,
     rng: StdRng,
     time: Time,
     next_msg_id: u64,
@@ -190,6 +190,11 @@ pub struct Scheduler<'a, A: Automaton> {
     emulated: Option<History<ProcessSet>>,
     automata: Vec<A>,
     delivery_log: Option<Vec<DeliveryRecord>>,
+    /// Reused step-effect buffers: every [`StepContext`] borrows these
+    /// instead of allocating fresh `Vec`s, so a steady-state step
+    /// allocates nothing.
+    outbox_scratch: Vec<(ProcessId, A::Msg)>,
+    outputs_scratch: Vec<A::Output>,
 }
 
 impl<'a, A: Automaton> Scheduler<'a, A> {
@@ -205,7 +210,7 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
         pattern: &'a FailurePattern,
         oracle_history: &'a History<ProcessSet>,
         automata: Vec<A>,
-        config: &SimConfig,
+        config: &'a SimConfig,
     ) -> Self {
         let n = pattern.num_processes();
         assert_eq!(automata.len(), n, "need exactly one automaton per process");
@@ -217,7 +222,7 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
         Self {
             pattern,
             oracle: oracle_history,
-            config: config.clone(),
+            config,
             rng: StdRng::seed_from_u64(config.seed),
             time: Time::ZERO,
             next_msg_id: 0,
@@ -237,6 +242,8 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
             emulated: None,
             automata,
             delivery_log: None,
+            outbox_scratch: Vec::new(),
+            outputs_scratch: Vec::new(),
         }
     }
 
@@ -259,6 +266,16 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
             .as_mut()
             .map(std::mem::take)
             .unwrap_or_default()
+    }
+
+    /// Appends the delivery records accumulated since the last drain to
+    /// `into` and clears the log — the allocation-free sibling of
+    /// [`Scheduler::take_delivery_log`] for callers that poll every
+    /// round with a reused buffer.
+    pub fn drain_delivery_log_into(&mut self, into: &mut Vec<DeliveryRecord>) {
+        if let Some(log) = &mut self.delivery_log {
+            into.append(log);
+        }
     }
 
     /// The automata being driven, indexed by process.
@@ -341,14 +358,22 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
             }
         }
         let suspects = *self.oracle.value(pid, self.time);
-        let mut ctx: StepContext<A::Msg, A::Output> = StepContext::new(pid, n, suspects);
+        let mut ctx: StepContext<A::Msg, A::Output> = StepContext::from_buffers(
+            pid,
+            n,
+            suspects,
+            std::mem::take(&mut self.outbox_scratch),
+            std::mem::take(&mut self.outputs_scratch),
+        );
         self.automata[ix].on_step(input.as_ref(), &mut ctx);
         // Effects: sends...
         let causal = self.heard[ix];
         let StepContext {
-            outbox, outputs, ..
+            mut outbox,
+            mut outputs,
+            ..
         } = ctx;
-        for (to, payload) in outbox {
+        for (to, payload) in outbox.drain(..) {
             let delay = self
                 .rng
                 .gen_range(self.config.delivery.min_delay..=self.config.delivery.max_delay);
@@ -371,7 +396,7 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
             self.trace.messages_sent += 1;
         }
         // ...outputs...
-        for value in outputs {
+        for value in outputs.drain(..) {
             self.trace.events.push(OutputEvent {
                 process: pid,
                 time: self.time,
@@ -379,6 +404,9 @@ impl<'a, A: Automaton> Scheduler<'a, A> {
                 causal_past: causal,
             });
         }
+        // Return the (now empty) effect buffers for the next step.
+        self.outbox_scratch = outbox;
+        self.outputs_scratch = outputs;
         // ...and the emulated detector output.
         if let Some(suspected) = self.automata[ix].emulated_suspects() {
             let h = self

@@ -32,7 +32,8 @@
 //! let pattern = FailurePattern::new(2);
 //! let silent = History::new(2, ProcessSet::empty());
 //! let automata = vec![Ping { sent: false }, Ping { sent: false }];
-//! let mut stream = StreamRun::new(&pattern, &silent, automata, &SimConfig::new(7, 100));
+//! let config = SimConfig::new(7, 100);
+//! let mut stream = StreamRun::new(&pattern, &silent, automata, &config);
 //! let mut outputs = 0;
 //! while let Some(event) = stream.next_event() {
 //!     if let StreamEvent::Output { .. } = event { outputs += 1; }
@@ -120,7 +121,8 @@ pub enum StreamEvent<O> {
 ///
 /// let pattern = FailurePattern::new(2).with_crash(ProcessId::new(1), Time::new(3));
 /// let silent = History::new(2, ProcessSet::empty());
-/// let mut stream = StreamRun::new(&pattern, &silent, vec![Idle, Idle], &SimConfig::new(1, 50));
+/// let config = SimConfig::new(1, 50);
+/// let mut stream = StreamRun::new(&pattern, &silent, vec![Idle, Idle], &config);
 /// let mut crashes = 0;
 /// while let Some(event) = stream.next_event() {
 ///     if let StreamEvent::Crashed { process, .. } = event {
@@ -140,6 +142,8 @@ pub struct StreamRun<'a, A: Automaton> {
     reported_decided: Vec<bool>,
     reported_crashed: ProcessSet,
     exhausted: bool,
+    /// Reused drain buffer for the scheduler's delivery log.
+    log_scratch: Vec<DeliveryRecord>,
 }
 
 impl<'a, A: Automaton> StreamRun<'a, A> {
@@ -156,7 +160,7 @@ impl<'a, A: Automaton> StreamRun<'a, A> {
         pattern: &'a FailurePattern,
         oracle_history: &'a History<ProcessSet>,
         automata: Vec<A>,
-        config: &SimConfig,
+        config: &'a SimConfig,
     ) -> Self {
         let n = pattern.num_processes();
         let mut scheduler = Scheduler::new(pattern, oracle_history, automata, config);
@@ -169,6 +173,7 @@ impl<'a, A: Automaton> StreamRun<'a, A> {
             reported_decided: vec![false; n],
             reported_crashed: ProcessSet::empty(),
             exhausted: false,
+            log_scratch: Vec::new(),
         }
     }
 
@@ -212,7 +217,9 @@ impl<'a, A: Automaton> StreamRun<'a, A> {
         }
         debug_assert!(now >= before, "global time is monotone");
         let round = self.scheduler.rounds();
-        for record in self.scheduler.take_delivery_log() {
+        self.scheduler
+            .drain_delivery_log_into(&mut self.log_scratch);
+        for record in self.log_scratch.drain(..) {
             self.pending.push_back(StreamEvent::Delivery(record));
         }
         for (ix, automaton) in self.scheduler.automata().iter().enumerate() {

@@ -35,7 +35,8 @@ fn main() {
     let pattern = FailurePattern::new(n).with_crash(ProcessId::new(2), Time::new(60));
     let history = PerfectOracle::new(6, 3).generate(&pattern, ticks_for_rounds(n, rounds), 42);
     let automata = PerfectEmulation::<FloodSetConsensus<u64>>::fleet(n);
-    let mut stream = StreamRun::new(&pattern, &history, automata, &SimConfig::new(42, rounds));
+    let config = SimConfig::new(42, rounds);
+    let mut stream = StreamRun::new(&pattern, &history, automata, &config);
     println!("== streaming the T_(D⇒P) reduction run ==");
     let mut transitions = 0u32;
     while let Some(event) = stream.next_event() {

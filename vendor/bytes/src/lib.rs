@@ -4,6 +4,20 @@
 //! big-endian integer accessors the workspace codec uses. [`Bytes`] is a
 //! cheaply clonable, reference-counted immutable byte buffer; the
 //! zero-copy slicing machinery of the real crate is not reproduced.
+//!
+//! ## Buffer recycling
+//!
+//! Both types share one backing representation (`Arc<Vec<u8>>`), with
+//! [`BytesMut`] holding its `Arc` uniquely. That makes the mutable →
+//! immutable → mutable cycle allocation-free in steady state:
+//!
+//! * [`BytesMut::freeze`] *moves* the backing storage into a [`Bytes`] —
+//!   no copy, no allocation (the real crate's `freeze` has the same
+//!   complexity; the previous vendored version copied);
+//! * [`Bytes::try_into_mut`] reclaims the storage as a [`BytesMut`] when
+//!   the caller holds the last reference, so a sender that keeps one
+//!   handle past the fan-out can [`BytesMut::clear`] and refill the same
+//!   buffer next period.
 
 #![warn(missing_docs)]
 
@@ -11,9 +25,9 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply clonable immutable byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -23,16 +37,19 @@ impl Bytes {
         Self::default()
     }
 
-    /// Wraps a static byte slice.
+    /// Wraps a static byte slice (copied into owned storage; the
+    /// vendored subset has no zero-copy static representation).
     #[must_use]
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self { data: bytes.into() }
+        Self::copy_from_slice(bytes)
     }
 
     /// Copies a slice into a new buffer.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: data.into() }
+        Self {
+            data: Arc::new(data.to_vec()),
+        }
     }
 
     /// Buffer length in bytes.
@@ -45,6 +62,30 @@ impl Bytes {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Reclaims the backing storage as a [`BytesMut`] if this is the
+    /// last handle to it (no allocation, no copy); hands `self` back
+    /// otherwise. The recycling half of [`BytesMut::freeze`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other clones of the buffer are still
+    /// alive.
+    pub fn try_into_mut(mut self) -> Result<BytesMut, Bytes> {
+        if Arc::get_mut(&mut self.data).is_some() {
+            Ok(BytesMut { data: self.data })
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self {
+            data: Arc::new(Vec::new()),
+        }
     }
 }
 
@@ -63,7 +104,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: v.into() }
+        Self { data: Arc::new(v) }
     }
 }
 
@@ -96,9 +137,16 @@ impl std::fmt::Debug for Bytes {
 }
 
 /// A growable byte buffer for building messages.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Holds its backing `Arc<Vec<u8>>` uniquely, so mutation never copies
+/// and [`BytesMut::freeze`] is a move. Cloning deep-copies to preserve
+/// that uniqueness.
+#[derive(Debug)]
 pub struct BytesMut {
-    data: Vec<u8>,
+    /// Invariant: uniquely referenced (strong count 1). Every
+    /// constructor creates a fresh `Arc` and [`Bytes::try_into_mut`]
+    /// checks uniqueness before handing the storage back.
+    data: Arc<Vec<u8>>,
 }
 
 impl BytesMut {
@@ -112,14 +160,48 @@ impl BytesMut {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            data: Vec::with_capacity(capacity),
+            data: Arc::new(Vec::with_capacity(capacity)),
         }
     }
 
-    /// Freezes the buffer into an immutable [`Bytes`].
+    /// The uniquely held backing vector.
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        // `make_mut` is `get_mut` on the unique invariant; if the
+        // invariant were ever broken it degrades to copy-on-write
+        // instead of panicking.
+        Arc::make_mut(&mut self.data)
+    }
+
+    /// Direct access to the backing vector, paying the uniqueness check
+    /// once instead of per [`BufMut`] call — the batch-write fast path
+    /// for encoders that append many fields to one frame. Mutating the
+    /// vector cannot break the uniqueness invariant.
+    pub fn as_mut_vec(&mut self) -> &mut Vec<u8> {
+        self.vec_mut()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`] — a move of the
+    /// backing storage, no copy or allocation. Recycle it later with
+    /// [`Bytes::try_into_mut`].
     #[must_use]
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data)
+        Bytes { data: self.data }
+    }
+
+    /// Clears the buffer, retaining its capacity.
+    pub fn clear(&mut self) {
+        self.vec_mut().clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec_mut().reserve(additional);
+    }
+
+    /// The buffer's capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Buffer length in bytes.
@@ -134,6 +216,30 @@ impl BytesMut {
         self.data.is_empty()
     }
 }
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        Self {
+            data: Arc::new(Vec::new()),
+        }
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        Self {
+            data: Arc::new(self.data.as_ref().clone()),
+        }
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
@@ -229,7 +335,7 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.data.extend_from_slice(src);
+        self.vec_mut().extend_from_slice(src);
     }
 }
 
@@ -280,5 +386,40 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(&b[..], b"hello");
+    }
+
+    #[test]
+    fn freeze_then_reclaim_preserves_capacity_without_copying() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"first message");
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], b"first message");
+        let mut reclaimed = frozen.try_into_mut().expect("sole owner reclaims");
+        assert!(reclaimed.capacity() >= 64, "capacity survives the cycle");
+        reclaimed.clear();
+        assert!(reclaimed.is_empty());
+        reclaimed.put_slice(b"second");
+        assert_eq!(&reclaimed.freeze()[..], b"second");
+    }
+
+    #[test]
+    fn reclaim_fails_while_clones_are_alive() {
+        let a = Bytes::copy_from_slice(b"shared");
+        let b = a.clone();
+        let a = a.try_into_mut().expect_err("clone keeps it shared");
+        assert_eq!(&a[..], b"shared");
+        drop(b);
+        assert!(a.try_into_mut().is_ok(), "last handle reclaims");
+    }
+
+    #[test]
+    fn bytesmut_clone_is_independent() {
+        let mut a = BytesMut::new();
+        a.put_slice(b"abc");
+        let mut b = a.clone();
+        b.put_slice(b"def");
+        assert_eq!(&a[..], b"abc");
+        assert_eq!(&b[..], b"abcdef");
+        assert_ne!(a, b);
     }
 }

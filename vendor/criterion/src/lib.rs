@@ -10,6 +10,12 @@
 //!
 //! Set `RFD_BENCH_JSON=<path>` to append one JSON line per benchmark
 //! (`{"id": …, "mean_ns": …, "iters": …}`) for machine-readable capture.
+//!
+//! **Quick mode**: pass `--quick` on the bench command line
+//! (`cargo bench -p rfd-bench -- --quick`) or set `RFD_BENCH_QUICK=1`
+//! to clamp every benchmark to a few milliseconds of warm-up and
+//! measurement. The numbers are meaningless in quick mode — it exists so
+//! CI can execute every bench body cheaply and catch bit-rot.
 
 #![warn(missing_docs)]
 
@@ -26,6 +32,26 @@ pub enum Throughput {
     Elements(u64),
     /// Bytes processed per iteration.
     Bytes(u64),
+}
+
+/// How [`Bencher::iter_batched`] sizes its setup batches, mirroring the
+/// real crate's API. The vendored subset sizes batches from the warm-up
+/// throughput either way; `PerIteration` forces one setup per routine
+/// call (for routines that consume a large or stateful input).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold in memory; batch freely.
+    SmallInput,
+    /// Inputs are large; keep batches modest.
+    LargeInput,
+    /// Exactly one setup per routine call.
+    PerIteration,
+}
+
+/// Whether quick mode is active: `--quick` on the bench command line or
+/// a non-empty `RFD_BENCH_QUICK` environment variable.
+fn quick_mode() -> bool {
+    std::env::var_os("RFD_BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--quick")
 }
 
 /// A hierarchical benchmark identifier (`function/parameter`).
@@ -182,6 +208,47 @@ impl Bencher {
         let mean_ns = total.as_nanos() as f64 / iters as f64;
         self.result = Some((mean_ns, iters));
     }
+
+    /// Measures `routine` over inputs produced by `setup`, timing only
+    /// the routine — setup runs outside the measured window. Use this
+    /// when an iteration consumes state (e.g. draining a pre-filled
+    /// queue) that would otherwise pollute the timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: full setup + routine cycles until the budget elapses.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine(setup()));
+            warm_iters += 1;
+        }
+        let batch = match size {
+            BatchSize::PerIteration => 1,
+            BatchSize::LargeInput => warm_iters.clamp(1, 64) as usize,
+            BatchSize::SmallInput => warm_iters.clamp(1, 4096) as usize,
+        };
+        let mut inputs: Vec<I> = Vec::with_capacity(batch);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.measurement {
+            inputs.clear();
+            for _ in 0..batch {
+                inputs.push(setup());
+            }
+            let t0 = Instant::now();
+            for input in inputs.drain(..) {
+                black_box(routine(input));
+            }
+            total += t0.elapsed();
+            iters += batch as u64;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.result = Some((mean_ns, iters));
+    }
 }
 
 fn run_one(
@@ -190,11 +257,21 @@ fn run_one(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    // Quick mode clamps the budgets so CI can execute every bench body
+    // without paying for meaningful measurements.
+    let (warm_up, measurement) = if quick_mode() {
+        (
+            Duration::from_millis(5).min(criterion.warm_up),
+            Duration::from_millis(20).min(criterion.measurement),
+        )
+    } else {
+        (criterion.warm_up, criterion.measurement)
+    };
     let mut bencher = Bencher {
-        warm_up: criterion.warm_up,
+        warm_up,
         // sample_size scales the budget mildly so `.sample_size(20)`
         // behaves comparably to upstream's intent of "keep this quick".
-        measurement: criterion.measurement,
+        measurement,
         result: None,
     };
     f(&mut bencher);
@@ -283,5 +360,24 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+    }
+
+    #[test]
+    fn iter_batched_times_the_routine_over_fresh_inputs() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut setups = 0u64;
+        c.bench_function("drain", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64, 2, 3]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        assert!(setups > 0, "setup must run");
     }
 }
