@@ -83,7 +83,7 @@ pub fn check_consensus<V: Clone + Eq>(
         .collect();
 
     let mut missing = ProcessSet::empty();
-    for pid in pattern.correct().iter() {
+    for pid in pattern.correct() {
         if decisions[pid.index()].is_none() {
             missing.insert(pid);
         }
@@ -167,7 +167,7 @@ pub fn check_trb<V: Clone + Eq>(
     let n = pattern.num_processes();
     let firsts = trace.first_outputs(n);
     let mut missing = ProcessSet::empty();
-    for pid in pattern.correct().iter() {
+    for pid in pattern.correct() {
         if firsts[pid.index()].is_none() {
             missing.insert(pid);
         }

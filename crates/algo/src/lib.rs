@@ -41,6 +41,7 @@
 //! assert!(verdict.is_uniform_consensus());
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -57,7 +57,11 @@ fn atomic_broadcast_total_order_under_crashes() {
         let seqs = delivery_sequences(&result.trace, n);
         // Agreement on order: every pair of correct processes delivers
         // identical sequences; faulty prefixes must be prefixes of them.
-        let correct: Vec<usize> = pattern.correct().iter().map(|p| p.index()).collect();
+        let correct: Vec<usize> = pattern
+            .correct()
+            .iter()
+            .map(rfd_core::ProcessId::index)
+            .collect();
         if let Some(&first) = correct.first() {
             for &ix in &correct {
                 assert_eq!(
@@ -95,7 +99,7 @@ fn atomic_broadcast_validity_correct_senders_get_delivered() {
     let seqs = delivery_sequences(&result.trace, n);
     for correct_origin in [0usize, 1, 3] {
         let expected = (correct_origin as u64 + 1) * 100;
-        for obs in pattern.correct().iter() {
+        for obs in pattern.correct() {
             assert!(
                 seqs[obs.index()].iter().any(|(_, _, v)| *v == expected),
                 "{obs} missing message {expected} from correct p{correct_origin}"
@@ -140,7 +144,11 @@ fn reliable_broadcast_agreement_under_random_crashes() {
         let automata = ReliableBroadcast::fleet(payloads);
         let result = run(&pattern, &history, automata, &SimConfig::new(seed, 500));
         // Agreement: if any correct process delivered m, all correct did.
-        let correct: Vec<usize> = pattern.correct().iter().map(|p| p.index()).collect();
+        let correct: Vec<usize> = pattern
+            .correct()
+            .iter()
+            .map(rfd_core::ProcessId::index)
+            .collect();
         let mut per_proc: Vec<Vec<u64>> = vec![Vec::new(); n];
         for ev in &result.trace.events {
             per_proc[ev.process.index()].push(ev.value.value);

@@ -106,7 +106,7 @@ fn mean_report(reports: &[QosReport]) -> QosReport {
     let n = reports.len() as f64;
     let det: Vec<u64> = reports
         .iter()
-        .filter_map(|r| r.detection_time.map(|d| d.as_nanos()))
+        .filter_map(|r| r.detection_time.map(rfd_net::Nanos::as_nanos))
         .collect();
     QosReport {
         detection_time: if det.is_empty() {
@@ -251,7 +251,7 @@ pub fn run_membership_ablation(quick: bool) -> Table {
             };
             let report = run_membership_churn(ChenEstimator::new(ms(150), 16, ms(600)), &scenario);
             (
-                report.exclusion_latency[target.index()].map(|l| l.as_millis()),
+                report.exclusion_latency[target.index()].map(rfd_net::Nanos::as_millis),
                 report.false_exclusions.len(),
                 report.view_changes,
             )

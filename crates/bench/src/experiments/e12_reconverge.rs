@@ -168,7 +168,7 @@ fn push_row(table: &mut Table, schedule_name: &str, transport: &str, est: &str, 
         },
         format!("{}", s.view_changes),
         format!("{}", s.false_exclusions),
-    ])
+    ]);
 }
 
 /// One wall-clock cell: the same schedule over real loopback UDP

@@ -60,7 +60,7 @@ pub fn run_experiment(quick: bool) -> Table {
                         for k in 0..f {
                             let crashed = ProcessId::new(k);
                             let ct = pattern.crash_time(crashed).expect("scheduled");
-                            for obs in pattern.correct().iter() {
+                            for obs in pattern.correct() {
                                 if let Some(t) = first_suspicion(&emulated, obs, crashed, end) {
                                     latencies.push(t.since(ct));
                                 }

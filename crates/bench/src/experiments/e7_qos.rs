@@ -179,7 +179,7 @@ fn mean_report(reports: &[QosReport]) -> QosReport {
     let n = reports.len() as f64;
     let det: Vec<u64> = reports
         .iter()
-        .filter_map(|r| r.detection_time.map(|d| d.as_nanos()))
+        .filter_map(|r| r.detection_time.map(rfd_net::Nanos::as_nanos))
         .collect();
     QosReport {
         detection_time: if det.is_empty() {

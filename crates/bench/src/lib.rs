@@ -27,6 +27,7 @@
 //! `RFD_E13_UDP=1` append E12's and E13's wall-clock rows over real
 //! loopback UDP sockets.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod estimators;

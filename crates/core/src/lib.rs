@@ -37,6 +37,7 @@
 //! assert!(check_realism(&MaraboutOracle::new(), 4, 10, &battery, &mut rng).is_err());
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 

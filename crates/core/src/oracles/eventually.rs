@@ -99,17 +99,11 @@ impl EventuallyPerfectOracle {
                 // The perfect component permanently suspects `target` from
                 // its detection time; do not let the mistake's removal
                 // cancel that permanent suspicion.
-                let removal_blocked = pattern
-                    .crash_time(target)
-                    .map(|ct| {
-                        let det = ct.advance(self.detection_delay(
-                            seed,
-                            ProcessId::new(observer_ix),
-                            target,
-                        ));
-                        det <= end
-                    })
-                    .unwrap_or(false);
+                let removal_blocked = pattern.crash_time(target).is_some_and(|ct| {
+                    let det =
+                        ct.advance(self.detection_delay(seed, ProcessId::new(observer_ix), target));
+                    det <= end
+                });
                 observer_events.push((start, Edit::Add(target)));
                 if !removal_blocked {
                     observer_events.push((end, Edit::Remove(target)));

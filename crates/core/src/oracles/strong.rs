@@ -62,7 +62,7 @@ impl Oracle for StrongOracle {
         // suspects every correct process except the immune one — the
         // paper's "some process is falsely suspected" premise.
         for (observer_ix, observer_events) in events.iter_mut().enumerate() {
-            for target in pattern.correct().iter() {
+            for target in pattern.correct() {
                 if Some(target) == immune {
                     continue;
                 }

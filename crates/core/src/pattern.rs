@@ -204,7 +204,7 @@ impl FailurePattern {
         while chosen.len() < f {
             chosen.insert(ProcessId::new(rng.gen_range(0..n)));
         }
-        for pid in chosen.iter() {
+        for pid in chosen {
             let t = Time::new(rng.gen_range(0..horizon.ticks()));
             p.set_crash(pid, t);
         }

@@ -45,6 +45,30 @@ impl ProcessId {
         Self(index as u16)
     }
 
+    /// Creates a process identity from an **untrusted** dense index:
+    /// `None` when `index` falls outside the `n`-process fleet (or the
+    /// global [`MAX_PROCESSES`] cap).
+    ///
+    /// This is the constructor for wire-facing code: a corrupt or
+    /// foreign datagram can claim any sender index, and the panicking
+    /// [`ProcessId::new`] is forbidden there by `rfd-lint`'s
+    /// wire-safety rule.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfd_core::ProcessId;
+    ///
+    /// assert_eq!(ProcessId::try_new(3, 4), Some(ProcessId::new(3)));
+    /// assert_eq!(ProcessId::try_new(4, 4), None);
+    /// assert_eq!(ProcessId::try_new(9999, 4), None);
+    /// ```
+    #[must_use]
+    pub fn try_new(index: usize, n: usize) -> Option<Self> {
+        #[allow(clippy::cast_possible_truncation)]
+        (index < n && index < MAX_PROCESSES).then_some(Self(index as u16))
+    }
+
     /// Returns the dense index of this process.
     #[must_use]
     pub fn index(self) -> usize {

@@ -212,8 +212,8 @@ pub fn strong_completeness(
     params: &CheckParams,
 ) -> PropertyResult {
     let start = params.window_start();
-    for crashed in pattern.faulty().iter() {
-        for observer in pattern.correct().iter() {
+    for crashed in pattern.faulty() {
+        for observer in pattern.correct() {
             if let Some(at) = first_gap(history, observer, crashed, start, params.horizon) {
                 return Err(PropertyViolation::MissingSuspicion {
                     observer,
@@ -235,7 +235,7 @@ pub fn weak_completeness(
 ) -> PropertyResult {
     let start = params.window_start();
     let correct = pattern.correct();
-    for crashed in pattern.faulty().iter() {
+    for crashed in pattern.faulty() {
         let mut witness_gap = None;
         let found = correct.iter().any(|observer| {
             match first_gap(history, observer, crashed, start, params.horizon) {
@@ -266,8 +266,8 @@ pub fn partial_completeness(
     params: &CheckParams,
 ) -> PropertyResult {
     let start = params.window_start();
-    for crashed in pattern.faulty().iter() {
-        for observer in pattern.correct().iter() {
+    for crashed in pattern.faulty() {
+        for observer in pattern.correct() {
             if observer.index() <= crashed.index() {
                 continue;
             }
@@ -343,8 +343,8 @@ pub fn eventual_strong_accuracy(
 ) -> PropertyResult {
     let start = params.window_start();
     let correct = pattern.correct();
-    for observer in correct.iter() {
-        for suspect in correct.iter() {
+    for observer in correct {
+        for suspect in correct {
             if suspected_in_window(history, observer, suspect, start, params.horizon) {
                 let at = if history.value(observer, start).contains(suspect) {
                     start

@@ -1,0 +1,320 @@
+//! Source preparation: reduce a Rust file to the text the rules may see.
+//!
+//! The rules are substring/token matchers, so everything that is *not*
+//! executable library code must be blanked out first — otherwise a doc
+//! example, an error-message string or a unit test would trip the wire
+//! rules. Three passes:
+//!
+//! 1. [`strip`] blanks comments (line, nested block, doc) and the
+//!    contents of string/char/byte literals (escapes, raw strings with
+//!    any hash depth). Newlines are preserved so line numbers survive.
+//! 2. [`blank_test_mods`] blanks `#[cfg(test)] mod … { … }` regions
+//!    wholesale — test code is explicitly outside both rule sets.
+//! 3. [`directives`] parses the escape-hatch comments from the *raw*
+//!    source (they live in comments, which `strip` removes).
+
+use crate::{Violation, RULE_DIRECTIVE};
+
+/// Blanks comments and literal contents, preserving newlines and the
+/// byte positions of everything else (blanked chars become spaces).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn strip(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut prev_ident = false;
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        let c1 = chars.get(i + 1).copied();
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && c1 == Some('/') {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Block comment; Rust block comments nest.
+        if c == '/' && c1 == Some('*') {
+            let mut depth = 1usize;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        // Only when the `r`/`b` starts a token (not inside `attr`, `br0`…).
+        if !prev_ident && (c == 'r' || c == 'b') {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            let raw = chars.get(j) == Some(&'r');
+            if raw {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            if raw {
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            if chars.get(j) == Some(&'"') && (raw || c == 'b') {
+                for &prefix_char in chars.get(i..=j).unwrap_or_default() {
+                    out.push(blank(prefix_char));
+                }
+                i = j + 1;
+                if raw {
+                    while i < n {
+                        if chars[i] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && chars.get(i + 1 + h) == Some(&'#') {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                out.resize(out.len() + hashes + 1, ' ');
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                } else {
+                    scan_quoted(&chars, &mut i, &mut out, '"');
+                }
+                prev_ident = false;
+                continue;
+            }
+            if c == 'b' && c1 == Some('\'') {
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+                scan_quoted(&chars, &mut i, &mut out, '\'');
+                prev_ident = false;
+                continue;
+            }
+            // Plain identifier starting with r/b; fall through.
+        }
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            scan_quoted(&chars, &mut i, &mut out, '"');
+            prev_ident = false;
+            continue;
+        }
+        if c == '\'' {
+            // Char literal vs lifetime/label: `'x'` and `'\…'` are
+            // literals; `'a`, `'static`, `'outer:` are not.
+            let is_literal = c1 == Some('\\') || (c1.is_some() && chars.get(i + 2) == Some(&'\''));
+            if is_literal {
+                out.push(' ');
+                i += 1;
+                scan_quoted(&chars, &mut i, &mut out, '\'');
+                prev_ident = false;
+                continue;
+            }
+            out.push(c);
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        prev_ident = c.is_alphanumeric() || c == '_';
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Blanks chars up to and including the closing `quote`, honoring
+/// backslash escapes. `i` sits just past the opening quote on entry.
+fn scan_quoted(chars: &[char], i: &mut usize, out: &mut Vec<char>, quote: char) {
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while *i < chars.len() {
+        if chars[*i] == '\\' {
+            out.push(' ');
+            *i += 1;
+            if *i < chars.len() {
+                out.push(blank(chars[*i]));
+                *i += 1;
+            }
+            continue;
+        }
+        let done = chars[*i] == quote;
+        out.push(blank(chars[*i]));
+        *i += 1;
+        if done {
+            return;
+        }
+    }
+}
+
+/// Blanks every `#[cfg(test)] mod … { … }` region in already-stripped
+/// text (brace matching is only safe once strings and comments are
+/// gone). Attributes between the cfg and the `mod` keyword are blanked
+/// with the region.
+#[must_use]
+pub fn blank_test_mods(stripped: &str) -> String {
+    let mut chars: Vec<char> = stripped.chars().collect();
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut i = 0;
+    while i + needle.len() <= chars.len() {
+        if chars[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + needle.len();
+        // Skip whitespace and further attributes, then expect `mod`.
+        loop {
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'#') && chars.get(j + 1) == Some(&'[') {
+                let mut depth = 0usize;
+                while j < chars.len() {
+                    match chars[j] {
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let is_mod = chars.get(j..j + 3).is_some_and(|w| w == ['m', 'o', 'd'])
+            && chars
+                .get(j + 3)
+                .is_some_and(|c| !c.is_alphanumeric() && *c != '_');
+        if !is_mod {
+            i += needle.len();
+            continue;
+        }
+        // Brace-match from the module's opening brace.
+        while j < chars.len() && chars[j] != '{' {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < chars.len() {
+            match chars[j] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for c in chars.iter_mut().take(j).skip(start) {
+            if *c != '\n' {
+                *c = ' ';
+            }
+        }
+        i = j;
+    }
+    chars.into_iter().collect()
+}
+
+/// One parsed escape-hatch directive: suppresses `rule` violations on
+/// source line `covers` (1-indexed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The line the directive applies to: its own line for a trailing
+    /// comment, the following line for a standalone comment line.
+    pub covers: usize,
+    /// The rule name being waived.
+    pub rule: String,
+}
+
+// Built by concatenation so this file's own source never contains the
+// contiguous marker and cannot be parsed as a directive.
+const MARKER: &str = concat!("rfd-lint", ": ", "allow");
+
+/// Parses the escape-hatch comments from raw source. A directive
+/// without a justification is itself a violation — the whole point of
+/// the hatch is that every waiver explains itself.
+#[must_use]
+pub fn directives(file: &str, source: &str) -> (Vec<Allow>, Vec<Violation>) {
+    let mut allows = Vec::new();
+    let mut violations = Vec::new();
+    for (ix, line) in source.lines().enumerate() {
+        let lineno = ix + 1;
+        let Some(comment_at) = line.find("//") else {
+            continue;
+        };
+        let comment = &line[comment_at..];
+        let Some(marker_at) = comment.find(MARKER) else {
+            continue;
+        };
+        let rest = &comment[marker_at + MARKER.len()..];
+        let covers = if line[..comment_at].trim().is_empty() {
+            lineno + 1
+        } else {
+            lineno
+        };
+        let parsed = parse_allow_args(rest);
+        match parsed {
+            Some((rule, justification)) if !justification.is_empty() => {
+                allows.push(Allow {
+                    covers,
+                    rule: rule.to_owned(),
+                });
+            }
+            _ => violations.push(Violation {
+                file: file.to_owned(),
+                line: lineno,
+                rule: RULE_DIRECTIVE,
+                message: "malformed escape directive: expected \
+                          `allow(<rule>, <justification>)` with a non-empty \
+                          justification"
+                    .to_owned(),
+            }),
+        }
+    }
+    (allows, violations)
+}
+
+/// Splits `(<rule>, <justification>)` out of the text following the
+/// directive marker. Returns trimmed rule and justification.
+fn parse_allow_args(rest: &str) -> Option<(&str, &str)> {
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.rfind(')')?;
+    let body = &inner[..close];
+    let comma = body.find(',')?;
+    Some((body[..comma].trim(), body[comma + 1..].trim()))
+}

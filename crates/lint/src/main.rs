@@ -1,0 +1,18 @@
+//! The `rfd-lint` binary: lints the whole workspace, prints findings,
+//! exits non-zero if any. This is what CI runs before clippy.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = rfd_lint::workspace_root();
+    let violations = rfd_lint::lint_workspace(&root);
+    if violations.is_empty() {
+        println!("rfd-lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for violation in &violations {
+        println!("{violation}");
+    }
+    eprintln!("rfd-lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,195 @@
+//! The determinism and wire-safety rules: token/path pattern matching
+//! over stripped source (see [`crate::lexer`]).
+
+use crate::{Context, Violation, RULE_DETERMINISM, RULE_WIRE_SAFETY};
+
+/// Substring patterns whose presence (token-boundary-checked) breaks
+/// the determinism contract: iteration-order-nondeterministic
+/// containers, wall-clock reads, real sleeps, and entropy-seeded RNGs.
+const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order is nondeterministic; use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order is nondeterministic; use BTreeSet",
+    ),
+    ("Instant::now", "wall-clock read outside clock.rs"),
+    ("SystemTime::now", "wall-clock read outside clock.rs"),
+    ("thread::sleep", "real sleep outside clock.rs"),
+    ("thread_rng", "entropy-seeded RNG; use a seeded StdRng"),
+    ("from_entropy", "entropy-seeded RNG; use a seeded StdRng"),
+];
+
+/// Substring patterns that can panic on attacker-controlled input in
+/// datagram-facing modules.
+const WIRE_PATTERNS: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "panics on malformed input; drop the frame instead",
+    ),
+    (
+        ".expect(",
+        "panics on malformed input; drop the frame instead",
+    ),
+    ("panic!", "reachable from an arbitrary datagram"),
+    (
+        "ProcessId::new(",
+        "panics out-of-range; use ProcessId::try_new and drop the frame",
+    ),
+];
+
+/// Scans one stripped source line for every rule active in `ctx`,
+/// appending violations (1-indexed `lineno`) to `out`.
+pub fn scan_line(file: &str, lineno: usize, line: &str, ctx: Context, out: &mut Vec<Violation>) {
+    if ctx.determinism {
+        for &(pat, why) in DETERMINISM_PATTERNS {
+            if contains_token(line, pat) {
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: lineno,
+                    rule: RULE_DETERMINISM,
+                    message: format!("`{pat}`: {why}"),
+                });
+            }
+        }
+    }
+    if ctx.wire_safety {
+        for &(pat, why) in WIRE_PATTERNS {
+            if contains_token(line, pat) {
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: lineno,
+                    rule: RULE_WIRE_SAFETY,
+                    message: format!("`{pat}`: {why}"),
+                });
+            }
+        }
+        if let Some(col) = find_indexing(line) {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: lineno,
+                rule: RULE_WIRE_SAFETY,
+                message: format!(
+                    "unchecked slice indexing at column {}: panics out-of-bounds; \
+                     use .get()/.get_mut() and drop the frame",
+                    col + 1
+                ),
+            });
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Substring match with identifier boundaries on whichever ends of the
+/// pattern are themselves identifier chars — so `HashMap` does not hit
+/// `MyHashMapLike`, while `.unwrap()` matches exactly.
+fn contains_token(line: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(pat) {
+        let at = from + pos;
+        let before_ok = !pat.chars().next().is_some_and(is_ident_char)
+            || !line[..at].chars().next_back().is_some_and(is_ident_char);
+        let after_ok = !pat.chars().next_back().is_some_and(is_ident_char)
+            || !line[at + pat.len()..]
+                .chars()
+                .next()
+                .is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+/// Keywords that may legally precede `[` without forming an index
+/// expression (slice patterns, array types, macro names and friends).
+const NON_INDEX_WORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false",
+    "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "true", "type", "union", "unsafe", "use",
+    "where", "while",
+];
+
+/// Detects an index *expression*: a `[` whose preceding non-space token
+/// is a call/index result (`)`, `]`) or an identifier that is not a
+/// keyword. Array literals/types, slice patterns, attributes (`#[`) and
+/// macros (`vec![`) all fail that test and pass the rule.
+fn find_indexing(line: &str) -> Option<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    for (col, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut k = col;
+        while k > 0 && chars[k - 1] == ' ' {
+            k -= 1;
+        }
+        if k == 0 {
+            continue;
+        }
+        let prev = chars[k - 1];
+        if prev == ')' || prev == ']' {
+            return Some(col);
+        }
+        if is_ident_char(prev) {
+            let mut start = k - 1;
+            while start > 0 && is_ident_char(chars[start - 1]) {
+                start -= 1;
+            }
+            if start > 0 && chars[start - 1] == '\'' {
+                continue; // `&'a [u8]`: a lifetime, not an index base
+            }
+            let word: String = chars[start..k].iter().collect();
+            if !NON_INDEX_WORDS.contains(&word.as_str()) {
+                return Some(col);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire_hits(line: &str) -> usize {
+        let mut out = Vec::new();
+        scan_line(
+            "t.rs",
+            1,
+            line,
+            Context {
+                determinism: false,
+                wire_safety: true,
+            },
+            &mut out,
+        );
+        out.len()
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(contains_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_token("struct MyHashMapLike;", "HashMap"));
+        assert!(contains_token("x.unwrap()", ".unwrap()"));
+        assert!(!contains_token("x.unwrap_or(0)", ".unwrap()"));
+    }
+
+    #[test]
+    fn indexing_detection() {
+        assert_eq!(wire_hits("let x = buf[0];"), 1);
+        assert_eq!(wire_hits("let x = f()[1];"), 1);
+        assert_eq!(wire_hits("m[0][1]"), 1);
+        assert_eq!(wire_hits("let [a, b] = pair;"), 0);
+        assert_eq!(wire_hits("let a: [u8; 4] = [0; 4];"), 0);
+        assert_eq!(wire_hits("#[derive(Debug)]"), 0);
+        assert_eq!(wire_hits("let v = vec![1, 2];"), 0);
+        assert_eq!(wire_hits("for [a, b] in pairs {}"), 0);
+    }
+}

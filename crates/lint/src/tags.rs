@@ -1,0 +1,283 @@
+//! Wire-tag exhaustiveness: a new tag cannot ship half-wired.
+//!
+//! The tag constants in `codec.rs`'s `pub mod tags` are the single
+//! source of truth. For every constant this pass requires agreement in
+//! five places:
+//!
+//! 1. an encode site `put_u8(tags::NAME)`,
+//! 2. a decode match arm `tags::NAME =>`,
+//! 3. a `WireMsg` variant with the CamelCase name,
+//! 4. a `WireView` variant with the CamelCase name (and both enums
+//!    carry exactly one variant per tag),
+//! 5. a row in the ARCHITECTURE.md tag table whose first cell lists the
+//!    tag's numeric value (combined rows like `6 / 7` count for both).
+
+use crate::lexer::strip;
+use crate::{Violation, RULE_WIRE_TAGS};
+
+/// Runs the five-place cross-check over the codec source and the
+/// architecture doc. `codec_file`/`arch_file` are display labels.
+#[must_use]
+pub fn check_tags(
+    codec_file: &str,
+    codec_src: &str,
+    arch_file: &str,
+    arch_md: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let stripped = strip(codec_src);
+    let tags = parse_tag_consts(&stripped);
+    if tags.is_empty() {
+        out.push(Violation {
+            file: codec_file.to_owned(),
+            line: 1,
+            rule: RULE_WIRE_TAGS,
+            message: "no `pub mod tags` constants found in codec".to_owned(),
+        });
+        return out;
+    }
+    let flat = normalize_ws(&stripped);
+    for (name, _) in &tags {
+        if !flat.contains(&format!("put_u8(tags::{name})")) {
+            out.push(tag_violation(
+                codec_file,
+                format!("tag `{name}` has no encode site `put_u8(tags::{name})`"),
+            ));
+        }
+        if !flat.contains(&format!("tags::{name} =>")) {
+            out.push(tag_violation(
+                codec_file,
+                format!("tag `{name}` has no decode match arm `tags::{name} =>`"),
+            ));
+        }
+    }
+    for enum_name in ["WireMsg", "WireView"] {
+        match enum_variants(&stripped, enum_name) {
+            Some(variants) => {
+                for (name, _) in &tags {
+                    let want = camel_case(name);
+                    if !variants.contains(&want) {
+                        out.push(tag_violation(
+                            codec_file,
+                            format!("tag `{name}` has no `{enum_name}::{want}` variant"),
+                        ));
+                    }
+                }
+                if variants.len() != tags.len() {
+                    out.push(tag_violation(
+                        codec_file,
+                        format!(
+                            "`{enum_name}` has {} variants but there are {} tags",
+                            variants.len(),
+                            tags.len()
+                        ),
+                    ));
+                }
+            }
+            None => out.push(tag_violation(
+                codec_file,
+                format!("enum `{enum_name}` not found in codec"),
+            )),
+        }
+    }
+    match arch_table_values(arch_md) {
+        Some(documented) => {
+            for (name, value) in &tags {
+                if !documented.contains(value) {
+                    out.push(Violation {
+                        file: arch_file.to_owned(),
+                        line: 1,
+                        rule: RULE_WIRE_TAGS,
+                        message: format!(
+                            "tag `{name}` = {value} is missing from the ARCHITECTURE.md tag table"
+                        ),
+                    });
+                }
+            }
+            for value in &documented {
+                if !tags.iter().any(|(_, v)| v == value) {
+                    out.push(Violation {
+                        file: arch_file.to_owned(),
+                        line: 1,
+                        rule: RULE_WIRE_TAGS,
+                        message: format!(
+                            "ARCHITECTURE.md documents tag {value}, which codec.rs does not define"
+                        ),
+                    });
+                }
+            }
+        }
+        None => out.push(Violation {
+            file: arch_file.to_owned(),
+            line: 1,
+            rule: RULE_WIRE_TAGS,
+            message: "no tag table (header row containing `Tag`) found in ARCHITECTURE.md"
+                .to_owned(),
+        }),
+    }
+    out
+}
+
+fn tag_violation(file: &str, message: String) -> Violation {
+    Violation {
+        file: file.to_owned(),
+        line: 1,
+        rule: RULE_WIRE_TAGS,
+        message,
+    }
+}
+
+/// Extracts `(NAME, value)` pairs from `pub const NAME: u8 = N;` lines
+/// inside the `mod tags { … }` block of stripped codec source.
+fn parse_tag_consts(stripped: &str) -> Vec<(String, u8)> {
+    let Some(mod_at) = stripped.find("mod tags") else {
+        return Vec::new();
+    };
+    let body = &stripped[mod_at..];
+    let Some(open) = body.find('{') else {
+        return Vec::new();
+    };
+    let mut depth = 0usize;
+    let mut end = body.len();
+    for (ix, c) in body[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + ix;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut tags = Vec::new();
+    for line in body[open..end].lines() {
+        let Some(after_const) = line.trim().strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((name, rest)) = after_const.split_once(':') else {
+            continue;
+        };
+        let Some((_, value)) = rest.split_once('=') else {
+            continue;
+        };
+        if let Ok(v) = value.trim().trim_end_matches(';').trim().parse::<u8>() {
+            tags.push((name.trim().to_owned(), v));
+        }
+    }
+    tags
+}
+
+/// Top-level variant names of `pub enum <name>` in stripped source.
+/// Relies on rustfmt layout: each variant opens on its own line at
+/// nesting depth 1 inside the enum braces.
+fn enum_variants(stripped: &str, name: &str) -> Option<Vec<String>> {
+    let decl_at = stripped.find(&format!("pub enum {name}"))?;
+    let body = &stripped[decl_at..];
+    let open = body.find('{')?;
+    let mut depth = 0usize;
+    let mut variants = Vec::new();
+    let mut at_line_start_depth = None;
+    for line in body[open..].lines() {
+        let start_depth = depth;
+        for c in line.chars() {
+            match c {
+                '{' | '(' | '[' => depth += 1,
+                '}' | ')' | ']' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if at_line_start_depth.is_none() {
+            // First line holds the opening brace itself.
+            at_line_start_depth = Some(());
+            continue;
+        }
+        if start_depth == 1 {
+            let trimmed = line.trim();
+            if trimmed
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            {
+                let ident: String = trimmed
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                variants.push(ident);
+            }
+        }
+        if depth == 0 {
+            break;
+        }
+    }
+    Some(variants)
+}
+
+/// `VIEW_CHANGE` → `ViewChange`.
+fn camel_case(upper_snake: &str) -> String {
+    upper_snake
+        .split('_')
+        .map(|word| {
+            let mut cs = word.chars();
+            match cs.next() {
+                Some(first) => first.to_string() + cs.as_str().to_lowercase().as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// The numeric tag values documented in ARCHITECTURE.md: all integers
+/// in the first cell of each data row of the first table whose header
+/// row contains a `Tag` cell.
+fn arch_table_values(arch_md: &str) -> Option<Vec<u8>> {
+    let mut lines = arch_md.lines();
+    lines.find(|line| {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        line.trim_start().starts_with('|') && cells.contains(&"Tag")
+    })?;
+    let mut values = Vec::new();
+    for line in lines {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            break;
+        }
+        let first_cell = trimmed
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("");
+        if first_cell
+            .trim()
+            .chars()
+            .all(|c| matches!(c, '-' | ':' | ' '))
+        {
+            continue; // the `|---|` separator row
+        }
+        for piece in first_cell.split(|c: char| !c.is_ascii_digit()) {
+            if let Ok(v) = piece.parse::<u8>() {
+                values.push(v);
+            }
+        }
+    }
+    Some(values)
+}
+
+fn normalize_ws(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_ws = false;
+    for c in text.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+            }
+            in_ws = true;
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    out
+}

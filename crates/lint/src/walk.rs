@@ -1,0 +1,54 @@
+//! Workspace discovery: which files the pass runs over.
+//!
+//! The lint covers every library source tree — `crates/*/src`, the
+//! root facade's `src/`, and the vendored subsets' `vendor/*/src` —
+//! because a determinism leak in a vendored shim voids the experiment
+//! table just as surely as one in first-party code. Tests, benches and
+//! examples are *not* walked (and `#[cfg(test)]` modules inside walked
+//! files are blanked): the invariants protect the simulated/online
+//! runtime paths, not the harnesses that drive them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved from this crate's own manifest dir.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| manifest.to_path_buf(), Path::to_path_buf)
+}
+
+/// Every `.rs` file under the workspace's library source trees, sorted
+/// for deterministic report order.
+#[must_use]
+pub fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for group in ["crates", "vendor"] {
+        let Ok(entries) = fs::read_dir(root.join(group)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            collect_rs(&entry.path().join("src"), &mut files);
+        }
+    }
+    collect_rs(&root.join("src"), &mut files);
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, into: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, into);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            into.push(path);
+        }
+    }
+}

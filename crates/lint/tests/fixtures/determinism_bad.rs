@@ -1,0 +1,18 @@
+//! Known-bad fixture for the determinism rule: every forbidden pattern
+//! appears once in token position. This file is test data, never
+//! compiled — the lint test feeds it through `lint_source` under a
+//! non-allowlisted virtual path.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn sample() -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let started = std::time::Instant::now();
+    let stamp = std::time::SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let mut rng = rand::thread_rng();
+    let other = rand::rngs::StdRng::from_entropy();
+    counts.len() as u64 + seen.len() as u64
+}

@@ -1,0 +1,16 @@
+//! Escaped twin of `determinism_bad.rs`: the same forbidden patterns,
+//! each waived by a justified escape directive — trailing on some
+//! lines, standalone-above on others, to exercise both bindings. The
+//! lint test asserts this file produces zero violations.
+
+use std::collections::HashMap; // rfd-lint: allow(determinism, fixture exercises the trailing escape form)
+
+fn sample() -> u64 {
+    // rfd-lint: allow(determinism, fixture exercises the standalone escape form)
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let started = std::time::Instant::now(); // rfd-lint: allow(determinism, fixture wall-clock read is never executed)
+    std::thread::sleep(std::time::Duration::from_millis(1)); // rfd-lint: allow(determinism, fixture sleep is never executed)
+    // rfd-lint: allow(determinism, fixture RNG is never constructed)
+    let mut rng = rand::thread_rng();
+    counts.len() as u64
+}

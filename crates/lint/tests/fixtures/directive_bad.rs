@@ -1,0 +1,9 @@
+//! Fixture with malformed escape directives: one without any
+//! justification argument, one with an empty justification. Both must
+//! be flagged by the directive rule — an unexplained waiver is worse
+//! than the violation it hides.
+
+// rfd-lint: allow(determinism)
+fn first() {}
+
+fn second() {} // rfd-lint: allow(wire-safety, )

@@ -1,0 +1,15 @@
+//! Known-bad fixture for the wire-safety rule: every forbidden pattern
+//! appears once. The lint test feeds it through `lint_source` under a
+//! datagram-facing virtual path (and separately under a non-wire path,
+//! where it must pass untouched).
+
+fn on_frame(payload: &[u8]) -> u64 {
+    let first = payload[0];
+    let second = payload.get(1).unwrap();
+    let parsed = core::str::from_utf8(payload).expect("utf8 frame");
+    if parsed.is_empty() {
+        panic!("malformed frame");
+    }
+    let sender = ProcessId::new(usize::from(first));
+    u64::from(*second) + sender.index() as u64
+}

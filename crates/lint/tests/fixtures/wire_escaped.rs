@@ -1,0 +1,15 @@
+//! Escaped twin of `wire_bad.rs`: the same forbidden patterns, each
+//! waived with a justification. The lint test asserts zero violations
+//! even under a datagram-facing virtual path.
+
+fn on_frame(payload: &[u8]) -> u64 {
+    let first = payload[0]; // rfd-lint: allow(wire-safety, fixture index is guarded by the caller's length check)
+    let second = payload.get(1).unwrap(); // rfd-lint: allow(wire-safety, fixture unwrap follows an is_empty guard)
+    if payload.is_empty() {
+        // rfd-lint: allow(wire-safety, fixture panic is unreachable behind the guard)
+        panic!("malformed frame");
+    }
+    // rfd-lint: allow(wire-safety, fixture id is driver-chosen and bounded)
+    let sender = ProcessId::new(usize::from(first));
+    u64::from(*second) + sender.index() as u64
+}

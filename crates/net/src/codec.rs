@@ -36,6 +36,32 @@ use rfd_core::{ProcessId, ProcessSet};
 
 const MAGIC: u16 = 0xFD02; // "failure detector, DSN'02"
 
+/// The wire tag constants — one per frame kind, single source of truth.
+///
+/// Every tag must appear in the encode dispatch, in
+/// [`decode_borrowed`]'s match, as a [`WireMsg`]/[`WireView`] variant,
+/// and as a row of ARCHITECTURE.md's tag table; `rfd-lint`'s wire-tag
+/// exhaustiveness check cross-checks all five places so a new tag
+/// cannot ship half-wired.
+pub mod tags {
+    /// [`Heartbeat`](super::Heartbeat) liveness evidence.
+    pub const HEARTBEAT: u8 = 1;
+    /// [`ViewChange`](super::ViewChange) coordinator announcements.
+    pub const VIEW_CHANGE: u8 = 2;
+    /// [`Command`](super::Command) client-command gossip.
+    pub const COMMAND: u8 = 3;
+    /// [`ConsensusFrame`](super::ConsensusFrame) slot-scoped consensus.
+    pub const CONSENSUS: u8 = 4;
+    /// [`DecidedMsg`](super::DecidedMsg) TRB-style decision relay.
+    pub const DECIDED: u8 = 5;
+    /// [`SyncRequest`](super::SyncRequest) state-transfer request.
+    pub const SYNC_REQUEST: u8 = 6;
+    /// [`SyncReply`](super::SyncReply) state-transfer chunk.
+    pub const SYNC_REPLY: u8 = 7;
+    /// [`Batch`](super::WireMsg::Batch) coalesced frames.
+    pub const BATCH: u8 = 8;
+}
+
 /// Hard cap on log entries per [`SyncReply`] datagram: keeps every
 /// chunk under a typical MTU and bounds what a corrupt length field can
 /// make the decoder allocate.
@@ -249,11 +275,29 @@ impl<'a> Iterator for BatchIter<'a> {
             return None;
         }
         self.remaining -= 1;
-        let len = usize::from(self.rest.get_u16());
-        let (frame, tail) = self.rest.split_at(len);
+        // [`decode_borrowed`] validated every sub-frame before handing
+        // out the view, so these checks cannot fire — but the iterator
+        // stays total anyway: on any inconsistency it ends the batch
+        // instead of panicking on attacker-reachable state.
+        let (prefix, after_len) = split_checked(self.rest, 2)?;
+        let len = usize::from(u16::from_be_bytes(prefix.try_into().ok()?));
+        let (frame, tail) = split_checked(after_len, len)?;
         self.rest = tail;
-        Some(decode_borrowed(frame).expect("batch was validated by decode_borrowed"))
+        match decode_borrowed(frame) {
+            Ok(view) => Some(view),
+            Err(_) => {
+                debug_assert!(false, "batch was validated by decode_borrowed");
+                self.remaining = 0;
+                None
+            }
+        }
     }
+}
+
+/// `split_at` without the panic: `None` when `data` is shorter than
+/// `mid`.
+fn split_checked(data: &[u8], mid: usize) -> Option<(&[u8], &[u8])> {
+    (data.len() >= mid).then(|| data.split_at(mid))
 }
 
 /// A decoded wire message that borrows variable-length payloads from
@@ -350,22 +394,22 @@ fn encode_frame(msg: &WireMsg, b: &mut Vec<u8>) {
     b.put_u16(MAGIC);
     match msg {
         WireMsg::Heartbeat(hb) => {
-            b.put_u8(1);
+            b.put_u8(tags::HEARTBEAT);
             b.put_u16(hb.sender);
             b.put_u64(hb.seq);
             b.put_u64(hb.sent_at.as_nanos());
         }
         WireMsg::ViewChange(vc) => {
-            b.put_u8(2);
+            b.put_u8(tags::VIEW_CHANGE);
             b.put_u64(vc.view_id);
             b.put_u128(vc.members);
         }
         WireMsg::Command(c) => {
-            b.put_u8(3);
+            b.put_u8(tags::COMMAND);
             b.put_u64(c.value);
         }
         WireMsg::Consensus(frame) => {
-            b.put_u8(4);
+            b.put_u8(tags::CONSENSUS);
             b.put_u64(frame.slot);
             match &frame.msg {
                 RotatingMsg::Estimate { r, ts, v } => {
@@ -394,14 +438,14 @@ fn encode_frame(msg: &WireMsg, b: &mut Vec<u8>) {
             }
         }
         WireMsg::Decided(d) => {
-            b.put_u8(5);
+            b.put_u8(tags::DECIDED);
             b.put_u64(d.index);
             b.put_u64(d.view_id);
             b.put_u128(d.view_members);
             b.put_u64(d.value);
         }
         WireMsg::SyncRequest(s) => {
-            b.put_u8(6);
+            b.put_u8(tags::SYNC_REQUEST);
             b.put_u64(s.from_index);
         }
         WireMsg::SyncReply(s) => {
@@ -410,7 +454,7 @@ fn encode_frame(msg: &WireMsg, b: &mut Vec<u8>) {
                 "SyncReply overflows a chunk: {} entries",
                 s.entries.len()
             );
-            b.put_u8(7);
+            b.put_u8(tags::SYNC_REPLY);
             b.put_u64(s.start);
             #[allow(clippy::cast_possible_truncation)]
             b.put_u16(s.entries.len() as u16);
@@ -433,7 +477,7 @@ fn put_batch_body(frames: &[WireMsg], b: &mut Vec<u8>) {
         "Batch overflows a datagram: {} frames",
         frames.len()
     );
-    b.put_u8(8);
+    b.put_u8(tags::BATCH);
     #[allow(clippy::cast_possible_truncation)]
     b.put_u8(frames.len() as u8);
     for sub in frames {
@@ -497,7 +541,7 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
         return Err(DecodeError::Malformed);
     }
     match data.get_u8() {
-        1 => {
+        tags::HEARTBEAT => {
             if data.len() < 2 + 8 + 8 {
                 return Err(DecodeError::Truncated);
             }
@@ -507,7 +551,7 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
                 sent_at: Nanos::from_nanos(data.get_u64()),
             }))
         }
-        2 => {
+        tags::VIEW_CHANGE => {
             if data.len() < 8 + 16 {
                 return Err(DecodeError::Truncated);
             }
@@ -516,7 +560,7 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
                 members: data.get_u128(),
             }))
         }
-        3 => {
+        tags::COMMAND => {
             if data.len() < 8 {
                 return Err(DecodeError::Truncated);
             }
@@ -524,7 +568,7 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
                 value: data.get_u64(),
             }))
         }
-        4 => {
+        tags::CONSENSUS => {
             if data.len() < 8 + 1 {
                 return Err(DecodeError::Truncated);
             }
@@ -555,7 +599,7 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
             };
             Ok(WireView::Consensus(ConsensusFrame { slot, msg }))
         }
-        5 => {
+        tags::DECIDED => {
             if data.len() < 8 + 8 + 16 + 8 {
                 return Err(DecodeError::Truncated);
             }
@@ -566,7 +610,7 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
                 value: data.get_u64(),
             }))
         }
-        6 => {
+        tags::SYNC_REQUEST => {
             if data.len() < 8 {
                 return Err(DecodeError::Truncated);
             }
@@ -574,7 +618,7 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
                 from_index: data.get_u64(),
             }))
         }
-        7 => {
+        tags::SYNC_REPLY => {
             if data.len() < 8 + 2 {
                 return Err(DecodeError::Truncated);
             }
@@ -583,15 +627,12 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
             if count > MAX_SYNC_ENTRIES {
                 return Err(DecodeError::Malformed);
             }
-            if data.len() < count * SYNC_ENTRY_LEN {
+            let Some(raw) = data.get(..count * SYNC_ENTRY_LEN) else {
                 return Err(DecodeError::Truncated);
-            }
-            Ok(WireView::SyncReply(SyncReplyView {
-                start,
-                raw: &data[..count * SYNC_ENTRY_LEN],
-            }))
+            };
+            Ok(WireView::SyncReply(SyncReplyView { start, raw }))
         }
-        8 => {
+        tags::BATCH => {
             if data.is_empty() {
                 return Err(DecodeError::Truncated);
             }

@@ -66,9 +66,9 @@ impl<E: ArrivalEstimator + Clone> HeartbeatDetector<E> {
     pub fn suspects(&self, now: Nanos) -> ProcessSet {
         let mut s = ProcessSet::empty();
         for (ix, est) in self.monitors.iter().enumerate() {
-            if let Some(est) = est {
+            if let (Some(est), Some(pid)) = (est, ProcessId::try_new(ix, self.monitors.len())) {
                 if est.is_suspect(now) {
-                    s.insert(ProcessId::new(ix));
+                    s.insert(pid);
                 }
             }
         }
@@ -116,6 +116,9 @@ pub struct DetectorNode<E, T, C> {
     /// The heartbeat payload of the previous period, reclaimed and
     /// refilled each period once the network has dropped its clones.
     scratch: Option<Bytes>,
+    /// Datagrams dropped because they failed to decode or carried an
+    /// out-of-range sender index.
+    malformed_frames: u64,
 }
 
 impl<E, T, C> DetectorNode<E, T, C>
@@ -143,16 +146,27 @@ where
             n,
             rx_buf: Vec::new(),
             scratch: None,
+            malformed_frames: 0,
         }
     }
 
-    /// Folds one decoded heartbeat into the detector.
+    /// Datagrams dropped as malformed: undecodable bytes, or a frame
+    /// whose claimed sender index falls outside the fleet. Well-formed
+    /// frames of other protocol layers are *not* counted — ignoring
+    /// them is routine multiplexing, not damage.
+    #[must_use]
+    pub fn malformed_frames(&self) -> u64 {
+        self.malformed_frames
+    }
+
+    /// Folds one decoded heartbeat into the detector. A corrupt or
+    /// foreign datagram can claim any sender index, so the id is built
+    /// with the checked constructor; out-of-range frames are dropped
+    /// and counted.
     fn note_heartbeat(&mut self, hb: &Heartbeat, delivered_at: Nanos) {
-        // Out-of-range guard: `ProcessId::new` panics at 128, and a
-        // corrupt or foreign datagram can claim any sender.
-        if usize::from(hb.sender) < self.n {
-            self.detector
-                .on_heartbeat(ProcessId::new(usize::from(hb.sender)), delivered_at);
+        match ProcessId::try_new(usize::from(hb.sender), self.n) {
+            Some(from) => self.detector.on_heartbeat(from, delivered_at),
+            None => self.malformed_frames += 1,
         }
     }
 
@@ -173,7 +187,8 @@ where
                         }
                     }
                 }
-                _ => {}
+                Ok(_) => {}
+                Err(_) => self.malformed_frames += 1,
             }
         }
         self.rx_buf = rx;
@@ -194,8 +209,7 @@ where
                 .unwrap_or_default();
             encode_into(&hb, &mut buf);
             let payload = buf.freeze();
-            for ix in 0..self.n {
-                let to = ProcessId::new(ix);
+            for to in ProcessSet::full(self.n) {
                 if to != self.transport.me() {
                     self.transport.send(to, payload.clone());
                 }

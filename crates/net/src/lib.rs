@@ -50,6 +50,7 @@
 //! assert!(report.detection_time.is_some(), "the crash is detected");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 

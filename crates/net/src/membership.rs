@@ -96,6 +96,9 @@ pub struct MembershipNode<E, T, C> {
     batch_buf: Option<Bytes>,
     /// Reusable frame list for [`encode_batch_into`].
     batch_scratch: Vec<WireMsg>,
+    /// Datagrams/frames dropped because they failed to decode or
+    /// carried an out-of-range sender index.
+    malformed_frames: u64,
 }
 
 impl<E, T, C> MembershipNode<E, T, C>
@@ -129,7 +132,17 @@ where
             vc_scratch: None,
             batch_buf: None,
             batch_scratch: Vec::new(),
+            malformed_frames: 0,
         }
+    }
+
+    /// Datagrams/frames dropped as malformed: undecodable bytes, or a
+    /// heartbeat whose claimed sender index falls outside the fleet.
+    /// Frames of other protocol layers multiplexed over the same socket
+    /// are *not* counted.
+    #[must_use]
+    pub fn malformed_frames(&self) -> u64 {
+        self.malformed_frames
     }
 
     /// Enables **partition-heal view reconciliation** (builder style).
@@ -246,8 +259,9 @@ where
                 // of the drain matches the old leave-it-queued behavior.
                 break;
             }
-            if let Ok(view) = decode_borrowed(&dg.payload) {
-                self.on_wire_view(&view, dg.delivered_at);
+            match decode_borrowed(&dg.payload) {
+                Ok(view) => self.on_wire_view(&view, dg.delivered_at),
+                Err(_) => self.malformed_frames += 1,
             }
         }
         self.rx_buf = rx;
@@ -258,14 +272,14 @@ where
     }
 
     fn on_heartbeat_frame(&mut self, hb: &Heartbeat, delivered_at: Nanos) {
-        // Out-of-range guard: a corrupt or foreign datagram can
-        // carry any sender index; `ProcessId::new` would panic at
-        // 128 and the detector has no monitor beyond `n`.
-        let sender = usize::from(hb.sender);
-        if sender >= self.n {
+        // A corrupt or foreign datagram can carry any sender index;
+        // the detector has no monitor beyond `n` (and `ProcessId::new`
+        // would panic at 128), so out-of-range senders are dropped and
+        // counted instead.
+        let Some(from) = ProcessId::try_new(usize::from(hb.sender), self.n) else {
+            self.malformed_frames += 1;
             return;
-        }
-        let from = ProcessId::new(sender);
+        };
         // Heal-merge mode listens to everyone: a heartbeat
         // from outside the view is exactly the liveness
         // evidence a rejoin needs.
@@ -331,7 +345,7 @@ where
     /// Sends `payload` to every process except this one, restricted to
     /// `targets`.
     fn fan_out(&self, targets: ProcessSet, payload: &Bytes) {
-        for to in targets.iter() {
+        for to in targets {
             if to != self.transport.me() {
                 self.transport.send(to, payload.clone());
             }
@@ -400,8 +414,7 @@ where
                     encode_batch_into(&frames, &mut both_buf);
                     let both = both_buf.freeze();
                     self.batch_scratch = frames;
-                    for ix in 0..self.n {
-                        let to = ProcessId::new(ix);
+                    for to in ProcessSet::full(self.n) {
                         if to == self.transport.me() {
                             continue;
                         }
@@ -541,12 +554,13 @@ pub fn run_membership<E: ArrivalEstimator + Clone>(
         .with_loss(scenario.loss)
         .with_seed(scenario.seed);
     let net = InMemoryNetwork::new(n, config, clock.clone());
-    let mut nodes: Vec<_> = (0..n)
-        .map(|ix| {
+    let mut nodes: Vec<_> = ProcessSet::full(n)
+        .iter()
+        .map(|pid| {
             MembershipNode::new(
                 n,
                 prototype.clone(),
-                net.endpoint(ProcessId::new(ix)),
+                net.endpoint(pid),
                 clock.clone(),
                 scenario.period,
             )
@@ -566,14 +580,14 @@ pub fn run_membership<E: ArrivalEstimator + Clone>(
                 net.take_down(*pid);
             }
         }
-        for (ix, node) in nodes.iter_mut().enumerate() {
-            if !crashed.contains(ProcessId::new(ix)) {
+        for (pid, node) in ProcessSet::full(n).iter().zip(nodes.iter_mut()) {
+            if !crashed.contains(pid) {
                 node.poll();
             }
         }
         let tick = Time::new(now.as_millis());
-        for (ix, node) in nodes.iter().enumerate() {
-            emulated.set_from(ProcessId::new(ix), tick, node.emulated_suspects());
+        for (pid, node) in ProcessSet::full(n).iter().zip(nodes.iter()) {
+            emulated.set_from(pid, tick, node.emulated_suspects());
         }
         clock.advance(step);
     }
@@ -581,13 +595,13 @@ pub fn run_membership<E: ArrivalEstimator + Clone>(
     // correct node's final view.
     let correct = pattern.correct();
     let mut falsely_excluded = ProcessSet::empty();
-    for ix in 0..n {
-        let pid = ProcessId::new(ix);
-        if correct.contains(pid) {
-            for other in correct.iter() {
-                if !nodes[other.index()].view().members.contains(pid) {
-                    falsely_excluded.insert(pid);
-                }
+    for pid in correct {
+        for other in correct {
+            let excluded_by_other = nodes
+                .get(other.index())
+                .is_some_and(|node| !node.view().members.contains(pid));
+            if excluded_by_other {
+                falsely_excluded.insert(pid);
             }
         }
     }
@@ -794,8 +808,11 @@ mod tests {
                 }
                 clock.advance(ms(1));
             }
-            let views: Vec<_> = nodes.iter().map(|node| node.view()).collect();
-            let installed: Vec<_> = nodes.iter().map(|n| n.views_installed()).collect();
+            let views: Vec<_> = nodes.iter().map(super::MembershipNode::view).collect();
+            let installed: Vec<_> = nodes
+                .iter()
+                .map(super::MembershipNode::views_installed)
+                .collect();
             (views, installed, net.stats().0)
         };
         let (views_on, installed_on, messages_on) = run(true);

@@ -453,7 +453,7 @@ where
             let flips = suspects
                 .union(self.last_suspects[ix])
                 .difference(suspects.intersection(self.last_suspects[ix]));
-            for target in flips.iter() {
+            for target in flips {
                 events.push(OnlineEvent::Suspicion {
                     observer: ProcessId::new(ix),
                     target,
@@ -749,7 +749,7 @@ impl MembershipWatcher {
             return;
         };
         let excluded = authoritative_members.complement_within(self.n);
-        for p in excluded.iter() {
+        for p in excluded {
             if self.excluded_at[p.index()].is_none() {
                 self.excluded_at[p.index()] = Some(now);
                 if !self.down.contains(p) && self.first_crash[p.index()].is_none() {

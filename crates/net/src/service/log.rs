@@ -112,7 +112,7 @@ impl ReplicatedLog {
         let from = usize::try_from(index)
             .unwrap_or(usize::MAX)
             .min(self.entries.len());
-        &self.entries[from..]
+        self.entries.get(from..).unwrap_or(&[])
     }
 
     /// Entries adopted via state transfer over the log's lifetime.
@@ -164,7 +164,9 @@ impl ReplicatedLog {
                 outcome.adopted += 1;
                 continue;
             }
-            let local = self.entries[index as usize];
+            let Some(&local) = self.entries.get(index as usize) else {
+                break;
+            };
             if local.value == value {
                 continue;
             }

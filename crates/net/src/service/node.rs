@@ -27,6 +27,15 @@ const GOSSIP_BATCH: usize = 8;
 /// the codec's allocation caps.
 const FUTURE_WINDOW: u64 = 1024;
 
+/// How far above the local log tail an incoming consensus frame's slot
+/// may point. The `SlotDriver` arena is a dense per-slot `Vec`, so
+/// without this gate a single forged `Consensus` frame with a huge slot
+/// forces an allocation of that size (a remotely triggered abort, found
+/// by the `wire_fuzz` battery). Correct peers run consensus at most a
+/// few slots ahead of any live log; partitioned stragglers catch up via
+/// state transfer, not by joining far-future rounds.
+const SLOT_HORIZON: u64 = 1024;
+
 /// A typed event produced by one [`DecisionService::poll`].
 #[derive(Clone, Debug)]
 pub enum ServiceOutput {
@@ -107,6 +116,10 @@ pub struct DecisionService<E, T, C> {
     /// Reusable entry list for copying a borrowed sync-reply view out of
     /// its datagram before the merge (which needs a contiguous slice).
     sync_scratch: Vec<(u64, u64, u128)>,
+    /// Datagrams dropped because they failed to decode. Undecodable
+    /// bytes never touch any protocol layer — the service's graceful
+    /// drop-and-count posture toward arbitrary wire input.
+    malformed_frames: u64,
 }
 
 impl<E, T, C> DecisionService<E, T, C>
@@ -137,6 +150,7 @@ where
             rx_buf: Vec::new(),
             consensus_in: Vec::new(),
             sync_scratch: Vec::new(),
+            malformed_frames: 0,
         }
     }
 
@@ -189,6 +203,14 @@ where
         self.pool.len()
     }
 
+    /// Datagrams this node dropped as undecodable, plus malformed
+    /// frames its membership layer dropped (out-of-range heartbeat
+    /// senders). Rejected input changes no protocol state.
+    #[must_use]
+    pub fn malformed_frames(&self) -> u64 {
+        self.malformed_frames + self.membership.malformed_frames()
+    }
+
     /// The membership-emulated Perfect-detector output this node feeds
     /// its consensus instances.
     #[must_use]
@@ -229,8 +251,17 @@ where
             }
             WireView::Command(c) => self.learn_command(c.value),
             WireView::Consensus(cf) => {
-                if from.index() < self.n {
+                // Gate the slot before it reaches the driver's arena:
+                // `SlotDriver` stores slots in a dense `Vec`, so an
+                // attacker-chosen far-future slot would force an
+                // allocation of that size (found by `wire_fuzz`). A
+                // correct peer only runs consensus within a bounded
+                // window above its log; anything further is dropped and
+                // counted like an undecodable frame.
+                if from.index() < self.n && cf.slot < self.log.len().saturating_add(SLOT_HORIZON) {
                     consensus_in.push((cf.slot, from, cf.msg.clone()));
+                } else if from.index() < self.n {
+                    self.malformed_frames += 1;
                 }
             }
             WireView::Decided(d) => self.on_decided(from, d, events),
@@ -278,6 +309,7 @@ where
                 break;
             }
             let Ok(frame) = decode_borrowed(&dg.payload) else {
+                self.malformed_frames += 1;
                 continue;
             };
             halted = self.route_frame(
@@ -311,7 +343,7 @@ where
                 let req = encode(&WireMsg::SyncRequest(SyncRequest {
                     from_index: self.log.len(),
                 }));
-                for to in view.members.iter() {
+                for to in view.members {
                     if to != self.me() {
                         self.send_raw(to, req.clone());
                     }
@@ -348,13 +380,11 @@ where
             // GOSSIP_BATCH is small and fixed: snapshot the commands
             // into a stack array (broadcasting mutates nothing, but the
             // borrow checker cannot see that through `&mut self`).
-            let mut batch = [0u64; GOSSIP_BATCH];
-            let mut count = 0;
-            for &value in self.pool.iter().take(GOSSIP_BATCH) {
-                batch[count] = value;
-                count += 1;
+            let mut batch = [None; GOSSIP_BATCH];
+            for (slot, &value) in batch.iter_mut().zip(self.pool.iter()) {
+                *slot = Some(value);
             }
-            for &value in &batch[..count] {
+            for value in batch.into_iter().flatten() {
                 self.broadcast(&WireMsg::Command(Command { value }));
             }
         }
@@ -551,8 +581,7 @@ where
 
     fn broadcast(&self, msg: &WireMsg) {
         let payload = encode(msg);
-        for ix in 0..self.n {
-            let to = ProcessId::new(ix);
+        for to in ProcessSet::full(self.n) {
             if to != self.me() {
                 self.send_raw(to, payload.clone());
             }

@@ -11,7 +11,7 @@ use crate::membership::View;
 use crate::online::OnlineScenario;
 use crate::online::{apply_due_faults, Fault, MembershipChurnReport, MembershipWatcher};
 use crate::transport::{ChurnableTransport, Endpoint, InMemoryNetwork, NetworkConfig, Transport};
-use rfd_core::ProcessId;
+use rfd_core::{ProcessId, ProcessSet};
 
 /// A service scenario: an [`OnlineScenario`] (fleet size, network,
 /// fault schedule, duration) plus the client workload — the typed
@@ -141,17 +141,18 @@ impl ServiceReport {
     /// full log — the post-heal convergence E13 gates on.
     #[must_use]
     pub fn live_logs_converged(&self) -> bool {
-        let mut live = (0..self.logs.len()).filter(|&ix| self.up[ix] && !self.halted[ix]);
-        let Some(first) = live.next() else {
+        let mut live = self
+            .logs
+            .iter()
+            .zip(self.up.iter().zip(&self.halted))
+            .filter(|(_, (&up, &halted))| up && !halted)
+            .map(|(log, _)| log);
+        let Some(reference) = live.next() else {
             return true;
         };
-        let reference: Vec<u64> = self.logs[first].iter().map(|d| d.value).collect();
-        live.all(|ix| {
-            self.logs[ix].len() == reference.len()
-                && self.logs[ix]
-                    .iter()
-                    .zip(&reference)
-                    .all(|(d, v)| d.value == *v)
+        live.all(|log| {
+            log.len() == reference.len()
+                && log.iter().zip(reference).all(|(d, r)| d.value == r.value)
         })
     }
 
@@ -244,7 +245,10 @@ impl<E: ArrivalEstimator + Clone> ServiceRunner<E> {
             .with_loss(scenario.online.loss)
             .with_seed(scenario.online.seed);
         let net = InMemoryNetwork::new(n, config, clock.clone());
-        let endpoints = (0..n).map(|ix| net.endpoint(ProcessId::new(ix))).collect();
+        let endpoints = ProcessSet::full(n)
+            .iter()
+            .map(|pid| net.endpoint(pid))
+            .collect();
         Self::over(prototype, scenario, endpoints, net, clock)
     }
 }
@@ -280,7 +284,7 @@ where
             .into_iter()
             .enumerate()
             .map(|(ix, endpoint)| {
-                assert_eq!(endpoint.me(), ProcessId::new(ix), "endpoints out of order");
+                assert_eq!(endpoint.me().index(), ix, "endpoints out of order");
                 let node = DecisionService::new(
                     n,
                     prototype.clone(),
@@ -325,6 +329,7 @@ where
     /// Read access to one node (e.g. its live log mid-run).
     #[must_use]
     pub fn node(&self, ix: usize) -> &DecisionService<E, T, C> {
+        // rfd-lint: allow(wire-safety, harness accessor with a documented panic contract; ix is caller-chosen and never datagram-derived)
         &self.nodes[ix]
     }
 
@@ -363,18 +368,21 @@ where
                 break;
             }
             self.next_command += 1;
-            if node.index() < self.nodes.len()
-                && self.up[node.index()]
-                && self.nodes[node.index()].propose(value)
+            let up = self.up.get(node.index()).copied().unwrap_or(false);
+            if up
+                && self
+                    .nodes
+                    .get_mut(node.index())
+                    .is_some_and(|target| target.propose(value))
             {
                 events.push(ServiceEvent::Submitted { at, node, value });
             }
         }
-        for (ix, node) in self.nodes.iter_mut().enumerate() {
-            if !self.up[ix] {
+        for (node, &up) in self.nodes.iter_mut().zip(&self.up) {
+            if !up {
                 continue;
             }
-            let me = ProcessId::new(ix);
+            let me = node.me();
             for output in node.poll() {
                 match output {
                     ServiceOutput::Decided(decision) => {
@@ -408,11 +416,11 @@ where
             now,
             self.nodes
                 .iter()
-                .enumerate()
-                .filter(|(ix, node)| self.up[*ix] && !node.is_halted())
-                .map(|(ix, node)| {
+                .zip(&self.up)
+                .filter(|(node, &up)| up && !node.is_halted())
+                .map(|(node, _)| {
                     let v = node.view();
-                    (ProcessId::new(ix), v.id, v.members)
+                    (node.me(), v.id, v.members)
                 }),
         );
         self.clock

@@ -301,11 +301,13 @@ impl<T: Transport, C: Clock> Transport for FaultyTransport<T, C> {
         for ix in start..into.len() {
             let crosses = g
                 .partition
+                // rfd-lint: allow(wire-safety, ix is loop-bounded by into.len(); compaction needs positional reads)
                 .is_some_and(|side| side.contains(into[ix].from) != side.contains(me));
             if crosses {
                 g.dropped += 1;
             } else {
                 into.swap(kept, ix);
+                // rfd-lint: allow(wire-safety, kept <= ix < into.len() holds on every iteration of the compaction loop)
                 into[kept].delivered_at = now;
                 kept += 1;
             }

@@ -301,17 +301,22 @@ impl InMemoryNetwork {
                 (Some(f), Some(h)) if f.min(h).0 <= now => f < h,
                 _ => break,
             };
-            let m = if from_fifo {
-                g.fifo.pop_front().expect("peeked")
+            let popped = if from_fifo {
+                g.fifo.pop_front()
             } else {
-                g.in_flight.pop().expect("peeked")
+                g.in_flight.pop()
             };
+            // The chosen queue was just peeked non-empty under the same
+            // lock, so `popped` is always `Some`; breaking (instead of
+            // unwrapping) keeps the pump total regardless.
+            let Some(m) = popped else { break };
             if g.down.contains(m.datagram.to) {
                 continue;
             }
-            let to = m.datagram.to.index();
             g.delivered += 1;
-            g.inboxes[to].push_back(m.datagram);
+            if let Some(inbox) = g.inboxes.get_mut(m.datagram.to.index()) {
+                inbox.push_back(m.datagram);
+            }
         }
     }
 
@@ -387,7 +392,7 @@ impl InMemoryNetwork {
         if g.down.contains(me) {
             return None;
         }
-        g.inboxes[me.index()].pop_front()
+        g.inboxes.get_mut(me.index()).and_then(VecDeque::pop_front)
     }
 
     /// Drains every datagram currently deliverable to `me` into `into`
@@ -400,7 +405,9 @@ impl InMemoryNetwork {
         if g.down.contains(me) {
             return 0;
         }
-        let inbox = &mut g.inboxes[me.index()];
+        let Some(inbox) = g.inboxes.get_mut(me.index()) else {
+            return 0;
+        };
         let count = inbox.len();
         into.extend(inbox.drain(..));
         count

@@ -77,10 +77,13 @@ impl Transport for UdpTransport {
                     let Some(from) = self.peer_of(addr) else {
                         continue; // stranger datagram: drop
                     };
+                    let Some(bytes) = buf.get(..len) else {
+                        continue; // cannot happen: recv_from bounds len
+                    };
                     return Some(Datagram {
                         from,
                         to: self.me,
-                        payload: Bytes::copy_from_slice(&buf[..len]),
+                        payload: Bytes::copy_from_slice(bytes),
                         delivered_at: self.clock.now(),
                     });
                 }
@@ -97,6 +100,8 @@ impl Transport for UdpTransport {
 /// # Errors
 ///
 /// Returns the first socket error encountered.
+/// Fails with [`std::io::ErrorKind::InvalidInput`] if `n` exceeds
+/// [`rfd_core::MAX_PROCESSES`].
 pub fn loopback_cluster(n: usize) -> std::io::Result<Vec<UdpTransport>> {
     // First bind everyone on port 0 to discover addresses...
     let sockets: Vec<UdpSocket> = (0..n)
@@ -112,8 +117,14 @@ pub fn loopback_cluster(n: usize) -> std::io::Result<Vec<UdpTransport>> {
         .enumerate()
         .map(|(ix, socket)| {
             socket.set_nonblocking(true)?;
+            let me = ProcessId::try_new(ix, n).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "cluster size exceeds MAX_PROCESSES",
+                )
+            })?;
             Ok(UdpTransport {
-                me: ProcessId::new(ix),
+                me,
                 socket,
                 peers: peers.clone(),
                 clock: SystemClock::new(),

@@ -131,7 +131,7 @@ proptest! {
             bytes[2] = 8;
         }
         let owned = decode(&bytes);
-        let borrowed = decode_borrowed(&bytes).map(|v| v.into_owned());
+        let borrowed = decode_borrowed(&bytes).map(rfd_net::codec::WireView::into_owned);
         prop_assert_eq!(owned, borrowed);
     }
 
@@ -160,7 +160,7 @@ proptest! {
         // decoding each sub-frame individually equals direct encoding.
         let view = decode_borrowed(&via_owned).expect("valid batch");
         let sub: Vec<WireMsg> = match view {
-            rfd_net::codec::WireView::Batch(batch) => batch.iter().map(|v| v.into_owned()).collect(),
+            rfd_net::codec::WireView::Batch(batch) => batch.iter().map(rfd_net::codec::WireView::into_owned).collect(),
             other => { prop_assert!(false, "borrowed batch decoded to {:?}", other); unreachable!() }
         };
         for (msg, direct) in sub.iter().zip(&frames) {

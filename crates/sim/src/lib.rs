@@ -43,6 +43,7 @@
 //! assert!(result.trace.messages_delivered <= result.trace.messages_sent);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -205,7 +205,7 @@ impl<'a, A: Automaton> StreamRun<'a, A> {
             .pattern()
             .crashed_at(now)
             .difference(self.reported_crashed);
-        for pid in newly_crashed.iter() {
+        for pid in newly_crashed {
             let at = self
                 .scheduler
                 .pattern()

@@ -78,13 +78,13 @@ proptest! {
         // Every correct process must have received a token from every
         // process that managed to take a step before crashing.
         let correct = f.correct();
-        for receiver in correct.iter() {
+        for receiver in correct {
             let got: Vec<usize> = result
                 .trace
                 .outputs_of(receiver)
                 .map(|e| e.value)
                 .collect();
-            for sender in correct.iter() {
+            for sender in correct {
                 if sender != receiver {
                     prop_assert!(
                         got.contains(&sender.index()),

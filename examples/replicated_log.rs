@@ -60,7 +60,7 @@ fn main() {
         .expect("some correct replica");
     println!("survivors: {correct}");
     println!("log length: {} commands", reference.len());
-    for p in correct.iter() {
+    for p in correct {
         assert_eq!(
             logs[p.index()],
             reference,

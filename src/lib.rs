@@ -58,6 +58,7 @@
 //! See `examples/` for end-to-end scenarios and `EXPERIMENTS.md` for the
 //! experiment-by-experiment reproduction of the paper's results.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 /// The formal model layer (re-export of [`rfd_core`]).
