@@ -78,6 +78,12 @@ pub struct SlotDriver<C: ConsensusCore> {
     /// [`SlotDriver::tick`] visits them in the same order the old
     /// `BTreeMap` iteration did.
     open_slots: Vec<u64>,
+    /// First slot the arena covers: `slots[0]` is slot `base`. Raised
+    /// by [`SlotDriver::advance_base`] when a snapshot install retires
+    /// a whole prefix at once — keeping the arena sized by the *live*
+    /// window rather than by absolute log position, so installing a
+    /// snapshot at slot 10⁶ does not allocate 10⁶ arena entries.
+    base: u64,
 }
 
 /// One arena entry: the lifecycle of a log slot.
@@ -110,33 +116,70 @@ impl<C: ConsensusCore> SlotDriver<C> {
             n,
             slots: Vec::new(),
             open_slots: Vec::new(),
+            base: 0,
         }
     }
 
-    /// Grows the arena to cover `slot` and returns its index.
-    fn ensure(&mut self, slot: u64) -> usize {
-        let ix = usize::try_from(slot).expect("slot index fits in memory");
+    /// The arena index of `slot`, or `None` if it fell below the base
+    /// (retired wholesale by [`SlotDriver::advance_base`]).
+    fn index_of(&self, slot: u64) -> Option<usize> {
+        let off = slot.checked_sub(self.base)?;
+        usize::try_from(off).ok()
+    }
+
+    /// Grows the arena to cover `slot` and returns its index; `None`
+    /// for slots below the base.
+    fn ensure(&mut self, slot: u64) -> Option<usize> {
+        let ix = self.index_of(slot)?;
         if ix >= self.slots.len() {
             self.slots
                 .resize_with(ix + 1, || SlotState::Pending(Vec::new()));
         }
-        ix
+        Some(ix)
+    }
+
+    /// Retires every slot below `floor` in O(dropped): their cores and
+    /// buffered traffic are gone, [`SlotDriver::decision`] for them
+    /// returns `None`, and incoming traffic for them is dropped. Called
+    /// on snapshot install, where the decisions below the snapshot
+    /// boundary are summarised externally. No-op if `floor` is at or
+    /// below the current base.
+    pub fn advance_base(&mut self, floor: u64) {
+        let Some(drop) = floor.checked_sub(self.base) else {
+            return;
+        };
+        if drop == 0 {
+            return;
+        }
+        let drop = usize::try_from(drop)
+            .unwrap_or(usize::MAX)
+            .min(self.slots.len());
+        self.slots.drain(..drop);
+        self.open_slots.retain(|&s| s >= floor);
+        self.base = floor;
+    }
+
+    /// The first slot the arena still covers; slots below it were
+    /// retired by [`SlotDriver::advance_base`].
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// Whether `slot` currently has a live (open, undecided) core.
     #[must_use]
     pub fn is_open(&self, slot: u64) -> bool {
-        usize::try_from(slot)
-            .ok()
+        self.index_of(slot)
             .and_then(|ix| self.slots.get(ix))
             .is_some_and(|s| matches!(s, SlotState::Open(_)))
     }
 
     /// The decision of `slot`, if it has one (locally decided or
-    /// externally resolved).
+    /// externally resolved) and the slot has not been retired below the
+    /// base.
     #[must_use]
     pub fn decision(&self, slot: u64) -> Option<&C::Val> {
-        match usize::try_from(slot).ok().and_then(|ix| self.slots.get(ix)) {
+        match self.index_of(slot).and_then(|ix| self.slots.get(ix)) {
             Some(SlotState::Decided(v)) => Some(v),
             _ => None,
         }
@@ -154,7 +197,9 @@ impl<C: ConsensusCore> SlotDriver<C> {
         proposal: C::Val,
         suspects: ProcessSet,
     ) -> (Vec<SlotSend<C::Msg>>, Option<C::Val>) {
-        let ix = self.ensure(slot);
+        let Some(ix) = self.ensure(slot) else {
+            return (Vec::new(), None);
+        };
         let SlotState::Pending(backlog) = &mut self.slots[ix] else {
             return (Vec::new(), None);
         };
@@ -176,8 +221,8 @@ impl<C: ConsensusCore> SlotDriver<C> {
     }
 
     /// Routes one incoming slot-scoped message. Traffic for a decided
-    /// slot is dropped; traffic for a slot not opened locally is
-    /// buffered until [`SlotDriver::open`] replays it.
+    /// or base-retired slot is dropped; traffic for a slot not opened
+    /// locally is buffered until [`SlotDriver::open`] replays it.
     pub fn on_message(
         &mut self,
         slot: u64,
@@ -185,7 +230,9 @@ impl<C: ConsensusCore> SlotDriver<C> {
         msg: &C::Msg,
         suspects: ProcessSet,
     ) -> (Vec<SlotSend<C::Msg>>, Option<C::Val>) {
-        let ix = self.ensure(slot);
+        let Some(ix) = self.ensure(slot) else {
+            return (Vec::new(), None);
+        };
         match &mut self.slots[ix] {
             SlotState::Decided(_) => (Vec::new(), None),
             SlotState::Pending(backlog) => {
@@ -224,9 +271,12 @@ impl<C: ConsensusCore> SlotDriver<C> {
 
     /// Records a decision learned out of band (decision relay, state
     /// transfer), dropping the slot's core and any buffered traffic.
-    /// No-op if the slot already holds a decision.
+    /// No-op if the slot already holds a decision or fell below the
+    /// base.
     pub fn resolve(&mut self, slot: u64, value: C::Val) {
-        let ix = self.ensure(slot);
+        let Some(ix) = self.ensure(slot) else {
+            return;
+        };
         if matches!(self.slots[ix], SlotState::Decided(_)) {
             return;
         }
@@ -245,7 +295,7 @@ impl<C: ConsensusCore> SlotDriver<C> {
         suspects: ProcessSet,
         sends: &mut Vec<SlotSend<C::Msg>>,
     ) -> Option<C::Val> {
-        let ix = usize::try_from(slot).ok()?;
+        let ix = self.index_of(slot)?;
         let Some(SlotState::Open(core)) = self.slots.get_mut(ix) else {
             return None;
         };
@@ -365,6 +415,44 @@ mod tests {
         // And resolve never overwrites an existing decision.
         d.resolve(0, 99);
         assert_eq!(d.decision(0), Some(&6));
+    }
+
+    #[test]
+    fn advance_base_retires_a_prefix_without_allocating_for_it() {
+        let mut d: Driver = SlotDriver::new(p(1), 4);
+        let _ = d.open(0, 5, ProcessSet::empty());
+        d.resolve(1, 7);
+        assert!(d.is_open(0));
+        assert_eq!(d.decision(1), Some(&7));
+
+        // A snapshot install at a huge absolute slot: the arena must
+        // not grow to cover the retired prefix.
+        d.advance_base(1_000_000_000);
+        assert_eq!(d.base(), 1_000_000_000);
+        assert!(!d.is_open(0), "open core below the base is dropped");
+        assert_eq!(d.decision(1), None, "retired decisions are gone");
+
+        // Traffic for retired slots is dropped quietly...
+        let (sends, decided) = d.on_message(
+            3,
+            p(0),
+            &crate::consensus::RotatingMsg::Ack { r: 0 },
+            ProcessSet::empty(),
+        );
+        assert!(sends.is_empty() && decided.is_none());
+        d.resolve(5, 9);
+        assert_eq!(d.decision(5), None);
+
+        // ...while slots at the new base work in O(live window).
+        let (_, none) = d.open(1_000_000_000, 42, ProcessSet::empty());
+        assert!(none.is_none());
+        assert!(d.is_open(1_000_000_000));
+        d.resolve(1_000_000_000, 42);
+        assert_eq!(d.decision(1_000_000_000), Some(&42));
+
+        // Lowering the base is a no-op.
+        d.advance_base(0);
+        assert_eq!(d.base(), 1_000_000_000);
     }
 
     #[test]

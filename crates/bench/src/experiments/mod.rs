@@ -1,14 +1,16 @@
-//! The experiment suite: one module per derived experiment E1–E13.
+//! The experiment suite: one module per derived experiment E1–E14.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; each
 //! experiment here regenerates one of its theorems, constructions or
-//! counterexamples as an empirical table. See `DESIGN.md` §3 for the
-//! index and `EXPERIMENTS.md` for the recorded outputs.
+//! counterexamples as an empirical table. `docs/EXPERIMENTS.md` is the
+//! handbook: per experiment, the claim it reproduces, the paper
+//! section, how to run it, and what pins it.
 
 pub mod e10_lattice;
 pub mod e11_online;
 pub mod e12_reconverge;
 pub mod e13_service;
+pub mod e14_rejoin;
 pub mod e1_totality;
 pub mod e2_reduction;
 pub mod e3_trb;
@@ -47,6 +49,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E11B", e11_online::run_membership_ablation),
         ("E12", e12_reconverge::run_experiment),
         ("E13", e13_service::run_experiment),
+        ("E14", e14_rejoin::run_experiment),
     ]
 }
 

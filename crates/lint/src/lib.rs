@@ -145,7 +145,8 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
 
 /// Lints the whole workspace rooted at `root`: every library source
 /// tree (see [`source_files`]) plus the wire-tag cross-check between
-/// `crates/net/src/codec.rs` and `ARCHITECTURE.md`.
+/// `crates/net/src/codec.rs` and the two tag tables — ARCHITECTURE.md's
+/// summary and the authoritative frame reference `docs/WIRE.md`.
 #[must_use]
 pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     let mut violations = Vec::new();
@@ -167,8 +168,14 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     }
     let codec_rel = "crates/net/src/codec.rs";
     let arch_rel = "ARCHITECTURE.md";
+    let wire_rel = "docs/WIRE.md";
     let codec = fs::read_to_string(root.join(codec_rel)).unwrap_or_default();
     let arch = fs::read_to_string(root.join(arch_rel)).unwrap_or_default();
-    violations.extend(check_tags(codec_rel, &codec, arch_rel, &arch));
+    let wire = fs::read_to_string(root.join(wire_rel)).unwrap_or_default();
+    violations.extend(check_tags(
+        codec_rel,
+        &codec,
+        &[(arch_rel, arch.as_str()), (wire_rel, wire.as_str())],
+    ));
     violations
 }

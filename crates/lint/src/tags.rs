@@ -9,21 +9,20 @@
 //! 3. a `WireMsg` variant with the CamelCase name,
 //! 4. a `WireView` variant with the CamelCase name (and both enums
 //!    carry exactly one variant per tag),
-//! 5. a row in the ARCHITECTURE.md tag table whose first cell lists the
-//!    tag's numeric value (combined rows like `6 / 7` count for both).
+//! 5. a row in the tag table of **every** checked markdown doc
+//!    (ARCHITECTURE.md's summary table and docs/WIRE.md's reference)
+//!    whose first cell lists the tag's numeric value (combined rows
+//!    like `6 / 7` count for both).
 
 use crate::lexer::strip;
 use crate::{Violation, RULE_WIRE_TAGS};
 
-/// Runs the five-place cross-check over the codec source and the
-/// architecture doc. `codec_file`/`arch_file` are display labels.
+/// Runs the five-place cross-check over the codec source and the given
+/// markdown docs. `codec_file` and each doc's first element are display
+/// labels; every doc must carry a tag table that lists exactly the
+/// codec's tag values.
 #[must_use]
-pub fn check_tags(
-    codec_file: &str,
-    codec_src: &str,
-    arch_file: &str,
-    arch_md: &str,
-) -> Vec<Violation> {
+pub fn check_tags(codec_file: &str, codec_src: &str, docs: &[(&str, &str)]) -> Vec<Violation> {
     let mut out = Vec::new();
     let stripped = strip(codec_src);
     let tags = parse_tag_consts(&stripped);
@@ -80,40 +79,41 @@ pub fn check_tags(
             )),
         }
     }
-    match arch_table_values(arch_md) {
-        Some(documented) => {
-            for (name, value) in &tags {
-                if !documented.contains(value) {
-                    out.push(Violation {
-                        file: arch_file.to_owned(),
-                        line: 1,
-                        rule: RULE_WIRE_TAGS,
-                        message: format!(
-                            "tag `{name}` = {value} is missing from the ARCHITECTURE.md tag table"
-                        ),
-                    });
+    for (doc_file, doc_md) in docs {
+        match doc_table_values(doc_md) {
+            Some(documented) => {
+                for (name, value) in &tags {
+                    if !documented.contains(value) {
+                        out.push(Violation {
+                            file: (*doc_file).to_owned(),
+                            line: 1,
+                            rule: RULE_WIRE_TAGS,
+                            message: format!(
+                                "tag `{name}` = {value} is missing from the {doc_file} tag table"
+                            ),
+                        });
+                    }
+                }
+                for value in &documented {
+                    if !tags.iter().any(|(_, v)| v == value) {
+                        out.push(Violation {
+                            file: (*doc_file).to_owned(),
+                            line: 1,
+                            rule: RULE_WIRE_TAGS,
+                            message: format!(
+                                "{doc_file} documents tag {value}, which codec.rs does not define"
+                            ),
+                        });
+                    }
                 }
             }
-            for value in &documented {
-                if !tags.iter().any(|(_, v)| v == value) {
-                    out.push(Violation {
-                        file: arch_file.to_owned(),
-                        line: 1,
-                        rule: RULE_WIRE_TAGS,
-                        message: format!(
-                            "ARCHITECTURE.md documents tag {value}, which codec.rs does not define"
-                        ),
-                    });
-                }
-            }
+            None => out.push(Violation {
+                file: (*doc_file).to_owned(),
+                line: 1,
+                rule: RULE_WIRE_TAGS,
+                message: format!("no tag table (header row containing `Tag`) found in {doc_file}"),
+            }),
         }
-        None => out.push(Violation {
-            file: arch_file.to_owned(),
-            line: 1,
-            rule: RULE_WIRE_TAGS,
-            message: "no tag table (header row containing `Tag`) found in ARCHITECTURE.md"
-                .to_owned(),
-        }),
     }
     out
 }
@@ -229,10 +229,10 @@ fn camel_case(upper_snake: &str) -> String {
         .collect()
 }
 
-/// The numeric tag values documented in ARCHITECTURE.md: all integers
+/// The numeric tag values documented in a markdown doc: all integers
 /// in the first cell of each data row of the first table whose header
 /// row contains a `Tag` cell.
-fn arch_table_values(arch_md: &str) -> Option<Vec<u8>> {
+fn doc_table_values(arch_md: &str) -> Option<Vec<u8>> {
     let mut lines = arch_md.lines();
     lines.find(|line| {
         let cells: Vec<&str> = line.split('|').map(str::trim).collect();

@@ -163,11 +163,15 @@ fn live(rel: &str) -> String {
 
 #[test]
 fn tag_cross_check_is_clean_on_the_live_tree() {
+    let arch = live("ARCHITECTURE.md");
+    let wire = live("docs/WIRE.md");
     let violations = check_tags(
         "crates/net/src/codec.rs",
         &live("crates/net/src/codec.rs"),
-        "ARCHITECTURE.md",
-        &live("ARCHITECTURE.md"),
+        &[
+            ("ARCHITECTURE.md", arch.as_str()),
+            ("docs/WIRE.md", wire.as_str()),
+        ],
     );
     assert!(
         violations.is_empty(),
@@ -177,14 +181,13 @@ fn tag_cross_check_is_clean_on_the_live_tree() {
 
 #[test]
 fn tag_cross_check_fails_when_architecture_drifts() {
-    // Renumber the Batch row: the doc now documents tag 9, which the
+    // Renumber the Batch row: the doc now documents tag 99, which the
     // codec does not define, and stops documenting tag 8.
-    let doctored = live("ARCHITECTURE.md").replace("| 8 | `Batch`", "| 9 | `Batch`");
+    let doctored = live("ARCHITECTURE.md").replace("| 8 | `Batch`", "| 99 | `Batch`");
     let violations = check_tags(
         "crates/net/src/codec.rs",
         &live("crates/net/src/codec.rs"),
-        "ARCHITECTURE.md",
-        &doctored,
+        &[("ARCHITECTURE.md", doctored.as_str())],
     );
     assert!(
         violations
@@ -201,17 +204,44 @@ fn tag_cross_check_fails_when_architecture_drifts() {
 }
 
 #[test]
+fn tag_cross_check_fails_when_the_wire_reference_drifts() {
+    // A clean ARCHITECTURE.md does not excuse a stale docs/WIRE.md: a
+    // renumbered SnapshotReply row must flag against the wire reference.
+    let arch = live("ARCHITECTURE.md");
+    let doctored =
+        live("docs/WIRE.md").replace("| 10 | `SnapshotReply`", "| 100 | `SnapshotReply`");
+    let violations = check_tags(
+        "crates/net/src/codec.rs",
+        &live("crates/net/src/codec.rs"),
+        &[
+            ("ARCHITECTURE.md", arch.as_str()),
+            ("docs/WIRE.md", doctored.as_str()),
+        ],
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.file == "docs/WIRE.md" && v.message.contains("missing from")),
+        "stale wire reference not caught: {violations:?}"
+    );
+    assert!(
+        !violations.iter().any(|v| v.file == "ARCHITECTURE.md"),
+        "the clean doc must not flag: {violations:?}"
+    );
+}
+
+#[test]
 fn tag_cross_check_fails_on_a_half_wired_tag() {
     let codec = live("crates/net/src/codec.rs");
     // Remove the decode arm for Batch: the tag still encodes, still has
     // enum variants, but can no longer be decoded.
     let doctored = codec.replace("tags::BATCH =>", "255 =>");
     assert_ne!(codec, doctored, "replacement target must exist");
+    let arch = live("ARCHITECTURE.md");
     let violations = check_tags(
         "crates/net/src/codec.rs",
         &doctored,
-        "ARCHITECTURE.md",
-        &live("ARCHITECTURE.md"),
+        &[("ARCHITECTURE.md", arch.as_str())],
     );
     assert!(
         violations

@@ -10,7 +10,11 @@
 //! [`DecidedMsg`] relays decisions TRB-style, and
 //! [`SyncRequest`]/[`SyncReply`] implement post-heal state transfer.
 //! Tag 8 is a [`Batch`](WireMsg::Batch): every frame a node owes one
-//! destination in one tick, packed into a single datagram.
+//! destination in one tick, packed into a single datagram. Tags 9–10
+//! ([`SnapshotRequest`]/[`SnapshotReply`]) implement fast rejoin: a
+//! rejoiner whose log fell behind the compacted base receives a
+//! view-stamped prefix summary instead of a replay of history. The
+//! full field-layout reference lives in `docs/WIRE.md`.
 //!
 //! ## Allocation-free paths and the buffer-reuse contract
 //!
@@ -60,6 +64,10 @@ pub mod tags {
     pub const SYNC_REPLY: u8 = 7;
     /// [`Batch`](super::WireMsg::Batch) coalesced frames.
     pub const BATCH: u8 = 8;
+    /// [`SnapshotRequest`](super::SnapshotRequest) fast-rejoin request.
+    pub const SNAPSHOT_REQUEST: u8 = 9;
+    /// [`SnapshotReply`](super::SnapshotReply) compacted-prefix summary.
+    pub const SNAPSHOT_REPLY: u8 = 10;
 }
 
 /// Hard cap on log entries per [`SyncReply`] datagram: keeps every
@@ -144,6 +152,35 @@ pub struct SyncReply {
     pub entries: Vec<(u64, u64, u128)>,
 }
 
+/// A fast-rejoin request: "my log ends at `from_index`, which you said
+/// is below your compacted base — send me a snapshot instead". Issued
+/// when a [`SyncReply`] comes back starting *above* the requested
+/// index, the responder's signal that the prefix is compacted away.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotRequest {
+    /// Absolute length of the requester's log (first missing index).
+    pub from_index: u64,
+}
+
+/// A fast-rejoin reply: a view-stamped summary of the compacted prefix
+/// `[0, upto)` plus the first chunk of the retained tail (entries start
+/// at index `upto`, at most [`MAX_SYNC_ENTRIES`] per datagram — the
+/// requester pulls the rest with an ordinary [`SyncRequest`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotReply {
+    /// The summary covers decisions `[0, upto)`.
+    pub upto: u64,
+    /// Chained digest of the covered prefix.
+    pub digest: u64,
+    /// Id of the view the last covered decision was taken in.
+    pub view_id: u64,
+    /// Member bitmap of that view.
+    pub view_members: u128,
+    /// `(value, view_id, view_members)` per retained-tail entry,
+    /// consecutive from index `upto`.
+    pub entries: Vec<(u64, u64, u128)>,
+}
+
 /// Any wire message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireMsg {
@@ -164,6 +201,10 @@ pub enum WireMsg {
     /// A coalesced datagram: every frame a node owes one destination in
     /// one tick. Batches never nest.
     Batch(Vec<WireMsg>),
+    /// A fast-rejoin request (service layer).
+    SnapshotRequest(SnapshotRequest),
+    /// A fast-rejoin compacted-prefix summary (service layer).
+    SnapshotReply(SnapshotReply),
 }
 
 /// Encoding/decoding failure.
@@ -221,6 +262,56 @@ impl<'a> SyncReplyView<'a> {
     pub fn to_owned(&self) -> SyncReply {
         SyncReply {
             start: self.start,
+            entries: self.iter().collect(),
+        }
+    }
+}
+
+/// A borrowed view of a decoded [`SnapshotReply`]: the retained-tail
+/// entry array stays in the datagram; [`SnapshotReplyView::iter`] reads
+/// entries in place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotReplyView<'a> {
+    /// The summary covers decisions `[0, upto)`.
+    pub upto: u64,
+    /// Chained digest of the covered prefix.
+    pub digest: u64,
+    /// Id of the view the last covered decision was taken in.
+    pub view_id: u64,
+    /// Member bitmap of that view.
+    pub view_members: u128,
+    /// The raw entry array, exactly `len × 32` bytes.
+    raw: &'a [u8],
+}
+
+impl<'a> SnapshotReplyView<'a> {
+    /// Number of retained-tail entries included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.raw.len() / SYNC_ENTRY_LEN
+    }
+
+    /// Whether the reply carries no tail entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterates `(value, view_id, view_members)` tail entries in place.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u128)> + 'a {
+        self.raw
+            .chunks_exact(SYNC_ENTRY_LEN)
+            .map(|mut chunk| (chunk.get_u64(), chunk.get_u64(), chunk.get_u128()))
+    }
+
+    /// Copies the view into an owned [`SnapshotReply`].
+    #[must_use]
+    pub fn to_owned(&self) -> SnapshotReply {
+        SnapshotReply {
+            upto: self.upto,
+            digest: self.digest,
+            view_id: self.view_id,
+            view_members: self.view_members,
             entries: self.iter().collect(),
         }
     }
@@ -322,6 +413,10 @@ pub enum WireView<'a> {
     SyncReply(SyncReplyView<'a>),
     /// A coalesced datagram, borrowed from the datagram.
     Batch(BatchView<'a>),
+    /// A fast-rejoin request (service layer).
+    SnapshotRequest(SnapshotRequest),
+    /// A fast-rejoin summary, borrowed from the datagram.
+    SnapshotReply(SnapshotReplyView<'a>),
 }
 
 impl WireView<'_> {
@@ -339,6 +434,8 @@ impl WireView<'_> {
             WireView::Batch(batch) => {
                 WireMsg::Batch(batch.iter().map(WireView::into_owned).collect())
             }
+            WireView::SnapshotRequest(s) => WireMsg::SnapshotRequest(s),
+            WireView::SnapshotReply(view) => WireMsg::SnapshotReply(view.to_owned()),
         }
     }
 }
@@ -353,7 +450,7 @@ pub fn encoded_len(msg: &WireMsg) -> usize {
     let body = match msg {
         WireMsg::Heartbeat(_) => 2 + 8 + 8,
         WireMsg::ViewChange(_) => 8 + 16,
-        WireMsg::Command(_) | WireMsg::SyncRequest(_) => 8,
+        WireMsg::Command(_) | WireMsg::SyncRequest(_) | WireMsg::SnapshotRequest(_) => 8,
         WireMsg::Consensus(frame) => {
             8 + 1
                 + match frame.msg {
@@ -365,6 +462,7 @@ pub fn encoded_len(msg: &WireMsg) -> usize {
         }
         WireMsg::Decided(_) => 8 + 8 + 16 + 8,
         WireMsg::SyncReply(s) => 8 + 2 + s.entries.len() * SYNC_ENTRY_LEN,
+        WireMsg::SnapshotReply(s) => 8 + 8 + 8 + 16 + 2 + s.entries.len() * SYNC_ENTRY_LEN,
         WireMsg::Batch(frames) => 1 + frames.iter().map(|sub| 2 + encoded_len(sub)).sum::<usize>(),
     };
     2 + 1 + body
@@ -376,10 +474,10 @@ pub fn encoded_len(msg: &WireMsg) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if a [`SyncReply`] carries more than [`MAX_SYNC_ENTRIES`]
-/// entries, a [`Batch`](WireMsg::Batch) more than [`MAX_BATCH_FRAMES`]
-/// sub-frames, or a batch nests another batch — senders must chunk and
-/// flatten.
+/// Panics if a [`SyncReply`] or [`SnapshotReply`] carries more than
+/// [`MAX_SYNC_ENTRIES`] entries, a [`Batch`](WireMsg::Batch) more than
+/// [`MAX_BATCH_FRAMES`] sub-frames, or a batch nests another batch —
+/// senders must chunk and flatten.
 pub fn encode_into(msg: &WireMsg, buf: &mut BytesMut) {
     // One uniqueness check for the whole frame: write through the
     // backing vector instead of paying `Arc::make_mut` per field.
@@ -456,6 +554,29 @@ fn encode_frame(msg: &WireMsg, b: &mut Vec<u8>) {
             );
             b.put_u8(tags::SYNC_REPLY);
             b.put_u64(s.start);
+            #[allow(clippy::cast_possible_truncation)]
+            b.put_u16(s.entries.len() as u16);
+            for (value, view_id, view_members) in &s.entries {
+                b.put_u64(*value);
+                b.put_u64(*view_id);
+                b.put_u128(*view_members);
+            }
+        }
+        WireMsg::SnapshotRequest(s) => {
+            b.put_u8(tags::SNAPSHOT_REQUEST);
+            b.put_u64(s.from_index);
+        }
+        WireMsg::SnapshotReply(s) => {
+            assert!(
+                s.entries.len() <= MAX_SYNC_ENTRIES,
+                "SnapshotReply overflows a chunk: {} entries",
+                s.entries.len()
+            );
+            b.put_u8(tags::SNAPSHOT_REPLY);
+            b.put_u64(s.upto);
+            b.put_u64(s.digest);
+            b.put_u64(s.view_id);
+            b.put_u128(s.view_members);
             #[allow(clippy::cast_possible_truncation)]
             b.put_u16(s.entries.len() as u16);
             for (value, view_id, view_members) in &s.entries {
@@ -658,6 +779,37 @@ pub fn decode_borrowed(mut data: &[u8]) -> Result<WireView<'_>, DecodeError> {
             }
             Ok(WireView::Batch(BatchView { count, raw }))
         }
+        tags::SNAPSHOT_REQUEST => {
+            if data.len() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(WireView::SnapshotRequest(SnapshotRequest {
+                from_index: data.get_u64(),
+            }))
+        }
+        tags::SNAPSHOT_REPLY => {
+            if data.len() < 8 + 8 + 8 + 16 + 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let upto = data.get_u64();
+            let digest = data.get_u64();
+            let view_id = data.get_u64();
+            let view_members = data.get_u128();
+            let count = usize::from(data.get_u16());
+            if count > MAX_SYNC_ENTRIES {
+                return Err(DecodeError::Malformed);
+            }
+            let Some(raw) = data.get(..count * SYNC_ENTRY_LEN) else {
+                return Err(DecodeError::Truncated);
+            };
+            Ok(WireView::SnapshotReply(SnapshotReplyView {
+                upto,
+                digest,
+                view_id,
+                view_members,
+                raw,
+            }))
+        }
         _ => Err(DecodeError::Malformed),
     }
 }
@@ -720,7 +872,10 @@ mod tests {
             Err(DecodeError::Malformed)
         );
         // Right magic, bad tag.
-        assert_eq!(decode(&[0xFD, 0x02, 9, 0, 0]), Err(DecodeError::Malformed));
+        assert_eq!(
+            decode(&[0xFD, 0x02, 0xEE, 0, 0]),
+            Err(DecodeError::Malformed)
+        );
         // Right magic and tag, short body.
         assert_eq!(decode(&[0xFD, 0x02, 1, 0]), Err(DecodeError::Truncated));
     }
@@ -747,6 +902,14 @@ mod tests {
             WireMsg::SyncReply(SyncReply {
                 start: 4,
                 entries: vec![(10, 1, 0b111), (11, 2, 0b011)],
+            }),
+            WireMsg::SnapshotRequest(SnapshotRequest { from_index: 2 }),
+            WireMsg::SnapshotReply(SnapshotReply {
+                upto: 40,
+                digest: 0xFEED_BEEF,
+                view_id: 3,
+                view_members: 0b1011,
+                entries: vec![(50, 3, 0b1011), (51, 3, 0b1011)],
             }),
         ];
         for msg in msgs {
@@ -848,6 +1011,14 @@ mod tests {
                 start: 0,
                 entries: vec![(1, 2, 3), (4, 5, 6)],
             }),
+            WireMsg::SnapshotRequest(SnapshotRequest { from_index: 7 }),
+            WireMsg::SnapshotReply(SnapshotReply {
+                upto: 9,
+                digest: 1,
+                view_id: 2,
+                view_members: 0b11,
+                entries: vec![(1, 2, 3)],
+            }),
             WireMsg::Batch(vec![
                 WireMsg::Command(Command { value: 1 }),
                 WireMsg::SyncRequest(SyncRequest { from_index: 2 }),
@@ -901,6 +1072,47 @@ mod tests {
         assert_eq!(decode(&bad), Err(DecodeError::Malformed));
         bad[11] = 0;
         bad[12] = 9; // claims 9 entries, carries 1
+        assert_eq!(decode(&bad), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn borrowed_snapshot_reply_matches_owned() {
+        let msg = WireMsg::SnapshotReply(SnapshotReply {
+            upto: 64,
+            digest: 0xABCD,
+            view_id: 5,
+            view_members: 0b1101,
+            entries: vec![(70, 5, 0b1101), (71, 6, 0b0101)],
+        });
+        let wire = encode(&msg);
+        match decode_borrowed(&wire).unwrap() {
+            WireView::SnapshotReply(view) => {
+                assert_eq!(view.upto, 64);
+                assert_eq!(view.len(), 2);
+                assert!(!view.is_empty());
+                assert_eq!(WireMsg::SnapshotReply(view.to_owned()), msg);
+            }
+            other => panic!("wrong view: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_reply_rejects_an_inflated_count() {
+        let good = encode(&WireMsg::SnapshotReply(SnapshotReply {
+            upto: 1,
+            digest: 2,
+            view_id: 3,
+            view_members: 4,
+            entries: vec![(1, 1, 1)],
+        }));
+        let mut bad = good.to_vec();
+        // The count sits after magic (2), tag (1), upto (8), digest
+        // (8), view_id (8) and view_members (16).
+        bad[43] = 0xFF;
+        bad[44] = 0xFF;
+        assert_eq!(decode(&bad), Err(DecodeError::Malformed));
+        bad[43] = 0;
+        bad[44] = 9; // claims 9 entries, carries 1
         assert_eq!(decode(&bad), Err(DecodeError::Truncated));
     }
 

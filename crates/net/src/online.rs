@@ -593,6 +593,18 @@ pub struct MembershipChurnReport {
     /// suffix lost to the total view order). Zero as long as the service
     /// layer's agreement holds; any other value is a safety red flag.
     pub decisions_lost: u64,
+    /// Snapshot summaries served to fast-rejoining peers
+    /// ([`MembershipWatcher::note_sync_served`] with `snapshot: true`) —
+    /// the compaction fast path of the service layer.
+    pub snapshots_sent: u64,
+    /// Total encoded bytes of sync and snapshot reply frames served
+    /// across the fleet — the transfer cost experiment E14 plots
+    /// against log length.
+    pub sync_bytes_sent: u64,
+    /// Per noted rejoin ([`MembershipWatcher::note_rejoin`]): the time
+    /// from a heal until every live replica caught up to the pre-heal
+    /// log length — E14's rejoin latency.
+    pub rejoin_latencies: Vec<Nanos>,
 }
 
 /// An incremental observer of a membership fleet under churn: feed it
@@ -622,6 +634,9 @@ pub struct MembershipWatcher {
     heals: Vec<(Nanos, Option<Nanos>)>,
     decisions_transferred: u64,
     decisions_lost: u64,
+    snapshots_sent: u64,
+    sync_bytes_sent: u64,
+    rejoin_latencies: Vec<Nanos>,
 }
 
 impl MembershipWatcher {
@@ -643,6 +658,9 @@ impl MembershipWatcher {
             heals: Vec::new(),
             decisions_transferred: 0,
             decisions_lost: 0,
+            snapshots_sent: 0,
+            sync_bytes_sent: 0,
+            rejoin_latencies: Vec::new(),
         }
     }
 
@@ -674,6 +692,22 @@ impl MembershipWatcher {
     pub fn note_state_transfer(&mut self, adopted: u64, lost: u64) {
         self.decisions_transferred += adopted;
         self.decisions_lost += lost;
+    }
+
+    /// Notes one served state-transfer reply at the service layer:
+    /// `bytes` encoded reply bytes went out, as a `snapshot` summary or
+    /// a plain log-suffix stream.
+    pub fn note_sync_served(&mut self, bytes: u64, snapshot: bool) {
+        self.sync_bytes_sent += bytes;
+        if snapshot {
+            self.snapshots_sent += 1;
+        }
+    }
+
+    /// Notes one completed rejoin: the measured time from a heal until
+    /// every live replica caught back up to the pre-heal log length.
+    pub fn note_rejoin(&mut self, latency: Nanos) {
+        self.rejoin_latencies.push(latency);
     }
 
     /// Notes that the network partition healed at `at`: the fleet's time
@@ -779,6 +813,9 @@ impl MembershipWatcher {
             time_to_reconverge: self.heals.iter().map(|(_, r)| *r).collect(),
             decisions_transferred: self.decisions_transferred,
             decisions_lost: self.decisions_lost,
+            snapshots_sent: self.snapshots_sent,
+            sync_bytes_sent: self.sync_bytes_sent,
+            rejoin_latencies: self.rejoin_latencies.clone(),
         }
     }
 }

@@ -26,11 +26,21 @@
 //! tick-resumable like [`crate::online::OnlineRunner`]; experiment E13
 //! tabulates decided throughput and post-heal recovery latency per
 //! estimator, and `examples/live_service.rs` is the live dashboard.
+//!
+//! Under a [`CompactionPolicy`] the log additionally **compacts**:
+//! prefixes every current member has acknowledged are folded into a
+//! chained digest ([`ReplicatedLog::truncate_prefix`]), and a rejoiner
+//! that fell behind the retained tail fast-rejoins by installing a
+//! view-stamped [`Snapshot`] instead of replaying history — rejoin
+//! cost tracks the retained tail, not the log length (experiment E14).
+//! The snapshot/compaction state machine and the transfer-negotiation
+//! decision tree are documented in ARCHITECTURE.md ("Decision
+//! lifecycle"); the wire frames in `docs/WIRE.md`.
 
 mod log;
 mod node;
 mod runner;
 
-pub use log::{Decision, MergeOutcome, ReplicatedLog, ViewStamp};
-pub use node::{DecisionService, ServiceOutput};
+pub use log::{Decision, MergeOutcome, ReplicatedLog, Snapshot, ViewStamp};
+pub use node::{CompactionPolicy, DecisionService, ServiceOutput};
 pub use runner::{run_service, ServiceEvent, ServiceReport, ServiceRunner, ServiceScenario};

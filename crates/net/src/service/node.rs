@@ -1,10 +1,10 @@
 //! One node of the live replicated-decision service.
 
-use super::log::{Decision, ReplicatedLog, ViewStamp};
+use super::log::{Decision, ReplicatedLog, Snapshot, ViewStamp};
 use crate::clock::{Clock, Nanos};
 use crate::codec::{
-    decode_borrowed, encode, set_to_members, Command, ConsensusFrame, DecidedMsg, SyncReply,
-    SyncRequest, WireMsg, WireView, MAX_SYNC_ENTRIES,
+    decode_borrowed, encode, set_to_members, Command, ConsensusFrame, DecidedMsg, SnapshotReply,
+    SnapshotRequest, SyncReply, SyncRequest, WireMsg, WireView, MAX_SYNC_ENTRIES,
 };
 use crate::estimator::ArrivalEstimator;
 use crate::membership::{MembershipNode, View};
@@ -52,6 +52,54 @@ pub enum ServiceOutput {
         /// consensus safety holds).
         lost: u64,
     },
+    /// This node served a state-transfer request (responder side):
+    /// `bytes` of encoded reply frames went out, as a snapshot summary
+    /// or as plain suffix chunks.
+    SyncServed {
+        /// Total encoded bytes of the reply frames.
+        bytes: u64,
+        /// Whether the reply was a compacted-prefix snapshot (`true`)
+        /// or the ordinary suffix exchange (`false`).
+        snapshot: bool,
+    },
+    /// This node fast-rejoined by installing a remote snapshot,
+    /// covering `covered` decisions it was missing in O(1).
+    SnapshotInstalled {
+        /// Decisions newly covered by the installed summary.
+        covered: u64,
+    },
+}
+
+/// Snapshot-based log-compaction policy: how much decided history a
+/// node keeps *behind the all-replica stable index* (the lowest log
+/// length any current member has acknowledged). Everything older is
+/// folded into the digest chain; a rejoiner that fell behind the
+/// retained tail catches up via snapshot transfer instead of replaying
+/// history.
+///
+/// Compaction is opt-in ([`DecisionService::with_compaction`]): without
+/// a policy the log grows unboundedly and every sync is the full PR-5
+/// suffix exchange.
+///
+/// ```
+/// use rfd_net::service::CompactionPolicy;
+///
+/// let policy = CompactionPolicy::retain_last(16);
+/// assert_eq!(policy.retain, 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Decisions to keep below the stable index (the retained tail a
+    /// slightly-behind peer can still sync from without a snapshot).
+    pub retain: u64,
+}
+
+impl CompactionPolicy {
+    /// A retain-last-`k` policy.
+    #[must_use]
+    pub fn retain_last(retain: u64) -> Self {
+        Self { retain }
+    }
 }
 
 /// A long-lived replicated-decision service node: the paper's §1.3
@@ -70,7 +118,11 @@ pub enum ServiceOutput {
 /// 3. a TRB-style decision relay plus post-heal **state transfer**:
 ///    after a view change re-admits members, nodes exchange log
 ///    suffixes and reconcile them prefix-consistently
-///    ([`ReplicatedLog::merge_suffix`]).
+///    ([`ReplicatedLog::merge_suffix`]). Under a [`CompactionPolicy`]
+///    the suffix exchange is two-tier: a peer within the retained tail
+///    gets plain chunks, one that fell behind the compacted base
+///    negotiates a snapshot ([`Snapshot`]) and fast-rejoins in O(tail)
+///    instead of O(history).
 ///
 /// Commands enter through [`DecisionService::propose`] (a typed command
 /// queue: the pending pool), are gossiped to the group, and leave as
@@ -107,6 +159,24 @@ pub struct DecisionService<E, T, C> {
     /// relays don't re-request (each peer would otherwise stream the
     /// whole missing suffix once per relayed decision).
     gap_synced_at: Option<u64>,
+    /// Compaction policy, if enabled.
+    compaction: Option<CompactionPolicy>,
+    /// Highest log length each peer is known to hold, learned from the
+    /// indices piggybacked on existing traffic (`Decided` relays, sync
+    /// and snapshot requests). The minimum over current view members is
+    /// the stable index compaction trims behind.
+    peer_acked: Vec<u64>,
+    /// The log length at which the last [`SnapshotRequest`] went out —
+    /// the same once-per-tail-position throttle as `gap_synced_at`,
+    /// for snapshot negotiation.
+    snapshot_requested_at: Option<u64>,
+    /// Whether this node has an outstanding snapshot request. An
+    /// unsolicited [`SnapshotReply`] (nothing outstanding) is dropped
+    /// without touching any state — a forged summary cannot overwrite
+    /// a healthy log.
+    awaiting_snapshot: bool,
+    /// Snapshot summaries this node served to rejoiners.
+    snapshots_served: u64,
     last_view: View,
     next_gossip: Nanos,
     /// Reusable receive buffer for [`Transport::recv_batch`].
@@ -146,6 +216,11 @@ where
             decided_values: BTreeSet::new(),
             future: BTreeMap::new(),
             gap_synced_at: None,
+            compaction: None,
+            peer_acked: vec![0; n],
+            snapshot_requested_at: None,
+            awaiting_snapshot: false,
+            snapshots_served: 0,
             next_gossip: Nanos::ZERO,
             rx_buf: Vec::new(),
             consensus_in: Vec::new(),
@@ -171,6 +246,22 @@ where
     pub fn with_batching(mut self, batching: bool) -> Self {
         self.membership = self.membership.with_batching(batching);
         self
+    }
+
+    /// Enables snapshot-based log compaction under `policy` (builder
+    /// style; default off). The node trims its log behind the
+    /// all-replica stable index every gossip period and answers
+    /// below-base sync requests with a snapshot instead of a replay.
+    #[must_use]
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = Some(policy);
+        self
+    }
+
+    /// Snapshot summaries this node served to rejoiners.
+    #[must_use]
+    pub fn snapshots_served(&self) -> u64 {
+        self.snapshots_served
     }
 
     /// This node's identity.
@@ -265,7 +356,7 @@ where
                 }
             }
             WireView::Decided(d) => self.on_decided(from, d, events),
-            WireView::SyncRequest(s) => self.on_sync_request(from, s.from_index),
+            WireView::SyncRequest(s) => self.on_sync_request(from, s.from_index, events),
             WireView::SyncReply(view) => {
                 // The merge needs a contiguous slice; copy the borrowed
                 // entries into the reusable scratch instead of a fresh
@@ -273,7 +364,23 @@ where
                 let mut entries = std::mem::take(&mut self.sync_scratch);
                 entries.clear();
                 entries.extend(view.iter());
-                self.on_sync_reply(view.start, &entries, events);
+                self.on_sync_reply(from, view.start, &entries, events);
+                self.sync_scratch = entries;
+            }
+            WireView::SnapshotRequest(s) => self.on_snapshot_request(from, s.from_index, events),
+            WireView::SnapshotReply(view) => {
+                let snapshot = Snapshot {
+                    upto: view.upto,
+                    digest: view.digest,
+                    view: ViewStamp {
+                        id: view.view_id,
+                        members: view.view_members,
+                    },
+                };
+                let mut entries = std::mem::take(&mut self.sync_scratch);
+                entries.clear();
+                entries.extend(view.iter());
+                self.on_snapshot_reply(from, &snapshot, &entries, events);
                 self.sync_scratch = entries;
             }
             WireView::Batch(batch) => {
@@ -339,7 +446,9 @@ where
                 // State transfer: a changed member set means someone may
                 // hold decisions we missed (and vice versa — they will
                 // ask us symmetrically). Ask every other member for our
-                // missing suffix.
+                // missing suffix, and allow a fresh snapshot negotiation
+                // for this view.
+                self.snapshot_requested_at = None;
                 let req = encode(&WireMsg::SyncRequest(SyncRequest {
                     from_index: self.log.len(),
                 }));
@@ -387,8 +496,34 @@ where
             for value in batch.into_iter().flatten() {
                 self.broadcast(&WireMsg::Command(Command { value }));
             }
+            self.maybe_compact();
         }
         events
+    }
+
+    /// Trims the log behind the all-replica stable index, keeping the
+    /// policy's retained tail. The stable index is the lowest log
+    /// length acknowledged by any *current view member* (piggybacked
+    /// acks), capped by our own length — so an excluded straggler never
+    /// freezes compaction (it will fast-rejoin via snapshot), while a
+    /// re-admitted one holds the base until it catches up.
+    fn maybe_compact(&mut self) {
+        let Some(policy) = self.compaction else {
+            return;
+        };
+        let me = self.me();
+        let mut stable = self.log.len();
+        for member in self.last_view.members {
+            if member == me {
+                continue;
+            }
+            let acked = self.peer_acked.get(member.index()).copied().unwrap_or(0);
+            stable = stable.min(acked);
+        }
+        let target = stable.saturating_sub(policy.retain);
+        if self.log.truncate_prefix(target) > 0 {
+            self.driver.advance_base(self.log.first_index());
+        }
     }
 
     /// Routes consensus sends: peers get encoded frames, self-addressed
@@ -421,8 +556,10 @@ where
         match slot.cmp(&self.log.len()) {
             std::cmp::Ordering::Less => {
                 // Already in the log (a relay or transfer beat the local
-                // instance); uniform agreement makes them equal.
-                debug_assert_eq!(self.log.get(slot).map(|d| d.value), Some(value));
+                // instance); uniform agreement makes them equal. A
+                // compacted slot reads as `None` — its value lives in
+                // the digest chain now.
+                debug_assert!(self.log.get(slot).map_or(true, |d| d.value == value));
             }
             std::cmp::Ordering::Equal => {
                 self.apply_at_tail(value, self.stamp(), events);
@@ -445,6 +582,9 @@ where
 
     /// A decision relay from `from`.
     fn on_decided(&mut self, from: ProcessId, d: &DecidedMsg, events: &mut Vec<ServiceOutput>) {
+        // Relaying index i means the sender appended it: its log holds
+        // at least i+1 entries — the ack compaction piggybacks on.
+        self.note_acked(from, d.index.saturating_add(1));
         let stamp = ViewStamp {
             id: d.view_id,
             members: d.view_members,
@@ -503,11 +643,32 @@ where
         }
     }
 
-    /// A state-transfer request: stream the suffix back in chunks.
-    fn on_sync_request(&mut self, from: ProcessId, from_index: u64) {
+    /// A state-transfer request: stream the suffix back in chunks — or,
+    /// if the requester's tail fell below our compacted base, signal
+    /// the gap with an **empty** reply starting at the base. The
+    /// requester reads that as "prefix is compacted away" and
+    /// negotiates a [`SnapshotRequest`] instead.
+    fn on_sync_request(
+        &mut self,
+        from: ProcessId,
+        from_index: u64,
+        events: &mut Vec<ServiceOutput>,
+    ) {
         if from == self.me() || from.index() >= self.n {
             return;
         }
+        self.note_acked(from, from_index);
+        if from_index < self.log.first_index() {
+            self.send_raw(
+                from,
+                encode(&WireMsg::SyncReply(SyncReply {
+                    start: self.log.first_index(),
+                    entries: Vec::new(),
+                })),
+            );
+            return;
+        }
+        let mut bytes = 0u64;
         let mut start = from_index;
         while start < self.log.len() {
             let entries: Vec<(u64, u64, u128)> = self
@@ -518,25 +679,54 @@ where
                 .map(|d| (d.value, d.view.id, d.view.members))
                 .collect();
             let sent = entries.len() as u64;
-            self.send_raw(
-                from,
-                encode(&WireMsg::SyncReply(SyncReply { start, entries })),
-            );
+            let frame = encode(&WireMsg::SyncReply(SyncReply { start, entries }));
+            bytes += frame.len() as u64;
+            self.send_raw(from, frame);
             start += sent;
+        }
+        if bytes > 0 {
+            events.push(ServiceOutput::SyncServed {
+                bytes,
+                snapshot: false,
+            });
         }
     }
 
     /// A state-transfer chunk (already copied out of its datagram):
-    /// reconcile it into the log.
+    /// reconcile it into the log. An empty chunk starting above our
+    /// tail is a responder's compaction gap-signal — negotiate a
+    /// snapshot with that responder instead of merging.
     fn on_sync_reply(
         &mut self,
+        from: ProcessId,
         start: u64,
         entries: &[(u64, u64, u128)],
         events: &mut Vec<ServiceOutput>,
     ) {
+        if entries.is_empty() && start > self.log.len() {
+            self.maybe_request_snapshot(from);
+            return;
+        }
         let before = self.log.len();
         let outcome = self.log.merge_suffix(start, entries);
         if outcome.adopted == 0 && outcome.lost == 0 {
+            // A reordered chunk that starts above our tail would merge
+            // nothing; buffer its entries individually (inside the
+            // bounded future window) so the stream survives arbitrary
+            // chunk interleavings — they apply once the gap fills.
+            if start > self.log.len() {
+                for (offset, &(value, view_id, view_members)) in entries.iter().enumerate() {
+                    self.buffer_future(
+                        start + offset as u64,
+                        value,
+                        ViewStamp {
+                            id: view_id,
+                            members: view_members,
+                        },
+                    );
+                }
+                self.commit_ready(events);
+            }
             return;
         }
         // Rewritten tail: retire its commands and resolve its slots. On
@@ -551,6 +741,124 @@ where
             lost: outcome.lost,
         });
         self.commit_ready(events);
+    }
+
+    /// Sends one [`SnapshotRequest`] to `from`, at most once per tail
+    /// position — every compacted responder gap-signals, and one
+    /// snapshot per stall is enough.
+    fn maybe_request_snapshot(&mut self, from: ProcessId) {
+        if from == self.me() || from.index() >= self.n {
+            return;
+        }
+        if self.snapshot_requested_at == Some(self.log.len()) {
+            return;
+        }
+        self.snapshot_requested_at = Some(self.log.len());
+        self.awaiting_snapshot = true;
+        self.send_raw(
+            from,
+            encode(&WireMsg::SnapshotRequest(SnapshotRequest {
+                from_index: self.log.len(),
+            })),
+        );
+    }
+
+    /// A fast-rejoin request: serve a summary of our compacted prefix
+    /// plus the first chunk of the retained tail. Falls back to the
+    /// ordinary suffix exchange when the requester is within the
+    /// retained tail (no snapshot needed).
+    fn on_snapshot_request(
+        &mut self,
+        from: ProcessId,
+        from_index: u64,
+        events: &mut Vec<ServiceOutput>,
+    ) {
+        if from == self.me() || from.index() >= self.n {
+            return;
+        }
+        self.note_acked(from, from_index);
+        let base = self.log.first_index();
+        if from_index >= base {
+            self.on_sync_request(from, from_index, events);
+            return;
+        }
+        let Some(snap) = self.log.snapshot(base) else {
+            return;
+        };
+        let entries: Vec<(u64, u64, u128)> = self
+            .log
+            .suffix(base)
+            .iter()
+            .take(MAX_SYNC_ENTRIES)
+            .map(|d| (d.value, d.view.id, d.view.members))
+            .collect();
+        let frame = encode(&WireMsg::SnapshotReply(SnapshotReply {
+            upto: snap.upto,
+            digest: snap.digest,
+            view_id: snap.view.id,
+            view_members: snap.view.members,
+            entries,
+        }));
+        self.snapshots_served += 1;
+        events.push(ServiceOutput::SyncServed {
+            bytes: frame.len() as u64,
+            snapshot: true,
+        });
+        self.send_raw(from, frame);
+    }
+
+    /// A fast-rejoin reply: install the summary (only if we asked for
+    /// one and it extends our log — rejects change nothing), merge the
+    /// included tail chunk, and pull whatever tail remains with an
+    /// ordinary [`SyncRequest`]. Installing is O(1) in the covered
+    /// history: the prefix arrives as a digest, not as entries.
+    fn on_snapshot_reply(
+        &mut self,
+        from: ProcessId,
+        snapshot: &Snapshot,
+        entries: &[(u64, u64, u128)],
+        events: &mut Vec<ServiceOutput>,
+    ) {
+        if from == self.me() || from.index() >= self.n {
+            return;
+        }
+        if !self.awaiting_snapshot {
+            return;
+        }
+        let Some(covered) = self.log.install_snapshot(snapshot) else {
+            return;
+        };
+        self.awaiting_snapshot = false;
+        self.snapshot_requested_at = None;
+        self.gap_synced_at = None;
+        // The log jumped past every local in-flight slot: retire the
+        // consensus arena below the new base in O(live window)…
+        self.driver.advance_base(self.log.first_index());
+        // …drop buffered relays the summary already covers…
+        self.future = self.future.split_off(&self.log.len());
+        // …and clear the pending pool: a pooled command may have been
+        // decided inside the compacted prefix, and re-proposing it
+        // would decide it twice. Live peers re-gossip anything still
+        // genuinely pending.
+        self.pool.clear();
+        events.push(ServiceOutput::SnapshotInstalled { covered });
+        if !entries.is_empty() {
+            self.on_sync_reply(from, snapshot.upto, entries, events);
+        }
+        // The responder may retain more tail than one chunk carries.
+        self.send_raw(
+            from,
+            encode(&WireMsg::SyncRequest(SyncRequest {
+                from_index: self.log.len(),
+            })),
+        );
+    }
+
+    /// Records that `from`'s log is at least `upto` long.
+    fn note_acked(&mut self, from: ProcessId, upto: u64) {
+        if let Some(acked) = self.peer_acked.get_mut(from.index()) {
+            *acked = (*acked).max(upto);
+        }
     }
 
     fn learn_command(&mut self, value: u64) {

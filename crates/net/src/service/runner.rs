@@ -4,7 +4,7 @@
 //! from a typed command queue, decisions out as typed events.
 
 use super::log::Decision;
-use super::node::{DecisionService, ServiceOutput};
+use super::node::{CompactionPolicy, DecisionService, ServiceOutput};
 use crate::clock::{Nanos, Pacer, VirtualClock};
 use crate::estimator::ArrivalEstimator;
 use crate::membership::View;
@@ -29,6 +29,11 @@ pub struct ServiceScenario {
     /// differential tests run both settings and assert identical
     /// decisions.
     pub batching: bool,
+    /// Snapshot-based log compaction for the fleet (see
+    /// [`DecisionService::with_compaction`]). Off by default — with it
+    /// on, rejoiners that fell behind the retained tail catch up via
+    /// snapshot transfer instead of a full suffix replay.
+    pub compaction: Option<CompactionPolicy>,
 }
 
 impl Default for ServiceScenario {
@@ -37,6 +42,7 @@ impl Default for ServiceScenario {
             online: OnlineScenario::default(),
             commands: Vec::new(),
             batching: true,
+            compaction: None,
         }
     }
 }
@@ -54,6 +60,22 @@ impl ServiceScenario {
     #[must_use]
     pub fn with_batching(mut self, on: bool) -> Self {
         self.batching = on;
+        self
+    }
+
+    /// Enables snapshot-based log compaction for the fleet (builder
+    /// style).
+    ///
+    /// ```
+    /// use rfd_net::service::{CompactionPolicy, ServiceScenario};
+    ///
+    /// let scenario =
+    ///     ServiceScenario::default().with_compaction(CompactionPolicy::retain_last(16));
+    /// assert_eq!(scenario.compaction, Some(CompactionPolicy::retain_last(16)));
+    /// ```
+    #[must_use]
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = Some(policy);
         self
     }
 }
@@ -106,69 +128,121 @@ pub enum ServiceEvent {
         /// Entries lost (safety alarm; zero in a healthy run).
         lost: u64,
     },
+    /// A node served a state-transfer request (responder side).
+    SyncServed {
+        /// Observation time.
+        at: Nanos,
+        /// The serving node.
+        node: ProcessId,
+        /// Encoded bytes of the reply frames.
+        bytes: u64,
+        /// Whether the reply was a snapshot summary.
+        snapshot: bool,
+    },
+    /// A node fast-rejoined by installing a remote snapshot.
+    SnapshotInstalled {
+        /// Observation time.
+        at: Nanos,
+        /// The rejoining node.
+        node: ProcessId,
+        /// Decisions the summary newly covered.
+        covered: u64,
+    },
 }
 
 /// The post-run report of a [`ServiceRunner`].
 #[derive(Clone, Debug)]
 pub struct ServiceReport {
-    /// Per node: its final decision log.
+    /// Per node: its final **retained** decision log (under compaction
+    /// the prefix below `bases[i]` is summarised by the digest chain;
+    /// every `Decision` carries its absolute index).
     pub logs: Vec<Vec<Decision>>,
+    /// Per node: the first retained index
+    /// ([`crate::service::ReplicatedLog::first_index`]; zero without
+    /// compaction).
+    pub bases: Vec<u64>,
     /// Per node: whether it ended halted (merge-less exclusion).
     pub halted: Vec<bool>,
     /// Per node: ground-truth up/down at the end of the run.
     pub up: Vec<bool>,
     /// The membership watcher's report, including the state-transfer
-    /// metrics (`decisions_transferred` / `decisions_lost`).
+    /// metrics (`decisions_transferred` / `decisions_lost`,
+    /// `snapshots_sent` / `sync_bytes_sent` / `rejoin_latencies`).
     pub membership: MembershipChurnReport,
     /// Every decision event in observation order.
     pub decisions: Vec<(Nanos, ProcessId, Decision)>,
 }
 
+/// Whether two retained logs agree on every index both retain.
+/// Decisions carry absolute indices, so the overlap is found by
+/// aligning the first entries.
+fn retained_overlap_agrees(a: &[Decision], b: &[Decision]) -> bool {
+    let (Some(first_a), Some(first_b)) = (a.first(), b.first()) else {
+        return true;
+    };
+    let start = first_a.index.max(first_b.index);
+    let skip_a = usize::try_from(start - first_a.index).unwrap_or(usize::MAX);
+    let skip_b = usize::try_from(start - first_b.index).unwrap_or(usize::MAX);
+    a.iter()
+        .skip(skip_a)
+        .zip(b.iter().skip(skip_b))
+        .all(|(da, db)| da.value == db.value)
+}
+
 impl ServiceReport {
     /// Uniform agreement over the final logs: every pair of replicas —
-    /// crashed, halted or live — agrees on every index both decided.
+    /// crashed, halted or live — agrees on every index both decided
+    /// **and retained** (compacted prefixes are digest-checked at the
+    /// log layer; see `ReplicatedLog::prefix_consistent_with`).
     #[must_use]
     pub fn agreement_holds(&self) -> bool {
         self.logs.iter().enumerate().all(|(a, log_a)| {
             self.logs
                 .iter()
                 .skip(a + 1)
-                .all(|log_b| log_a.iter().zip(log_b).all(|(da, db)| da.value == db.value))
+                .all(|log_b| retained_overlap_agrees(log_a, log_b))
         })
     }
 
-    /// Whether every live (up, non-halted) replica ended with the same
-    /// full log — the post-heal convergence E13 gates on.
+    /// Whether every live (up, non-halted) replica ended at the same
+    /// absolute log length with agreeing retained entries — the
+    /// post-heal convergence E13 gates on.
     #[must_use]
     pub fn live_logs_converged(&self) -> bool {
         let mut live = self
             .logs
             .iter()
+            .zip(&self.bases)
             .zip(self.up.iter().zip(&self.halted))
             .filter(|(_, (&up, &halted))| up && !halted)
-            .map(|(log, _)| log);
-        let Some(reference) = live.next() else {
+            .map(|((log, &base), _)| (base + log.len() as u64, log));
+        let Some((ref_len, reference)) = live.next() else {
             return true;
         };
-        live.all(|log| {
-            log.len() == reference.len()
-                && log.iter().zip(reference).all(|(d, r)| d.value == r.value)
-        })
+        live.all(|(len, log)| len == ref_len && retained_overlap_agrees(log, reference))
     }
 
-    /// The longest final log length across replicas.
+    /// The longest final **absolute** log length across replicas
+    /// (compacted entries count — they were decided).
     #[must_use]
     pub fn decided_len(&self) -> u64 {
-        self.logs.iter().map(|l| l.len() as u64).max().unwrap_or(0)
+        self.logs
+            .iter()
+            .zip(&self.bases)
+            .map(|(l, &b)| b + l.len() as u64)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// The decided sequence of the longest final log.
+    /// The **retained** decided sequence of the longest final log
+    /// (without compaction: the full decided sequence).
     #[must_use]
     pub fn decided_values(&self) -> Vec<u64> {
         self.logs
             .iter()
-            .max_by_key(|l| l.len())
-            .map(|l| l.iter().map(|d| d.value).collect())
+            .zip(&self.bases)
+            .max_by_key(|(l, &b)| b + l.len() as u64)
+            .map(|(l, _)| l.iter().map(|d| d.value).collect())
             .unwrap_or_default()
     }
 
@@ -231,6 +305,10 @@ where
     next_fault: usize,
     next_command: usize,
     decisions: Vec<(Nanos, ProcessId, Decision)>,
+    /// Set when a heal fires: `(heal time, longest absolute log then)`.
+    /// Resolved into a rejoin latency once every live node has caught
+    /// up to that length.
+    heal_pending: Option<(Nanos, u64)>,
     done: bool,
 }
 
@@ -293,6 +371,11 @@ where
                     scenario.online.period,
                 )
                 .with_batching(scenario.batching);
+                let node = if let Some(policy) = scenario.compaction {
+                    node.with_compaction(policy)
+                } else {
+                    node
+                };
                 if scenario.online.heal_merge {
                     node.with_heal_merge()
                 } else {
@@ -309,6 +392,7 @@ where
             next_fault: 0,
             next_command: 0,
             decisions: Vec::new(),
+            heal_pending: None,
             done: false,
             scenario,
         }
@@ -363,6 +447,26 @@ where
                 events.push(ServiceEvent::Fault { at, fault: *fault });
             },
         );
+        let healed = events.iter().any(|e| {
+            matches!(
+                e,
+                ServiceEvent::Fault {
+                    fault: Fault::Heal,
+                    ..
+                }
+            )
+        });
+        if healed {
+            // Rejoin latency: time from this heal until every live node
+            // has at least the longest absolute log observed right now.
+            let target = self
+                .nodes
+                .iter()
+                .map(|node| node.log().len())
+                .max()
+                .unwrap_or(0);
+            self.heal_pending = Some((now, target));
+        }
         while let Some(&(at, node, value)) = self.scenario.commands.get(self.next_command) {
             if at > now {
                 break;
@@ -409,7 +513,38 @@ where
                             lost,
                         });
                     }
+                    ServiceOutput::SyncServed { bytes, snapshot } => {
+                        self.watcher.note_sync_served(bytes, snapshot);
+                        events.push(ServiceEvent::SyncServed {
+                            at: now,
+                            node: me,
+                            bytes,
+                            snapshot,
+                        });
+                    }
+                    ServiceOutput::SnapshotInstalled { covered } => {
+                        self.watcher.note_state_transfer(covered, 0);
+                        events.push(ServiceEvent::SnapshotInstalled {
+                            at: now,
+                            node: me,
+                            covered,
+                        });
+                    }
                 }
+            }
+        }
+        if let Some((healed_at, target)) = self.heal_pending {
+            let caught_up = self
+                .nodes
+                .iter()
+                .zip(&self.up)
+                .filter(|(node, &up)| up && !node.is_halted())
+                .all(|(node, _)| node.log().len() >= target);
+            if caught_up {
+                self.watcher.note_rejoin(Nanos::from_nanos(
+                    now.as_nanos().saturating_sub(healed_at.as_nanos()),
+                ));
+                self.heal_pending = None;
             }
         }
         self.watcher.observe(
@@ -445,6 +580,11 @@ where
                 .nodes
                 .iter()
                 .map(|node| node.log().entries().to_vec())
+                .collect(),
+            bases: self
+                .nodes
+                .iter()
+                .map(|node| node.log().first_index())
                 .collect(),
             halted: self.nodes.iter().map(DecisionService::is_halted).collect(),
             up: self.up.clone(),
@@ -660,5 +800,61 @@ mod tests {
             b.membership.decisions_transferred
         );
         assert_eq!(a.membership.view_changes, b.membership.view_changes);
+    }
+
+    #[test]
+    fn compaction_rejoin_goes_through_a_snapshot_and_still_converges() {
+        // p3 misses a long stretch of decisions while partitioned; with
+        // a short retained tail the majority compacts past p3's log, so
+        // the post-heal catch-up must negotiate a snapshot transfer —
+        // and the fleet must still converge, deterministically per seed.
+        let scenario = spaced_commands(
+            ServiceScenario {
+                online: OnlineScenario {
+                    n: 4,
+                    duration: ms(60_000),
+                    heal_merge: true,
+                    schedule: FaultSchedule::new()
+                        .at(ms(3_000), Fault::Partition(ProcessSet::singleton(p(3))))
+                        .at(ms(40_000), Fault::Heal),
+                    ..OnlineScenario::default()
+                },
+                ..ServiceScenario::default()
+            }
+            .with_compaction(CompactionPolicy::retain_last(4)),
+            24,
+            ms(1_000),
+            ms(1_400),
+        );
+        let report = run_service(chen(), &scenario);
+        assert!(report.agreement_holds());
+        assert!(report.live_logs_converged(), "{:?}", report.bases);
+        assert!(report.decided_len() >= 20, "{}", report.decided_len());
+        assert!(
+            report.membership.snapshots_sent > 0,
+            "p3 fell behind the retained tail and must rejoin via snapshot: {:?}",
+            report.membership
+        );
+        assert_eq!(report.membership.decisions_lost, 0);
+        assert!(
+            report.bases.iter().any(|&b| b > 0),
+            "the majority must have compacted: {:?}",
+            report.bases
+        );
+        assert!(
+            !report.membership.rejoin_latencies.is_empty(),
+            "the heal must resolve into a measured rejoin latency"
+        );
+        let again = run_service(chen(), &scenario);
+        assert_eq!(report.logs, again.logs);
+        assert_eq!(report.bases, again.bases);
+        assert_eq!(
+            report.membership.snapshots_sent,
+            again.membership.snapshots_sent
+        );
+        assert_eq!(
+            report.membership.sync_bytes_sent,
+            again.membership.sync_bytes_sent
+        );
     }
 }

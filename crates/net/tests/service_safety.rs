@@ -21,7 +21,9 @@ use rfd_net::codec::{encode, DecidedMsg, Heartbeat, SyncReply, WireMsg};
 use rfd_net::estimator::ChenEstimator;
 use rfd_net::membership::MembershipNode;
 use rfd_net::online::{Fault, FaultSchedule, MembershipWatcher, OnlineScenario};
-use rfd_net::service::{run_service, ServiceEvent, ServiceRunner, ServiceScenario};
+use rfd_net::service::{
+    run_service, CompactionPolicy, ServiceEvent, ServiceRunner, ServiceScenario,
+};
 use rfd_net::transport::{InMemoryNetwork, NetworkConfig, Transport};
 use rfd_net::DetectorNode;
 use std::collections::BTreeMap;
@@ -116,16 +118,27 @@ fn assert_safety(scenario: &ServiceScenario) {
         "state transfer discarded decided entries"
     );
     // No acknowledged decision is ever lost: every final log that
-    // reaches an acked index still holds the acked value.
+    // retains an acked index still holds the acked value, and each
+    // acked index is either retained somewhere or compacted — folded
+    // into a digest chain, which only ever happens to decided prefixes
+    // every current member acknowledged.
     for (&index, &value) in &acked {
         let mut holders = 0;
-        for log in &report.logs {
-            if let Some(d) = log.get(index as usize) {
+        let mut compacted = 0;
+        for (log, &base) in report.logs.iter().zip(&report.bases) {
+            if index < base {
+                compacted += 1;
+                continue;
+            }
+            if let Some(d) = log.iter().find(|d| d.index == index) {
                 assert_eq!(d.value, value, "acked decision rewritten at {index}");
                 holders += 1;
             }
         }
-        assert!(holders > 0, "acked index {index} vanished from every log");
+        assert!(
+            holders + compacted > 0,
+            "acked index {index} vanished from every log"
+        );
     }
 }
 
@@ -154,6 +167,22 @@ proptest! {
         crash in prop::option::of((1usize..4, 3_000u64..15_000, 2_000u64..6_000)),
     ) {
         assert_safety(&churn_scenario(seed, false, &cuts, crash));
+    }
+
+    /// The same agreement + acked-never-lost contract with snapshot
+    /// compaction enabled: random churn, random (small) retained tails,
+    /// so runs routinely compact past what a partitioned node holds and
+    /// the post-heal catch-up exercises the snapshot path.
+    #[test]
+    fn compaction_preserves_agreement_and_acked_decisions_under_churn(
+        seed in 0u64..1024,
+        retain in 1u64..6,
+        cuts in prop::collection::vec((2_000u64..7_000, 2_000u64..6_000, 1u8..15), 1..3),
+        crash in prop::option::of((1usize..4, 3_000u64..15_000, 2_000u64..6_000)),
+    ) {
+        let scenario = churn_scenario(seed, true, &cuts, crash)
+            .with_compaction(CompactionPolicy::retain_last(retain));
+        assert_safety(&scenario);
     }
 
     /// Determinism: the full report of a churned service run is a pure
@@ -191,6 +220,94 @@ fn healed_minority_recovers_every_acknowledged_decision() {
     );
     assert!(report.membership.decisions_transferred > 0);
     assert_eq!(report.membership.decisions_lost, 0);
+}
+
+/// A long single-node outage with the workload fully decided before the
+/// heal, so the rejoin is pure catch-up: p3 is cut off at 2 s, the
+/// majority decides ~40 commands, the partition heals at 14 s.
+fn rejoin_scenario(retain: Option<u64>) -> ServiceScenario {
+    let mut scenario = ServiceScenario {
+        online: OnlineScenario {
+            n: 4,
+            period: ms(50),
+            duration: ms(22_000),
+            seed: 11,
+            heal_merge: true,
+            schedule: FaultSchedule::new()
+                .at(ms(2_000), Fault::Partition(ProcessSet::singleton(p(3))))
+                .at(ms(14_000), Fault::Heal),
+            ..OnlineScenario::default()
+        },
+        ..ServiceScenario::default()
+    };
+    if let Some(k) = retain {
+        scenario = scenario.with_compaction(CompactionPolicy::retain_last(k));
+    }
+    let mut at = 1_000;
+    let mut value = 500;
+    while at <= 13_000 {
+        scenario = scenario.command(ms(at), p((value as usize) % 3), value);
+        at += 300;
+        value += 1;
+    }
+    scenario
+}
+
+/// Snapshot rejoin and suffix rejoin are *equivalent*: the same outage
+/// replayed with and without compaction converges on the same decided
+/// sequence — the snapshot path changes how state moves, never what
+/// state is.
+#[test]
+fn snapshot_rejoin_matches_suffix_rejoin_final_state() {
+    let suffix = run_service(chen(), &rejoin_scenario(None));
+    let snapshot = run_service(chen(), &rejoin_scenario(Some(4)));
+    for report in [&suffix, &snapshot] {
+        assert!(report.agreement_holds());
+        assert!(report.live_logs_converged(), "{:?}", report.logs);
+        assert_eq!(report.membership.decisions_lost, 0);
+    }
+    assert_eq!(suffix.membership.snapshots_sent, 0);
+    assert!(
+        snapshot.membership.snapshots_sent > 0,
+        "the rejoiner fell past the retained tail, so a snapshot must move: {:?}",
+        snapshot.membership
+    );
+    assert_eq!(suffix.decided_len(), snapshot.decided_len());
+    // Every decision the compacted run still retains matches the
+    // uncompacted run's value at the same absolute index; everything
+    // below the compacted base is digest-covered but must exist in the
+    // suffix run's full history.
+    let full = &suffix.logs[0];
+    for log in &snapshot.logs {
+        for d in log {
+            let witness = full
+                .iter()
+                .find(|w| w.index == d.index)
+                .unwrap_or_else(|| panic!("index {} missing from the full history", d.index));
+            assert_eq!(witness.value, d.value, "divergence at index {}", d.index);
+        }
+    }
+}
+
+/// A rejoiner *far* older than the retained tail (retain-last-2 against
+/// ~40 missed decisions) still converges: the gap signal, snapshot
+/// install, and follow-up suffix chunks compose across any gap size.
+#[test]
+fn rejoiner_far_older_than_the_retained_tail_converges() {
+    let report = run_service(chen(), &rejoin_scenario(Some(2)));
+    assert!(report.agreement_holds());
+    assert!(report.live_logs_converged(), "{:?}", report.logs);
+    assert_eq!(report.membership.decisions_lost, 0);
+    assert!(report.membership.snapshots_sent > 0);
+    assert!(
+        report.bases.iter().any(|&b| b > 0),
+        "retain-last-2 must actually compact: {:?}",
+        report.bases
+    );
+    assert!(
+        !report.membership.rejoin_latencies.is_empty(),
+        "the heal must resolve into a measured rejoin"
+    );
 }
 
 // ---- out-of-range ProcessId regressions (the PR 2 panic family) ------

@@ -16,8 +16,8 @@ use rfd_core::ProcessId;
 use rfd_net::bytes::Bytes;
 use rfd_net::clock::{Clock, Nanos, VirtualClock};
 use rfd_net::codec::{
-    decode_borrowed, encode, Command, ConsensusFrame, DecidedMsg, Heartbeat, SyncReply,
-    SyncRequest, ViewChange, WireMsg,
+    decode_borrowed, encode, Command, ConsensusFrame, DecidedMsg, Heartbeat, SnapshotReply,
+    SnapshotRequest, SyncReply, SyncRequest, ViewChange, WireMsg,
 };
 use rfd_net::estimator::ChenEstimator;
 use rfd_net::membership::MembershipNode;
@@ -41,7 +41,7 @@ const N: usize = 3;
 /// One arbitrary-but-valid wire message from flattened scalars (the
 /// same selector scheme as `codec_prop.rs`).
 fn wire_msg(selector: u8, a: u64, b: u64, wide: u128, entries: Vec<(u64, u64, u128)>) -> WireMsg {
-    match selector % 7 {
+    match selector % 9 {
         0 => WireMsg::Heartbeat(Heartbeat {
             sender: a as u16,
             seq: b,
@@ -76,7 +76,15 @@ fn wire_msg(selector: u8, a: u64, b: u64, wide: u128, entries: Vec<(u64, u64, u1
             value: a.wrapping_mul(3),
         }),
         5 => WireMsg::SyncRequest(SyncRequest { from_index: a }),
-        _ => WireMsg::SyncReply(SyncReply { start: a, entries }),
+        6 => WireMsg::SyncReply(SyncReply { start: a, entries }),
+        7 => WireMsg::SnapshotRequest(SnapshotRequest { from_index: a }),
+        _ => WireMsg::SnapshotReply(SnapshotReply {
+            upto: a,
+            digest: b,
+            view_id: a ^ b,
+            view_members: wide,
+            entries,
+        }),
     }
 }
 
@@ -152,7 +160,7 @@ proptest! {
     /// legally change state — the property there is survival.)
     #[test]
     fn service_survives_bit_flipped_frames(
-        selector in 0u8..7,
+        selector in 0u8..9,
         a in any::<u64>(),
         b in any::<u64>(),
         wide in any::<u128>(),
@@ -177,5 +185,64 @@ proptest! {
             prop_assert_eq!(node.log().len(), log_before);
             prop_assert!(!node.is_halted());
         }
+    }
+
+    /// Unsolicited snapshot replies — forged summaries with
+    /// attacker-chosen (possibly astronomical) `upto` — are ignored
+    /// outright: the receiver never armed `awaiting_snapshot`, so the
+    /// log keeps its base and length and no arena inflates. This is
+    /// the compaction analogue of the `SLOT_HORIZON` pin: installation
+    /// cost must never scale with an attacker-chosen index.
+    #[test]
+    fn service_ignores_unsolicited_snapshot_replies(
+        upto in any::<u64>(),
+        digest in any::<u64>(),
+        view_id in any::<u64>(),
+        wide in any::<u128>(),
+        entries in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u128>()), 0..32),
+    ) {
+        let clock = VirtualClock::new();
+        let net = InMemoryNetwork::new(N, NetworkConfig::reliable(ms(1), ms(2)), clock.clone());
+        let mut node = DecisionService::new(N, chen(), net.endpoint(p(0)), clock.clone(), ms(50));
+        let attacker = net.endpoint(p(1));
+        let base_before = node.log().first_index();
+        let len_before = node.log().len();
+        attacker.send(
+            p(0),
+            encode(&WireMsg::SnapshotReply(SnapshotReply {
+                upto,
+                digest,
+                view_id,
+                view_members: wide,
+                entries,
+            })),
+        );
+        clock.advance(ms(2));
+        node.poll();
+        prop_assert_eq!(node.log().first_index(), base_before);
+        prop_assert_eq!(node.log().len(), len_before);
+        prop_assert_eq!(node.log().snapshots_installed(), 0);
+        prop_assert!(!node.is_halted());
+    }
+
+    /// Forged snapshot *requests* with arbitrary `from_index` never
+    /// panic the responder and never make it serve below its base as a
+    /// suffix (the reply is either a snapshot or in-range chunks).
+    #[test]
+    fn service_survives_arbitrary_snapshot_requests(
+        from_index in any::<u64>(),
+    ) {
+        let clock = VirtualClock::new();
+        let net = InMemoryNetwork::new(N, NetworkConfig::reliable(ms(1), ms(2)), clock.clone());
+        let mut node = DecisionService::new(N, chen(), net.endpoint(p(0)), clock.clone(), ms(50));
+        let attacker = net.endpoint(p(1));
+        attacker.send(
+            p(0),
+            encode(&WireMsg::SnapshotRequest(SnapshotRequest { from_index })),
+        );
+        clock.advance(ms(2));
+        node.poll();
+        prop_assert!(!node.is_halted());
+        prop_assert_eq!(node.malformed_frames(), 0);
     }
 }
