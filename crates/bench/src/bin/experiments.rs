@@ -27,7 +27,7 @@ fn main() {
         .collect();
 
     // Filter the catalog *before* running: selecting one experiment must
-    // not pay for the other thirteen.
+    // not pay for the rest of the catalog.
     let mut ran = 0usize;
     for (id, run) in experiments::catalog() {
         if !selected.is_empty() && !selected.iter().any(|s| s == id) {
@@ -48,7 +48,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("no experiment matched; known ids: E1..E14");
+        eprintln!("no experiment matched; known ids: E1..E15");
         std::process::exit(2);
     }
 }

@@ -125,6 +125,11 @@ fn mean_report(reports: &[QosReport]) -> QosReport {
                 .sum::<f64>()
                 / n) as u64,
         ),
+        longest_mistake: reports
+            .iter()
+            .map(|r| r.longest_mistake)
+            .max()
+            .unwrap_or(Nanos::ZERO),
         query_accuracy: reports.iter().map(|r| r.query_accuracy).sum::<f64>() / n,
     }
 }

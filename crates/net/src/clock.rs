@@ -169,6 +169,133 @@ impl Clock for VirtualClock {
     }
 }
 
+/// A fixed rational clock rate: `num/den` local nanoseconds elapse per
+/// nanosecond of the wrapped clock. The unit of per-node clock skew in
+/// the weather DSL ([`crate::weather`]) — pure integer arithmetic, so a
+/// skewed clock is exactly as deterministic as the clock it wraps.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ClockSkew {
+    num: u32,
+    den: u32,
+}
+
+impl ClockSkew {
+    /// No skew: local time equals wrapped time, bit for bit.
+    pub const IDENTITY: ClockSkew = ClockSkew { num: 1, den: 1 };
+
+    /// A rate of `num/den` (e.g. `ratio(11, 10)` runs 10% fast,
+    /// `ratio(9, 10)` runs 10% slow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either term is zero.
+    #[must_use]
+    pub fn ratio(num: u32, den: u32) -> Self {
+        assert!(num > 0 && den > 0, "clock rates must be positive");
+        Self { num, den }
+    }
+
+    /// A drift expressed in parts per million: `ppm(500)` gains 500 µs
+    /// per second, `ppm(-500)` loses it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift <= -1_000_000` (the clock would stop or run
+    /// backwards).
+    #[must_use]
+    pub fn ppm(drift: i64) -> Self {
+        let num = 1_000_000_i64 + drift;
+        assert!(num > 0, "a clock must keep moving forward");
+        Self {
+            num: u32::try_from(num).expect("drift within u32 range"),
+            den: 1_000_000,
+        }
+    }
+
+    /// Whether this is the identity rate.
+    #[must_use]
+    pub fn is_identity(self) -> bool {
+        self.num == self.den
+    }
+
+    /// Maps wrapped time to local time: `t · num / den`.
+    #[must_use]
+    pub fn apply(self, t: Nanos) -> Nanos {
+        let scaled = u128::from(t.as_nanos()) * u128::from(self.num) / u128::from(self.den);
+        Nanos::from_nanos(u64::try_from(scaled).unwrap_or(u64::MAX))
+    }
+
+    /// Maps local time back to wrapped time, rounding **up** so that
+    /// `apply(unapply(t)) >= t` — pacing to the unapplied target always
+    /// reaches the local one.
+    #[must_use]
+    pub fn unapply(self, t: Nanos) -> Nanos {
+        let num = u128::from(self.num);
+        let scaled = (u128::from(t.as_nanos()) * u128::from(self.den)).div_ceil(num);
+        Nanos::from_nanos(u64::try_from(scaled).unwrap_or(u64::MAX))
+    }
+}
+
+impl Default for ClockSkew {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+/// A [`Clock`] running at a fixed rational rate of another clock — the
+/// per-node clock-skew plane of the weather DSL. With
+/// [`ClockSkew::IDENTITY`] the wrapper is exact passthrough (integer
+/// arithmetic, no rounding), so an unskewed fleet built through it is
+/// bit-identical to one built on the bare clock.
+///
+/// # Examples
+///
+/// ```
+/// use rfd_net::clock::{Clock, ClockSkew, Nanos, SkewedClock, VirtualClock};
+///
+/// let real = VirtualClock::new();
+/// let fast = SkewedClock::new(real.clone(), ClockSkew::ratio(3, 2));
+/// real.advance(Nanos::from_millis(100));
+/// assert_eq!(fast.now().as_millis(), 150, "runs 1.5x fast");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SkewedClock<C> {
+    inner: C,
+    skew: ClockSkew,
+}
+
+impl<C> SkewedClock<C> {
+    /// Wraps `inner` at rate `skew`.
+    #[must_use]
+    pub fn new(inner: C, skew: ClockSkew) -> Self {
+        Self { inner, skew }
+    }
+
+    /// The rate this clock runs at.
+    #[must_use]
+    pub fn skew(&self) -> ClockSkew {
+        self.skew
+    }
+
+    /// The wrapped clock.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Clock> Clock for SkewedClock<C> {
+    fn now(&self) -> Nanos {
+        self.skew.apply(self.inner.now())
+    }
+}
+
+impl<C: Pacer> Pacer for SkewedClock<C> {
+    fn pace_to(&self, t: Nanos) {
+        self.inner.pace_to(self.skew.unapply(t));
+    }
+}
+
 /// The wall clock, anchored at its creation instant.
 #[derive(Clone, Debug)]
 pub struct SystemClock {
@@ -240,6 +367,47 @@ mod tests {
         let target = c.now().saturating_add(Nanos::from_millis(5));
         c.pace_to(target);
         assert!(c.now() >= target);
+    }
+
+    #[test]
+    fn skewed_clock_scales_and_identity_is_exact_passthrough() {
+        let real = VirtualClock::new();
+        let fast = SkewedClock::new(real.clone(), ClockSkew::ratio(3, 2));
+        let slow = SkewedClock::new(real.clone(), ClockSkew::ratio(1, 2));
+        let same = SkewedClock::new(real.clone(), ClockSkew::IDENTITY);
+        real.advance(Nanos::from_nanos(1_000_001));
+        assert_eq!(fast.now().as_nanos(), 1_500_001);
+        assert_eq!(slow.now().as_nanos(), 500_000);
+        assert_eq!(same.now().as_nanos(), 1_000_001, "identity is exact");
+        assert!(ClockSkew::IDENTITY.is_identity());
+        assert!(!ClockSkew::ratio(3, 2).is_identity());
+    }
+
+    #[test]
+    fn skewed_pacer_reaches_its_local_target() {
+        let real = VirtualClock::new();
+        for skew in [
+            ClockSkew::ratio(3, 2),
+            ClockSkew::ratio(2, 3),
+            ClockSkew::ratio(7, 13),
+            ClockSkew::ppm(500),
+            ClockSkew::ppm(-500),
+        ] {
+            let local = SkewedClock::new(real.clone(), skew);
+            let target = local.now().saturating_add(Nanos::from_nanos(1_234_567));
+            local.pace_to(target);
+            assert!(
+                local.now() >= target,
+                "{skew:?}: {:?} < {target:?}",
+                local.now()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_clocks_are_rejected() {
+        let _ = ClockSkew::ratio(0, 2);
     }
 
     #[test]

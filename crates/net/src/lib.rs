@@ -30,6 +30,11 @@
 //!   rotating-coordinator consensus per log slot over the
 //!   membership-emulated `P`, TRB-style decision relaying, and
 //!   post-heal state transfer between re-merged views (experiment E13).
+//! * [`weather`] — the adversarial weather catalogue: a composable
+//!   scenario DSL (one-way partitions, flapping links, duplication,
+//!   bounded reordering, gray failure, clock skew, correlated zone
+//!   crashes) over the [`transport::FaultInjector`] fault planes
+//!   (experiment E15).
 //!
 //! ## Example: measure an estimator's QoS
 //!
@@ -69,8 +74,9 @@ pub mod online;
 pub mod qos;
 pub mod service;
 pub mod transport;
+pub mod weather;
 
-pub use clock::{Clock, Nanos, Pacer, SystemClock, VirtualClock};
+pub use clock::{Clock, ClockSkew, Nanos, Pacer, SkewedClock, SystemClock, VirtualClock};
 pub use detector::{DetectorNode, HeartbeatDetector};
 pub use estimator::{ArrivalEstimator, ChenEstimator, FixedTimeout, JacobsonEstimator, PhiAccrual};
 pub use online::{
@@ -84,4 +90,8 @@ pub use service::{
 pub use transport::{
     faulty_cluster, ChurnableTransport, FaultInjector, FaultyTransport, InMemoryNetwork, LossModel,
     NetworkConfig, Transport, UdpTransport,
+};
+pub use weather::{
+    run_weather_service, weather_fleet, weather_online_runner, weather_service_runner, Weather,
+    WeatherDirective, WeatherTransport,
 };

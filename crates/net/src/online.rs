@@ -33,12 +33,13 @@
 //! [`crate::transport::FaultyTransport`] ([`OnlineRunner::over`],
 //! [`run_membership_churn_over`]; see `examples/udp_churn.rs`).
 
-use crate::clock::{Nanos, Pacer, VirtualClock};
+use crate::clock::{ClockSkew, Nanos, Pacer, SkewedClock, VirtualClock};
 use crate::detector::DetectorNode;
 use crate::estimator::ArrivalEstimator;
 use crate::membership::MembershipNode;
 use crate::qos::{QosMonitor, QosReport, QosTracker};
 use crate::transport::{ChurnableTransport, Endpoint, InMemoryNetwork, NetworkConfig, Transport};
+use crate::weather::WeatherDirective;
 use rfd_core::{ProcessId, ProcessSet};
 
 /// One ground-truth fault injection.
@@ -52,6 +53,13 @@ pub enum Fault {
     Partition(ProcessSet),
     /// The active partition heals.
     Heal,
+    /// An adversarial-weather mutation of the fault plane (one-way
+    /// blocks, duplication, reordering, gray failure, spikes — see
+    /// [`crate::weather`]). Requires a weather-capable
+    /// [`ChurnableTransport`]; applying it to one that declines
+    /// ([`ChurnableTransport::apply_weather`] returns `false`) panics
+    /// the driver rather than running a silently calm scenario.
+    Weather(WeatherDirective),
 }
 
 /// A time-ordered ground-truth schedule of [`Fault`]s.
@@ -142,6 +150,14 @@ pub(crate) fn apply_due_faults<N: ChurnableTransport, F: FnMut(Nanos, &Fault)>(
             }
             Fault::Partition(side) => net.set_partition(*side),
             Fault::Heal => net.heal_partition(),
+            Fault::Weather(d) => {
+                assert!(
+                    net.apply_weather(d),
+                    "the schedule carries weather ({d:?}) but this substrate's fault \
+                     plane declined it — drive weather schedules over a \
+                     FaultInjector-wrapped fleet (see rfd_net::weather::weather_fleet)"
+                );
+            }
         }
         on_fault(*at, fault);
         *next += 1;
@@ -174,6 +190,14 @@ pub struct OnlineScenario {
     /// exclusion is forever. Only [`run_membership_churn`] reads this;
     /// the detector fleet of [`OnlineRunner`] has no views to merge.
     pub heal_merge: bool,
+    /// Per-node clock skew rates (index = process id), identity where
+    /// absent or empty. Every node's local clock — heartbeat pacing,
+    /// timeout arithmetic, arrival stamps — runs through a
+    /// [`SkewedClock`] at its rate while the driver keeps ticking in
+    /// unskewed time, so a skewed node is locally honest but globally
+    /// fast or slow. Populated by
+    /// [`Weather::apply_to`](crate::weather::Weather::apply_to).
+    pub skews: Vec<ClockSkew>,
 }
 
 impl Default for OnlineScenario {
@@ -188,6 +212,7 @@ impl Default for OnlineScenario {
             seed: 0,
             schedule: FaultSchedule::new(),
             heal_merge: false,
+            skews: Vec::new(),
         }
     }
 }
@@ -264,7 +289,9 @@ where
     scenario: OnlineScenario,
     clock: C,
     net: N,
-    nodes: Vec<DetectorNode<E, T, C>>,
+    /// Each node's clock is the driver clock seen through that node's
+    /// [`ClockSkew`] (identity unless the scenario skews it).
+    nodes: Vec<DetectorNode<E, T, SkewedClock<C>>>,
     up: Vec<bool>,
     /// `monitors[observer][target]`, `None` on the diagonal.
     monitors: Vec<Vec<Option<QosMonitor>>>,
@@ -334,11 +361,12 @@ where
             .enumerate()
             .map(|(ix, endpoint)| {
                 assert_eq!(endpoint.me(), ProcessId::new(ix), "endpoints out of order");
+                let skew = scenario.skews.get(ix).copied().unwrap_or_default();
                 DetectorNode::new(
                     n,
                     prototype.clone(),
                     endpoint,
-                    clock.clone(),
+                    SkewedClock::new(clock.clone(), skew),
                     scenario.period,
                 )
             })
@@ -554,6 +582,7 @@ pub fn reports_equal(a: &QosReport, b: &QosReport) -> bool {
         && a.mistakes == b.mistakes
         && a.mistake_rate.to_bits() == b.mistake_rate.to_bits()
         && a.avg_mistake_duration == b.avg_mistake_duration
+        && a.longest_mistake == b.longest_mistake
         && a.query_accuracy.to_bits() == b.query_accuracy.to_bits()
 }
 
@@ -605,6 +634,11 @@ pub struct MembershipChurnReport {
     /// from a heal until every live replica caught up to the pre-heal
     /// log length — E14's rejoin latency.
     pub rejoin_latencies: Vec<Nanos>,
+    /// Adversarial-weather directives applied during the run
+    /// ([`MembershipWatcher::note_weather`]) — zero on a crash-only
+    /// schedule, so a report can attest which fault vocabulary the
+    /// fleet was actually exposed to.
+    pub weather_directives: u64,
 }
 
 /// An incremental observer of a membership fleet under churn: feed it
@@ -637,6 +671,7 @@ pub struct MembershipWatcher {
     snapshots_sent: u64,
     sync_bytes_sent: u64,
     rejoin_latencies: Vec<Nanos>,
+    weather_directives: u64,
 }
 
 impl MembershipWatcher {
@@ -661,6 +696,7 @@ impl MembershipWatcher {
             snapshots_sent: 0,
             sync_bytes_sent: 0,
             rejoin_latencies: Vec::new(),
+            weather_directives: 0,
         }
     }
 
@@ -708,6 +744,13 @@ impl MembershipWatcher {
     /// every live replica caught back up to the pre-heal log length.
     pub fn note_rejoin(&mut self, latency: Nanos) {
         self.rejoin_latencies.push(latency);
+    }
+
+    /// Notes one applied adversarial-weather directive (see
+    /// [`Fault::Weather`]): the report's attestation that the run was
+    /// weathered, not calm.
+    pub fn note_weather(&mut self) {
+        self.weather_directives += 1;
     }
 
     /// Notes that the network partition healed at `at`: the fleet's time
@@ -816,6 +859,7 @@ impl MembershipWatcher {
             snapshots_sent: self.snapshots_sent,
             sync_bytes_sent: self.sync_bytes_sent,
             rejoin_latencies: self.rejoin_latencies.clone(),
+            weather_directives: self.weather_directives,
         }
     }
 }
@@ -878,11 +922,12 @@ where
         .enumerate()
         .map(|(ix, endpoint)| {
             assert_eq!(endpoint.me(), ProcessId::new(ix), "endpoints out of order");
+            let skew = scenario.skews.get(ix).copied().unwrap_or_default();
             let node = MembershipNode::new(
                 n,
                 prototype.clone(),
                 endpoint,
-                clock.clone(),
+                SkewedClock::new(clock.clone(), skew),
                 scenario.period,
             );
             if scenario.heal_merge {
@@ -908,6 +953,7 @@ where
                 Fault::Recover(p) => watcher.note_recover(*p),
                 Fault::Heal => watcher.note_heal(at),
                 Fault::Partition(_) => {}
+                Fault::Weather(_) => watcher.note_weather(),
             },
         );
         for (ix, node) in nodes.iter_mut().enumerate() {

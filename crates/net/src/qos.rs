@@ -61,6 +61,7 @@ impl QosTracker {
         let truth_horizon = crash.unwrap_or(end).min(end);
         let mut mistakes = 0u32;
         let mut mistake_time = Nanos::ZERO;
+        let mut longest_mistake = Nanos::ZERO;
         let mut detection_time = None;
         for &(start, end_ep) in &self.episodes {
             let ep_end = end_ep.unwrap_or(end);
@@ -73,7 +74,9 @@ impl QosTracker {
                     // Its pre-crash portion counts as mistake time.
                     if start < c {
                         mistakes += 1;
-                        mistake_time = mistake_time.saturating_add(c.saturating_sub(start));
+                        let d = c.saturating_sub(start);
+                        mistake_time = mistake_time.saturating_add(d);
+                        longest_mistake = longest_mistake.max(d);
                     }
                 }
                 _ => {
@@ -83,7 +86,9 @@ impl QosTracker {
                     let m_end = ep_end.min(truth_horizon);
                     if m_end > m_start || (start < truth_horizon && end_ep.is_none()) {
                         mistakes += 1;
-                        mistake_time = mistake_time.saturating_add(m_end.saturating_sub(m_start));
+                        let d = m_end.saturating_sub(m_start);
+                        mistake_time = mistake_time.saturating_add(d);
+                        longest_mistake = longest_mistake.max(d);
                     }
                 }
             }
@@ -102,6 +107,7 @@ impl QosTracker {
             } else {
                 Nanos::ZERO
             },
+            longest_mistake,
             query_accuracy: if truth_horizon > Nanos::ZERO {
                 1.0 - mistake_time.as_nanos() as f64 / truth_horizon.as_nanos() as f64
             } else {
@@ -139,6 +145,7 @@ pub struct QosMonitor {
     open_since: Option<Nanos>,
     mistakes: u32,
     mistake_time: Nanos,
+    longest_mistake: Nanos,
     last_sample: Option<Nanos>,
 }
 
@@ -154,6 +161,7 @@ impl QosMonitor {
             open_since: None,
             mistakes: 0,
             mistake_time: Nanos::ZERO,
+            longest_mistake: Nanos::ZERO,
             last_sample: None,
         }
     }
@@ -186,7 +194,9 @@ impl QosMonitor {
                     };
                     if e > s {
                         self.mistakes += 1;
-                        self.mistake_time = self.mistake_time.saturating_add(e.saturating_sub(s));
+                        let d = e.saturating_sub(s);
+                        self.mistake_time = self.mistake_time.saturating_add(d);
+                        self.longest_mistake = self.longest_mistake.max(d);
                     }
                 }
             }
@@ -213,6 +223,7 @@ impl QosMonitor {
         let truth_horizon = self.crash.unwrap_or(end).min(end);
         let mut mistakes = self.mistakes;
         let mut mistake_time = self.mistake_time;
+        let mut longest_mistake = self.longest_mistake;
         let mut detection_time = None;
         if let Some(start) = self.open_since {
             match self.crash {
@@ -221,7 +232,9 @@ impl QosMonitor {
                     detection_time = Some(start.saturating_sub(c));
                     if start < c {
                         mistakes += 1;
-                        mistake_time = mistake_time.saturating_add(c.saturating_sub(start));
+                        let d = c.saturating_sub(start);
+                        mistake_time = mistake_time.saturating_add(d);
+                        longest_mistake = longest_mistake.max(d);
                     }
                 }
                 _ => {
@@ -229,8 +242,9 @@ impl QosMonitor {
                     // lies beyond the observation end).
                     if start < truth_horizon {
                         mistakes += 1;
-                        mistake_time =
-                            mistake_time.saturating_add(truth_horizon.saturating_sub(start));
+                        let d = truth_horizon.saturating_sub(start);
+                        mistake_time = mistake_time.saturating_add(d);
+                        longest_mistake = longest_mistake.max(d);
                     }
                 }
             }
@@ -249,6 +263,7 @@ impl QosMonitor {
             } else {
                 Nanos::ZERO
             },
+            longest_mistake,
             query_accuracy: if truth_horizon > Nanos::ZERO {
                 1.0 - mistake_time.as_nanos() as f64 / truth_horizon.as_nanos() as f64
             } else {
@@ -270,6 +285,11 @@ pub struct QosReport {
     pub mistake_rate: f64,
     /// `T_M`: mean mistake duration.
     pub avg_mistake_duration: Nanos,
+    /// The single longest mistake episode (clipped like the rest). The
+    /// mean hides a gray-failure signature — many short mistakes and one
+    /// crushing outage-length one average out — so the weather
+    /// experiments (E15) read this tail metric alongside `T_M`.
+    pub longest_mistake: Nanos,
     /// `P_A`: fraction of pre-crash time spent (correctly) trusting.
     pub query_accuracy: f64,
 }
@@ -386,6 +406,11 @@ mod tests {
         let report = t.finalize(None, ms(100));
         assert_eq!(report.mistakes, 2);
         assert_eq!(report.avg_mistake_duration.as_millis(), 15);
+        assert_eq!(
+            report.longest_mistake.as_millis(),
+            20,
+            "the tail metric keeps the worst episode the mean dilutes"
+        );
         assert!((report.query_accuracy - 0.7).abs() < 1e-9);
         assert!(report.detection_time.is_none());
     }
@@ -464,6 +489,7 @@ mod tests {
                 live.avg_mistake_duration, batch.avg_mistake_duration,
                 "{samples:?}"
             );
+            assert_eq!(live.longest_mistake, batch.longest_mistake, "{samples:?}");
             assert_eq!(
                 live.mistake_rate.to_bits(),
                 batch.mistake_rate.to_bits(),

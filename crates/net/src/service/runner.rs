@@ -5,7 +5,7 @@
 
 use super::log::Decision;
 use super::node::{CompactionPolicy, DecisionService, ServiceOutput};
-use crate::clock::{Nanos, Pacer, VirtualClock};
+use crate::clock::{Nanos, Pacer, SkewedClock, VirtualClock};
 use crate::estimator::ArrivalEstimator;
 use crate::membership::View;
 use crate::online::OnlineScenario;
@@ -299,7 +299,10 @@ where
     scenario: ServiceScenario,
     clock: C,
     net: N,
-    nodes: Vec<DecisionService<E, T, C>>,
+    /// Each node's clock is the driver clock seen through that node's
+    /// [`crate::clock::ClockSkew`] (identity unless the scenario skews
+    /// it).
+    nodes: Vec<DecisionService<E, T, SkewedClock<C>>>,
     watcher: MembershipWatcher,
     up: Vec<bool>,
     next_fault: usize,
@@ -363,11 +366,12 @@ where
             .enumerate()
             .map(|(ix, endpoint)| {
                 assert_eq!(endpoint.me().index(), ix, "endpoints out of order");
+                let skew = scenario.online.skews.get(ix).copied().unwrap_or_default();
                 let node = DecisionService::new(
                     n,
                     prototype.clone(),
                     endpoint,
-                    clock.clone(),
+                    SkewedClock::new(clock.clone(), skew),
                     scenario.online.period,
                 )
                 .with_batching(scenario.batching);
@@ -410,9 +414,12 @@ where
         self.done
     }
 
-    /// Read access to one node (e.g. its live log mid-run).
+    /// Read access to one node (e.g. its live log mid-run). The node's
+    /// clock is the driver clock seen through that node's
+    /// [`crate::clock::ClockSkew`] (identity unless the scenario skews
+    /// it).
     #[must_use]
-    pub fn node(&self, ix: usize) -> &DecisionService<E, T, C> {
+    pub fn node(&self, ix: usize) -> &DecisionService<E, T, SkewedClock<C>> {
         // rfd-lint: allow(wire-safety, harness accessor with a documented panic contract; ix is caller-chosen and never datagram-derived)
         &self.nodes[ix]
     }
@@ -443,6 +450,7 @@ where
                     Fault::Recover(p) => watcher.note_recover(*p),
                     Fault::Heal => watcher.note_heal(at),
                     Fault::Partition(_) => {}
+                    Fault::Weather(_) => watcher.note_weather(),
                 }
                 events.push(ServiceEvent::Fault { at, fault: *fault });
             },

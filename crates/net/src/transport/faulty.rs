@@ -28,18 +28,57 @@
 //! * **Injected loss** — independent per-datagram drops with a seeded
 //!   RNG, so loss pressure exists even on a lossless loopback.
 //!
+//! On top of the crash/partition/loss base, the injector carries the
+//! adversarial **weather planes** driven by
+//! [`WeatherDirective`]s (see
+//! [`crate::weather`]):
+//!
+//! * **one-way blocks** — a directed `(from, to)` link set, checked at
+//!   send *and* receive like partitions, but asymmetric;
+//! * **duplication** — a forwarded datagram is sent twice with seeded
+//!   probability;
+//! * **bounded reordering** — an arrival is held back until `depth`
+//!   younger datagrams have overtaken it or a hold timer fires;
+//! * **gray failure / latency spikes** — arrivals from a gray sender
+//!   (or, under a spike, from anyone) are held for the configured extra
+//!   latency: slow-but-alive, never lost.
+//!
+//! Held datagrams live in a per-node queue inside the wrapper and are
+//! still "in flight": a partition or block landing while they wait
+//! catches them at release, and a crash of the receiver purges them
+//! like any other buffered traffic. When every weather plane is idle
+//! and the queue is empty, the receive paths take the exact pre-weather
+//! fast path — zero extra RNG draws, allocations or reshuffling — so a
+//! calm injector stays bit-identical to the historical behaviour.
+//!
 //! Received datagrams are re-stamped with the cluster's shared clock, so
 //! every arrival time an estimator sees is coherent with the driver's
 //! clock regardless of what the inner transport recorded.
 
 use super::{ChurnableTransport, Datagram, Transport};
-use crate::clock::Clock;
+use crate::clock::{Clock, Nanos};
+use crate::weather::WeatherDirective;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rfd_core::{ProcessId, ProcessSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Datagram counters of the weather planes, cluster-wide (see
+/// [`FaultInjector::weather_stats`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WeatherStats {
+    /// Forwarded datagrams that were sent twice.
+    pub duplicated: u64,
+    /// Arrivals held back by the reordering plane.
+    pub reordered: u64,
+    /// Arrivals held back by gray failure or a latency spike.
+    pub delayed: u64,
+    /// Datagrams dropped by one-way link blocks.
+    pub link_dropped: u64,
+}
 
 #[derive(Debug)]
 struct InjectorState {
@@ -53,6 +92,50 @@ struct InjectorState {
     rng: StdRng,
     forwarded: u64,
     dropped: u64,
+    /// Directed links currently blocked (one-way partitions).
+    blocked: BTreeSet<(ProcessId, ProcessId)>,
+    /// Duplication probability, in per-mille (0 = plane off).
+    dup_per_mille: u16,
+    /// Reordering hold-back probability, in per-mille (0 = plane off).
+    reorder_per_mille: u16,
+    /// How many younger datagrams may overtake a held one.
+    reorder_depth: u8,
+    /// Maximum extra latency the reordering plane holds a datagram.
+    reorder_hold: Nanos,
+    /// Gray (slow-but-alive) senders and their extra one-way latency.
+    gray: BTreeMap<ProcessId, Nanos>,
+    /// Cluster-wide extra latency (a spike), `ZERO` when calm.
+    spike: Nanos,
+    weather: WeatherStats,
+}
+
+impl InjectorState {
+    /// Whether every weather plane is idle — the receive paths take the
+    /// historical fast path iff this holds (and no datagram is held).
+    fn weather_quiet(&self) -> bool {
+        self.blocked.is_empty()
+            && self.dup_per_mille == 0
+            && self.reorder_per_mille == 0
+            && self.gray.is_empty()
+            && self.spike == Nanos::ZERO
+    }
+}
+
+/// What the receive-side fault plane decided about one arrival.
+enum RecvFate {
+    /// Discard (partition crossing or blocked link), already charged.
+    Drop,
+    /// Deliver now.
+    Deliver,
+    /// Hold back: release after `extra` latency, or — when `depth` is
+    /// set (reordering) — once that many younger datagrams have been
+    /// delivered past it, whichever comes first.
+    Hold {
+        /// Extra latency before a time-based release.
+        extra: Nanos,
+        /// Overtake bound for a count-based release (reordering only).
+        depth: Option<u8>,
+    },
 }
 
 /// The shared control plane of a [`FaultyTransport`] cluster: the
@@ -87,6 +170,14 @@ impl FaultInjector {
                 rng: StdRng::seed_from_u64(seed),
                 forwarded: 0,
                 dropped: 0,
+                blocked: BTreeSet::new(),
+                dup_per_mille: 0,
+                reorder_per_mille: 0,
+                reorder_depth: 0,
+                reorder_hold: Nanos::ZERO,
+                gray: BTreeMap::new(),
+                spike: Nanos::ZERO,
+                weather: WeatherStats::default(),
             })),
         }
     }
@@ -111,30 +202,114 @@ impl FaultInjector {
         (g.forwarded, g.dropped)
     }
 
-    /// Whether a send from `from` to `to` passes the fault plane right
-    /// now, charging drops to the counters.
-    fn allow_send(&self, from: ProcessId, to: ProcessId) -> bool {
+    /// The per-plane weather counters (duplicates, holds, one-way
+    /// drops) across the cluster.
+    #[must_use]
+    pub fn weather_stats(&self) -> WeatherStats {
+        self.state.lock().weather
+    }
+
+    /// How many copies of a send from `from` to `to` pass the fault
+    /// plane right now (0 = dropped, 2 = duplicated), charging the
+    /// counters. RNG draws happen only for planes that are switched on,
+    /// so a calm injector consumes exactly the historical seed stream.
+    fn copies_for_send(&self, from: ProcessId, to: ProcessId) -> usize {
         let mut g = self.state.lock();
         if g.down.contains(from) || g.down.contains(to) {
             g.dropped += 1;
-            return false;
+            return 0;
         }
         if let Some(side) = g.partition {
             if side.contains(from) != side.contains(to) {
                 g.dropped += 1;
-                return false;
+                return 0;
             }
+        }
+        if g.blocked.contains(&(from, to)) {
+            g.dropped += 1;
+            g.weather.link_dropped += 1;
+            return 0;
         }
         if g.drop_probability > 0.0 {
             let p = g.drop_probability;
             if g.rng.gen_bool(p) {
                 g.dropped += 1;
-                return false;
+                return 0;
             }
         }
         g.forwarded += 1;
+        if g.dup_per_mille > 0 {
+            let p = per_mille_probability(g.dup_per_mille);
+            if g.rng.gen_bool(p) {
+                g.weather.duplicated += 1;
+                return 2;
+            }
+        }
+        1
+    }
+
+    /// The receive-side fault plane's verdict on an arrival from `from`
+    /// at node `me`, charging drop counters.
+    fn fate_of_arrival(&self, from: ProcessId, me: ProcessId) -> RecvFate {
+        let mut g = self.state.lock();
+        if g.partition
+            .is_some_and(|side| side.contains(from) != side.contains(me))
+        {
+            g.dropped += 1;
+            return RecvFate::Drop;
+        }
+        if g.blocked.contains(&(from, me)) {
+            g.dropped += 1;
+            g.weather.link_dropped += 1;
+            return RecvFate::Drop;
+        }
+        let extra = g
+            .gray
+            .get(&from)
+            .copied()
+            .unwrap_or(Nanos::ZERO)
+            .saturating_add(g.spike);
+        if extra > Nanos::ZERO {
+            g.weather.delayed += 1;
+            return RecvFate::Hold { extra, depth: None };
+        }
+        if g.reorder_per_mille > 0 {
+            let p = per_mille_probability(g.reorder_per_mille);
+            if g.rng.gen_bool(p) {
+                g.weather.reordered += 1;
+                return RecvFate::Hold {
+                    extra: g.reorder_hold,
+                    depth: Some(g.reorder_depth),
+                };
+            }
+        }
+        RecvFate::Deliver
+    }
+
+    /// Whether a previously held datagram from `from` may still reach
+    /// `me` — held datagrams are in flight, so a partition or one-way
+    /// block landing during the hold catches them at release (charged
+    /// like any other receive-side drop).
+    fn still_admissible(&self, from: ProcessId, me: ProcessId) -> bool {
+        let mut g = self.state.lock();
+        if g.partition
+            .is_some_and(|side| side.contains(from) != side.contains(me))
+        {
+            g.dropped += 1;
+            return false;
+        }
+        if g.blocked.contains(&(from, me)) {
+            g.dropped += 1;
+            g.weather.link_dropped += 1;
+            return false;
+        }
         true
     }
+}
+
+/// A per-mille knob as a [`Rng::gen_bool`] probability.
+fn per_mille_probability(per_mille: u16) -> f64 {
+    f64::from(per_mille.min(1000)) / 1000.0
 }
 
 impl ChurnableTransport for FaultInjector {
@@ -155,6 +330,37 @@ impl ChurnableTransport for FaultInjector {
 
     fn heal_partition(&self) {
         self.state.lock().partition = None;
+    }
+
+    fn apply_weather(&self, directive: &WeatherDirective) -> bool {
+        let mut g = self.state.lock();
+        match *directive {
+            WeatherDirective::BlockLink { from, to } => {
+                g.blocked.insert((from, to));
+            }
+            WeatherDirective::UnblockLink { from, to } => {
+                g.blocked.remove(&(from, to));
+            }
+            WeatherDirective::Duplicate { per_mille } => g.dup_per_mille = per_mille,
+            WeatherDirective::Reorder {
+                per_mille,
+                depth,
+                hold,
+            } => {
+                g.reorder_per_mille = per_mille;
+                g.reorder_depth = depth;
+                g.reorder_hold = hold;
+            }
+            WeatherDirective::Gray { node, extra } => {
+                g.gray.insert(node, extra);
+            }
+            WeatherDirective::Ungray { node } => {
+                g.gray.remove(&node);
+            }
+            WeatherDirective::Spike { extra } => g.spike = extra,
+            WeatherDirective::Calm => g.spike = Nanos::ZERO,
+        }
+        true
     }
 }
 
@@ -196,6 +402,31 @@ pub struct FaultyTransport<T, C> {
     inner: T,
     injector: FaultInjector,
     clock: C,
+    /// This node's weather hold-back queue (gray/spike/reordering).
+    held: Mutex<HeldQueue>,
+}
+
+/// Datagrams the weather planes are holding back for one node, plus the
+/// delivery counter the reordering release bound is measured against.
+#[derive(Debug, Default)]
+struct HeldQueue {
+    /// Held arrivals in arrival order (oldest first).
+    entries: Vec<HeldEntry>,
+    /// Datagrams delivered to this node so far (weather paths only —
+    /// the calm fast path doesn't count, it also can't hold anything).
+    delivered: u64,
+    /// Reused drain buffer for the weather batch path.
+    scratch: Vec<Datagram>,
+}
+
+#[derive(Debug)]
+struct HeldEntry {
+    /// Time-based release bound.
+    due: Nanos,
+    /// Count-based release bound: released once `delivered` reaches
+    /// this (`u64::MAX` for pure-latency holds).
+    release_after: u64,
+    dg: Datagram,
 }
 
 impl<T: Transport, C: Clock> FaultyTransport<T, C> {
@@ -208,6 +439,7 @@ impl<T: Transport, C: Clock> FaultyTransport<T, C> {
             inner,
             injector,
             clock,
+            held: Mutex::new(HeldQueue::default()),
         }
     }
 
@@ -222,79 +454,69 @@ impl<T: Transport, C: Clock> FaultyTransport<T, C> {
     pub fn inner(&self) -> &T {
         &self.inner
     }
-}
 
-impl<T: Transport, C: Clock> Transport for FaultyTransport<T, C> {
-    fn me(&self) -> ProcessId {
-        self.inner.me()
+    /// If this node is muted (or freshly recovered), discards everything
+    /// the inner transport buffered *and* everything the weather planes
+    /// were holding for it, charging the drop counter; returns whether
+    /// the caller should report an empty receive. Also reports, for the
+    /// healthy case, whether every weather plane is idle.
+    fn purge_if_muted(&self, me: ProcessId) -> (bool, bool) {
+        let mut g = self.injector.state.lock();
+        if g.down.contains(me) || g.flush.contains(me) {
+            // Muted, or freshly recovered: discard everything buffered
+            // during the outage. Holding the lock is fine — the inner
+            // recv is non-blocking by contract.
+            let mut purged = 0u64;
+            while self.inner.recv().is_some() {
+                purged += 1;
+            }
+            let mut h = self.held.lock();
+            purged += h.entries.len() as u64;
+            h.entries.clear();
+            drop(h);
+            g.dropped += purged;
+            g.flush.remove(me);
+            return (true, false);
+        }
+        let quiet = g.weather_quiet();
+        (false, quiet)
     }
 
-    fn send(&self, to: ProcessId, payload: Bytes) {
-        if self.injector.allow_send(self.inner.me(), to) {
-            self.inner.send(to, payload);
-        }
+    /// Releases the oldest held datagram whose time or overtake bound
+    /// has passed, re-stamped at `now`.
+    fn pop_released(&self, now: Nanos) -> Option<Datagram> {
+        let mut h = self.held.lock();
+        let delivered = h.delivered;
+        let pos = h
+            .entries
+            .iter()
+            .position(|e| e.due <= now || delivered >= e.release_after)?;
+        let entry = h.entries.remove(pos);
+        h.delivered += 1;
+        Some(Datagram {
+            delivered_at: now,
+            ..entry.dg
+        })
     }
 
-    fn recv(&self) -> Option<Datagram> {
-        let me = self.inner.me();
-        loop {
-            {
-                let mut g = self.injector.state.lock();
-                if g.down.contains(me) || g.flush.contains(me) {
-                    // Muted, or freshly recovered: discard everything the
-                    // inner transport buffered. Holding the lock is fine —
-                    // the inner recv is non-blocking by contract.
-                    let mut purged = 0u64;
-                    while self.inner.recv().is_some() {
-                        purged += 1;
-                    }
-                    g.dropped += purged;
-                    g.flush.remove(me);
-                    return None;
-                }
-            }
-            let dg = self.inner.recv()?;
-            let crosses = {
-                let mut g = self.injector.state.lock();
-                let crosses = g
-                    .partition
-                    .is_some_and(|side| side.contains(dg.from) != side.contains(me));
-                if crosses {
-                    g.dropped += 1;
-                }
-                crosses
-            };
-            if crosses {
-                continue;
-            }
-            return Some(Datagram {
-                delivered_at: self.clock.now(),
-                ..dg
-            });
-        }
+    /// Holds an arrival back per a [`RecvFate::Hold`] verdict.
+    fn stash(&self, dg: Datagram, now: Nanos, extra: Nanos, depth: Option<u8>) {
+        let mut h = self.held.lock();
+        let release_after = depth.map_or(u64::MAX, |d| h.delivered.saturating_add(u64::from(d)));
+        h.entries.push(HeldEntry {
+            due: now.saturating_add(extra),
+            release_after,
+            dg,
+        });
     }
 
-    fn recv_batch(&self, into: &mut Vec<Datagram>) -> usize {
-        let me = self.inner.me();
-        {
-            let mut g = self.injector.state.lock();
-            if g.down.contains(me) || g.flush.contains(me) {
-                // Muted, or freshly recovered: discard everything the
-                // inner transport buffered (see `recv`).
-                let mut purged = 0u64;
-                while self.inner.recv().is_some() {
-                    purged += 1;
-                }
-                g.dropped += purged;
-                g.flush.remove(me);
-                return 0;
-            }
-        }
+    /// The historical calm-weather batch path: drain the inner
+    /// transport, then one lock for the whole batch — drop partition
+    /// crossings in place (compacting with swaps preserves arrival
+    /// order) and re-stamp what survives with the shared clock.
+    fn recv_batch_fast(&self, into: &mut Vec<Datagram>, me: ProcessId) -> usize {
         let start = into.len();
         self.inner.recv_batch(into);
-        // One lock for the whole batch: drop partition crossings in
-        // place (compacting with swaps preserves arrival order) and
-        // re-stamp what survives with the shared clock.
         let now = self.clock.now();
         let mut g = self.injector.state.lock();
         let mut kept = start;
@@ -314,6 +536,93 @@ impl<T: Transport, C: Clock> Transport for FaultyTransport<T, C> {
         }
         into.truncate(kept);
         kept - start
+    }
+
+    /// The weather batch path: release due holds, then run every fresh
+    /// arrival through the full receive-side fault plane.
+    fn recv_batch_weather(&self, into: &mut Vec<Datagram>, me: ProcessId) -> usize {
+        let start = into.len();
+        let now = self.clock.now();
+        while let Some(dg) = self.pop_released(now) {
+            if self.injector.still_admissible(dg.from, me) {
+                into.push(dg);
+            }
+        }
+        let mut fresh = std::mem::take(&mut self.held.lock().scratch);
+        fresh.clear();
+        self.inner.recv_batch(&mut fresh);
+        for dg in fresh.drain(..) {
+            match self.injector.fate_of_arrival(dg.from, me) {
+                RecvFate::Drop => {}
+                RecvFate::Deliver => {
+                    self.held.lock().delivered += 1;
+                    into.push(Datagram {
+                        delivered_at: now,
+                        ..dg
+                    });
+                }
+                RecvFate::Hold { extra, depth } => self.stash(dg, now, extra, depth),
+            }
+        }
+        self.held.lock().scratch = fresh;
+        into.len() - start
+    }
+}
+
+impl<T: Transport, C: Clock> Transport for FaultyTransport<T, C> {
+    fn me(&self) -> ProcessId {
+        self.inner.me()
+    }
+
+    fn send(&self, to: ProcessId, payload: Bytes) {
+        let copies = self.injector.copies_for_send(self.inner.me(), to);
+        for _ in 0..copies {
+            // `Bytes::clone` is a refcount bump, so the duplication
+            // plane costs no copy of the payload.
+            self.inner.send(to, payload.clone());
+        }
+    }
+
+    fn recv(&self) -> Option<Datagram> {
+        let me = self.inner.me();
+        loop {
+            let (muted, _) = self.purge_if_muted(me);
+            if muted {
+                return None;
+            }
+            let now = self.clock.now();
+            if let Some(dg) = self.pop_released(now) {
+                if self.injector.still_admissible(dg.from, me) {
+                    return Some(dg);
+                }
+                continue;
+            }
+            let dg = self.inner.recv()?;
+            match self.injector.fate_of_arrival(dg.from, me) {
+                RecvFate::Drop => {}
+                RecvFate::Deliver => {
+                    self.held.lock().delivered += 1;
+                    return Some(Datagram {
+                        delivered_at: now,
+                        ..dg
+                    });
+                }
+                RecvFate::Hold { extra, depth } => self.stash(dg, now, extra, depth),
+            }
+        }
+    }
+
+    fn recv_batch(&self, into: &mut Vec<Datagram>) -> usize {
+        let me = self.inner.me();
+        let (muted, quiet) = self.purge_if_muted(me);
+        if muted {
+            return 0;
+        }
+        if quiet && self.held.lock().entries.is_empty() {
+            self.recv_batch_fast(into, me)
+        } else {
+            self.recv_batch_weather(into, me)
+        }
     }
 }
 

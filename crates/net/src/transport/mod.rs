@@ -17,6 +17,7 @@ pub use memory::{Endpoint, InMemoryNetwork, LossModel, NetworkConfig};
 pub use udp::UdpTransport;
 
 use crate::clock::Nanos;
+use crate::weather::WeatherDirective;
 use bytes::Bytes;
 use rfd_core::{ProcessId, ProcessSet};
 
@@ -91,4 +92,17 @@ pub trait ChurnableTransport {
 
     /// Heals the active partition, if any.
     fn heal_partition(&self);
+
+    /// Applies an adversarial-weather directive (one-way blocks,
+    /// duplication, reordering, gray failure, spikes — see
+    /// [`WeatherDirective`]), returning whether this control plane
+    /// supports it. The default declines: only the weather-capable
+    /// [`FaultInjector`] fault plane implements the full catalogue, and
+    /// a schedule carrying weather over an unsupporting substrate is a
+    /// driver bug the churn runners turn into a panic rather than a
+    /// silently calm run.
+    fn apply_weather(&self, directive: &WeatherDirective) -> bool {
+        let _ = directive;
+        false
+    }
 }

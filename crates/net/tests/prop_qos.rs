@@ -33,12 +33,12 @@ fn schedule(flips: &[(u64, bool)]) -> Vec<(u64, bool)> {
 
 /// Brute-force per-tick reference for the Chen–Toueg–Aguilera
 /// accounting, at 1 ms tick granularity:
-/// `(detection_time_ms, mistakes, mistake_time_ms)`.
+/// `(detection_time_ms, mistakes, mistake_time_ms, longest_mistake_ms)`.
 fn per_tick_reference(
     samples: &[(u64, bool)],
     crash: Option<u64>,
     end: u64,
-) -> (Option<u64>, u32, u64) {
+) -> (Option<u64>, u32, u64, u64) {
     let horizon = crash.unwrap_or(end).min(end);
     // Reconstruct the suspicion signal: the verdict at tick t is the
     // last sample at or before t (trusting before any sample).
@@ -73,6 +73,7 @@ fn per_tick_reference(
         }
     }
     let mut mistakes = 0u32;
+    let mut longest = 0u64;
     let mut detection = None;
     for &(s, e) in &runs {
         let is_final_open = e == end;
@@ -82,16 +83,18 @@ fn per_tick_reference(
                 detection = Some(s.saturating_sub(c));
                 if s < c {
                     mistakes += 1;
+                    longest = longest.max(c - s);
                 }
             }
             _ => {
                 if s < horizon {
                     mistakes += 1;
+                    longest = longest.max(e.min(horizon) - s);
                 }
             }
         }
     }
-    (detection, mistakes, mistake_time)
+    (detection, mistakes, mistake_time, longest)
 }
 
 proptest! {
@@ -119,11 +122,13 @@ proptest! {
             tracker.sample(ms(t), s);
         }
         let report = tracker.finalize(crash.map(ms), ms(end));
-        let (det, mistakes, mistake_time) = per_tick_reference(&samples, crash, end);
+        let (det, mistakes, mistake_time, longest) = per_tick_reference(&samples, crash, end);
         prop_assert_eq!(report.detection_time, det.map(ms),
             "detection: samples {:?} crash {:?} end {}", samples, crash, end);
         prop_assert_eq!(report.mistakes, mistakes,
             "mistakes: samples {:?} crash {:?} end {}", samples, crash, end);
+        prop_assert_eq!(report.longest_mistake, ms(longest),
+            "longest_M: samples {:?} crash {:?} end {}", samples, crash, end);
         let expected_avg = if mistakes > 0 {
             Nanos::from_nanos(ms(mistake_time).as_nanos() / u64::from(mistakes))
         } else {
@@ -166,6 +171,8 @@ proptest! {
         prop_assert_eq!(live.detection_time, batch.detection_time);
         prop_assert_eq!(live.mistakes, batch.mistakes);
         prop_assert_eq!(live.avg_mistake_duration, batch.avg_mistake_duration);
+        prop_assert_eq!(live.longest_mistake, batch.longest_mistake,
+            "longest_M: samples {:?} crash {:?} end {}", samples, crash, end);
         prop_assert_eq!(live.mistake_rate.to_bits(), batch.mistake_rate.to_bits(),
             "λ_M: {} vs {}", live.mistake_rate, batch.mistake_rate);
         prop_assert_eq!(live.query_accuracy.to_bits(), batch.query_accuracy.to_bits(),
@@ -184,6 +191,7 @@ proptest! {
         let crash = crash_sel.map(ms);
         let mut monitor = QosMonitor::new(crash);
         let mut last_mistakes = 0u32;
+        let mut last_longest = Nanos::ZERO;
         for i in 0..samples.len() {
             let (t, s) = samples[i];
             monitor.sample(ms(t), s);
@@ -197,8 +205,12 @@ proptest! {
             prop_assert_eq!(live.detection_time, batch.detection_time, "prefix {}", i);
             prop_assert_eq!(live.avg_mistake_duration, batch.avg_mistake_duration,
                 "prefix {}", i);
+            prop_assert_eq!(live.longest_mistake, batch.longest_mistake, "prefix {}", i);
             prop_assert!(live.mistakes >= last_mistakes, "mistakes must be monotone");
+            prop_assert!(live.longest_mistake >= last_longest,
+                "the mistake tail must be monotone");
             last_mistakes = live.mistakes;
+            last_longest = live.longest_mistake;
         }
     }
 }

@@ -11,13 +11,24 @@
 //! every estimator × schedule cell; and the online sequence reproduces
 //! bit-for-bit per seed.
 
+//!
+//! A second differential axis pins the weather DSL's zero-cost claim:
+//! a [`Weather`]-wrapped fleet with every fault plane disabled must
+//! produce the **bit-identical** decision and QoS timelines of the
+//! plain `FaultyTransport` path for the same seed — the DSL is a
+//! strict superset of the bare substrate, not a fork of it.
+
 use rfd_algo::consensus::{ConsensusAutomaton, RotatingConsensus};
 use rfd_core::oracles::{Oracle, PerfectOracle};
 use rfd_core::{FailurePattern, ProcessId, ProcessSet, Time};
-use rfd_net::clock::Nanos;
+use rfd_net::clock::{Nanos, VirtualClock};
 use rfd_net::estimator::{ChenEstimator, FixedTimeout, JacobsonEstimator};
-use rfd_net::online::{Fault, FaultSchedule, OnlineScenario};
-use rfd_net::service::{run_service, ServiceScenario};
+use rfd_net::online::{reports_equal, Fault, FaultSchedule, OnlineRunner, OnlineScenario};
+use rfd_net::service::{run_service, ServiceRunner, ServiceScenario};
+use rfd_net::transport::{
+    Endpoint, FaultInjector, FaultyTransport, InMemoryNetwork, NetworkConfig,
+};
+use rfd_net::weather::{weather_online_runner, weather_service_runner, Weather};
 use rfd_net::ArrivalEstimator;
 use rfd_sim::{run, ticks_for_rounds, SimConfig, StopCondition};
 
@@ -219,6 +230,127 @@ fn batched_and_singleton_fleets_decide_identically() {
         );
         assert!(batched.agreement_holds() && singleton.agreement_holds());
         assert_eq!(batched.decided_values(), singleton.decided_values());
+    }
+}
+
+// ---- weather DSL vs bare FaultyTransport ------------------------------
+
+/// The pre-weather substrate, built by hand: a reliable seeded network
+/// wrapped per node by a shared [`FaultInjector`] carrying the
+/// scenario's loss, with **unskewed** clocks — exactly what the fleet
+/// looked like before the weather planes existed.
+fn bare_faulty_fleet(
+    scenario: &OnlineScenario,
+) -> (
+    Vec<FaultyTransport<Endpoint, VirtualClock>>,
+    FaultInjector,
+    VirtualClock,
+) {
+    let clock = VirtualClock::new();
+    let config =
+        NetworkConfig::reliable(scenario.delay.0, scenario.delay.1).with_seed(scenario.seed);
+    let net = InMemoryNetwork::new(scenario.n, config, clock.clone());
+    let injector = FaultInjector::new(scenario.loss, scenario.seed);
+    let transports = (0..scenario.n)
+        .map(|ix| FaultyTransport::new(net.endpoint(p(ix)), injector.clone(), clock.clone()))
+        .collect();
+    (transports, injector, clock)
+}
+
+/// A calm [`Weather`] run is bit-identical to the bare `FaultyTransport`
+/// path: same decided timeline, same logs, same membership accounting —
+/// with and without injector loss, so the quiet fault planes provably
+/// consume zero extra RNG draws and add zero timing perturbation.
+#[test]
+fn calm_weather_is_bit_identical_to_the_bare_faulty_path() {
+    for cell in cells() {
+        for loss in [0.0, 0.03] {
+            let mut scenario = workload(&cell, 7);
+            scenario.online.loss = loss;
+            // The DSL path: an explicitly calm weather over the same
+            // scenario.
+            let calm = Weather::new();
+            assert!(calm.is_calm());
+            let mut dsl = weather_service_runner(
+                ChenEstimator::new(ms(150), 16, ms(600)),
+                calm.apply_to_service(scenario.clone()),
+            );
+            dsl.run_to_end();
+            let dsl = dsl.report();
+            // The bare path: the same substrate assembled without the
+            // weather module.
+            let (transports, injector, clock) = bare_faulty_fleet(&scenario.online);
+            let mut bare = ServiceRunner::over(
+                ChenEstimator::new(ms(150), 16, ms(600)),
+                scenario.clone(),
+                transports,
+                injector,
+                clock,
+            );
+            bare.run_to_end();
+            let bare = bare.report();
+            let tag = format!("{}/loss {loss}", cell.name);
+            assert_eq!(dsl.decisions, bare.decisions, "[{tag}] decision timeline");
+            assert_eq!(dsl.logs, bare.logs, "[{tag}] final logs");
+            assert_eq!(dsl.bases, bare.bases, "[{tag}] compaction bases");
+            assert_eq!(dsl.up, bare.up, "[{tag}] liveness map");
+            assert_eq!(
+                dsl.membership.view_changes, bare.membership.view_changes,
+                "[{tag}] view changes"
+            );
+            assert_eq!(
+                dsl.membership.decisions_transferred, bare.membership.decisions_transferred,
+                "[{tag}] transfer accounting"
+            );
+            assert_eq!(
+                dsl.membership.sync_bytes_sent, bare.membership.sync_bytes_sent,
+                "[{tag}] transfer bytes"
+            );
+            assert_eq!(
+                dsl.membership.weather_directives, 0,
+                "[{tag}] calm weather schedules no directives"
+            );
+        }
+    }
+}
+
+/// The same zero-cost claim one layer down: the detector-only fleet's
+/// per-pair QoS timelines under a calm weather equal the bare
+/// `FaultyTransport` fleet's bitwise (every float, every counter, the
+/// new longest-mistake tail included).
+#[test]
+fn calm_weather_qos_timelines_match_the_bare_faulty_path_bitwise() {
+    let cell = &cells()[1]; // coordinator crash: detection paths exercised
+    let mut scenario = workload(cell, 11).online;
+    scenario.loss = 0.02;
+    let mut dsl = weather_online_runner(
+        ChenEstimator::new(ms(150), 16, ms(600)),
+        Weather::new().apply_to(scenario.clone()),
+    );
+    dsl.run_to_end();
+    let (transports, injector, clock) = bare_faulty_fleet(&scenario);
+    let mut bare = OnlineRunner::over(
+        ChenEstimator::new(ms(150), 16, ms(600)),
+        scenario,
+        transports,
+        injector,
+        clock,
+    );
+    bare.run_to_end();
+    for a in 0..N {
+        for b in 0..N {
+            if a == b {
+                continue;
+            }
+            let (x, y) = (dsl.report(p(a), p(b)), bare.report(p(a), p(b)));
+            match (x, y) {
+                (Some(x), Some(y)) => assert!(
+                    reports_equal(&x, &y),
+                    "pair {a}->{b} diverged: {x:?} vs {y:?}"
+                ),
+                (x, y) => assert_eq!(x.is_some(), y.is_some(), "pair {a}->{b} monitor presence"),
+            }
+        }
     }
 }
 

@@ -10,21 +10,30 @@
 //! seed, and the checks read the *event timeline*, not just the final
 //! state, so even a transient disagreement would fail the property.
 //!
+//! The same contract is re-run under the adversarial weather catalogue
+//! ([`rfd_net::weather`]): proptest composes random subsets of all
+//! seven weather primitives — one-way partitions, flapping links,
+//! duplication, bounded reordering, gray failure, clock skew,
+//! correlated zone crashes — into one schedule, and the agreement /
+//! no-fork / acked-never-lost properties must survive every
+//! composition, reproducibly per seed.
+//!
 //! The deterministic half regression-tests the out-of-range
 //! `ProcessId` handling fixed alongside this layer: wild heartbeat
 //! senders, oversized watcher members, and hostile service frames.
 
 use proptest::prelude::*;
 use rfd_core::{ProcessId, ProcessSet};
-use rfd_net::clock::{Nanos, VirtualClock};
+use rfd_net::clock::{ClockSkew, Nanos, Pacer, VirtualClock};
 use rfd_net::codec::{encode, DecidedMsg, Heartbeat, SyncReply, WireMsg};
-use rfd_net::estimator::ChenEstimator;
+use rfd_net::estimator::{ArrivalEstimator, ChenEstimator};
 use rfd_net::membership::MembershipNode;
 use rfd_net::online::{Fault, FaultSchedule, MembershipWatcher, OnlineScenario};
 use rfd_net::service::{
     run_service, CompactionPolicy, ServiceEvent, ServiceRunner, ServiceScenario,
 };
-use rfd_net::transport::{InMemoryNetwork, NetworkConfig, Transport};
+use rfd_net::transport::{ChurnableTransport, InMemoryNetwork, NetworkConfig, Transport};
+use rfd_net::weather::{run_weather_service, weather_service_runner, Weather};
 use rfd_net::DetectorNode;
 use std::collections::BTreeMap;
 
@@ -87,11 +96,23 @@ fn churn_scenario(
     scenario
 }
 
-/// Drives the scenario and checks the safety contract on the live
-/// event stream *and* the final logs (panics on violation, so it works
-/// both as a property body and as a plain test helper).
+/// Drives the scenario over the default in-memory substrate and checks
+/// the safety contract (panics on violation, so it works both as a
+/// property body and as a plain test helper).
 fn assert_safety(scenario: &ServiceScenario) {
-    let mut runner = ServiceRunner::new(chen(), scenario.clone());
+    check_safety(ServiceRunner::new(chen(), scenario.clone()));
+}
+
+/// The substrate-agnostic safety checker: drives any [`ServiceRunner`]
+/// to completion checking the contract on the live event stream *and*
+/// the final logs.
+fn check_safety<E, T, C, N>(mut runner: ServiceRunner<E, T, C, N>)
+where
+    E: ArrivalEstimator + Clone,
+    T: Transport,
+    C: Pacer + Clone,
+    N: ChurnableTransport,
+{
     // index -> first value ever acknowledged at that index, across the
     // whole fleet and the whole run.
     let mut acked: BTreeMap<u64, u64> = BTreeMap::new();
@@ -199,6 +220,144 @@ proptest! {
         prop_assert_eq!(a.decisions, b.decisions);
         prop_assert_eq!(a.membership.view_changes, b.membership.view_changes);
         prop_assert_eq!(a.membership.decisions_transferred, b.membership.decisions_transferred);
+    }
+}
+
+// ---- composed adversarial weather ------------------------------------
+
+/// A proptest-shaped composition over all seven weather primitives:
+/// every field optional, so cases range from clear skies to the full
+/// storm. Times are milliseconds inside the 14 s run.
+#[derive(Clone, Debug)]
+struct WeatherSpec {
+    one_way: Option<(usize, usize, u64, u64)>,
+    flap: Option<(usize, usize, u64, u64, u64)>,
+    dup: Option<(u16, u64)>,
+    reorder: Option<(u16, u8, u64, u64)>,
+    gray: Option<(usize, u64, u64, u64)>,
+    skew: Option<(usize, u32, u32)>,
+    zone: Option<(u8, u64, Option<u64>)>,
+}
+
+fn weather_spec() -> impl Strategy<Value = WeatherSpec> {
+    (
+        prop::option::of((0usize..4, 0usize..4, 1_500u64..6_000, 1_000u64..4_000)),
+        prop::option::of((
+            0usize..4,
+            0usize..4,
+            200u64..800,
+            1_500u64..5_000,
+            1_000u64..3_000,
+        )),
+        prop::option::of((0u16..700, 1_000u64..4_000)),
+        prop::option::of((0u16..500, 1u8..4, 10u64..80, 1_000u64..4_000)),
+        prop::option::of((0usize..4, 100u64..1_200, 2_000u64..6_000, 1_000u64..4_000)),
+        prop::option::of((0usize..4, 1u32..4, 1u32..4)),
+        prop::option::of((1u8..8, 3_000u64..8_000, prop::option::of(1_000u64..4_000))),
+    )
+        .prop_map(
+            |(one_way, flap, dup, reorder, gray, skew, zone)| WeatherSpec {
+                one_way,
+                flap,
+                dup,
+                reorder,
+                gray,
+                skew,
+                zone,
+            },
+        )
+}
+
+/// Compiles a spec into a [`Weather`]. Degenerate draws (self-links,
+/// zero probabilities, identity skews) stay in on purpose: they are
+/// legal compositions and must also be safe.
+fn build_weather(spec: &WeatherSpec) -> Weather {
+    let mut w = Weather::new();
+    if let Some((from, to, at, hold)) = spec.one_way {
+        w = w.one_way(
+            ProcessSet::singleton(p(from)),
+            ProcessSet::singleton(p(to)),
+            ms(at),
+            Some(ms(at + hold)),
+        );
+    }
+    if let Some((a, b, half, at, span)) = spec.flap {
+        w = w.flap(p(a), p(b), ms(half), ms(at), ms(at + span));
+    }
+    if let Some((per_mille, at)) = spec.dup {
+        w = w.duplicate(per_mille, ms(at), Some(ms(at + 4_000)));
+    }
+    if let Some((per_mille, depth, hold, at)) = spec.reorder {
+        w = w.reorder(per_mille, depth, ms(hold), ms(at), Some(ms(at + 4_000)));
+    }
+    if let Some((node, extra, at, hold)) = spec.gray {
+        w = w.gray(p(node), ms(extra), ms(at), Some(ms(at + hold)));
+    }
+    if let Some((node, num, den)) = spec.skew {
+        w = w.skew(p(node), ClockSkew::ratio(num, den));
+    }
+    if let Some((bits, at, recover)) = spec.zone {
+        // The zone draws from {p1, p2, p3}; p0 stays up so the QoS and
+        // command paths always have a live anchor.
+        let zone: ProcessSet = (1..4)
+            .filter(|ix| bits & (1 << (ix - 1)) != 0)
+            .map(p)
+            .collect();
+        w = w.correlated_crash(zone, ms(at), recover.map(|hold| ms(at + hold)));
+    }
+    w
+}
+
+/// The workload every weather composition runs under: n=4, 14 s,
+/// heal-merge on, six commands spread through calm and storm.
+fn weather_scenario(spec: &WeatherSpec, seed: u64) -> ServiceScenario {
+    let mut scenario = ServiceScenario {
+        online: build_weather(spec).apply_to(OnlineScenario {
+            n: 4,
+            duration: ms(14_000),
+            seed,
+            heal_merge: true,
+            ..OnlineScenario::default()
+        }),
+        ..ServiceScenario::default()
+    };
+    for i in 0..6u64 {
+        scenario = scenario.command(ms(1_500 * (i + 1)), p((i as usize) % 4), 300 + i);
+    }
+    scenario
+}
+
+proptest! {
+    // Weather runs drive four fault planes at once; keep the per-push
+    // case count modest like the churn battery above.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Agreement at every index, no log forks, and no acked decision
+    /// lost under random compositions of all seven weather primitives.
+    #[test]
+    fn composed_weather_never_breaks_agreement_or_loses_acked_decisions(
+        seed in 0u64..1024,
+        spec in weather_spec(),
+    ) {
+        let scenario = weather_scenario(&spec, seed);
+        check_safety(weather_service_runner(chen(), scenario));
+    }
+
+    /// Every composed weather run is a pure function of (spec, seed):
+    /// the full report replays bit-identically.
+    #[test]
+    fn composed_weather_runs_reproduce_per_seed(
+        seed in 0u64..64,
+        spec in weather_spec(),
+    ) {
+        let scenario = weather_scenario(&spec, seed);
+        let a = run_weather_service(chen(), &scenario);
+        let b = run_weather_service(chen(), &scenario);
+        prop_assert_eq!(a.logs, b.logs);
+        prop_assert_eq!(a.bases, b.bases);
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(a.membership.view_changes, b.membership.view_changes);
+        prop_assert_eq!(a.membership.weather_directives, b.membership.weather_directives);
     }
 }
 

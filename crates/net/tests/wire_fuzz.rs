@@ -9,6 +9,13 @@
 //! `malformed_frames` counter. This regression-pins the PR 5
 //! out-of-range `ProcessId` panic family: a heartbeat whose sender
 //! field exceeds the cluster size used to abort the process.
+//!
+//! The second battery pins the wire path's **idempotency** — the
+//! property the weather catalogue's duplication and reordering planes
+//! lean on: re-delivered or out-of-order `Decided`, `SyncReply` and
+//! `SnapshotReply` frames are no-ops (no double-applied log entries,
+//! no re-triggered snapshot installs), so a duplicating, reordering
+//! network can never talk a replica out of agreement.
 
 use proptest::prelude::*;
 use rfd_algo::consensus::RotatingMsg;
@@ -37,6 +44,10 @@ fn chen() -> ChenEstimator {
 }
 
 const N: usize = 3;
+
+/// One `SyncReply` worth of stream: `(start, entries)` with entries as
+/// `(value, view, members)` triples.
+type ChunkFrame = (u64, Vec<(u64, u64, u128)>);
 
 /// One arbitrary-but-valid wire message from flattened scalars (the
 /// same selector scheme as `codec_prop.rs`).
@@ -245,4 +256,145 @@ proptest! {
         prop_assert!(!node.is_halted());
         prop_assert_eq!(node.malformed_frames(), 0);
     }
+
+    /// A chunked `SyncReply` stream survives **any** interleaving with
+    /// duplicates: chunks arriving above the tail buffer in the bounded
+    /// future window, re-deliveries merge nothing, and once every chunk
+    /// has arrived at least once the log holds exactly the original
+    /// sequence — no entry applied twice, whatever the weather did to
+    /// the stream.
+    #[test]
+    fn sync_chunk_streams_converge_under_any_duplication_and_reordering(
+        total in 4u64..24,
+        chunk in 1u64..5,
+        dups in prop::collection::vec(any::<bool>(), 24),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let clock = VirtualClock::new();
+        let net = InMemoryNetwork::new(N, NetworkConfig::reliable(ms(1), ms(2)), clock.clone());
+        let mut node = DecisionService::new(N, chen(), net.endpoint(p(0)), clock.clone(), ms(50));
+        let peer = net.endpoint(p(1));
+        let members = (1u128 << N) - 1;
+        let values: Vec<u64> = (0..total).map(|i| 1_000 + i).collect();
+        // Chunk the stream, duplicate some chunks, then shuffle with a
+        // seeded LCG — a worst-case but complete delivery order.
+        let mut frames: Vec<ChunkFrame> = values
+            .chunks(chunk as usize)
+            .enumerate()
+            .map(|(ix, vs)| {
+                (
+                    ix as u64 * chunk,
+                    vs.iter().map(|&v| (v, 1, members)).collect(),
+                )
+            })
+            .collect();
+        let base_chunks = frames.len();
+        for ix in 0..base_chunks {
+            if *dups.get(ix).unwrap_or(&false) {
+                frames.push(frames[ix].clone());
+            }
+        }
+        let mut rng = shuffle_seed | 1;
+        for i in (1..frames.len()).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            frames.swap(i, (rng >> 33) as usize % (i + 1));
+        }
+        for (start, entries) in frames {
+            peer.send(p(0), encode(&WireMsg::SyncReply(SyncReply { start, entries })));
+            clock.advance(ms(2));
+            node.poll();
+        }
+        prop_assert_eq!(node.log().len(), total);
+        let decided: Vec<u64> = node.log().suffix(0).iter().map(|d| d.value).collect();
+        prop_assert_eq!(decided, values);
+        prop_assert_eq!(node.malformed_frames(), 0);
+        prop_assert_eq!(node.log().snapshots_installed(), 0);
+        prop_assert!(!node.is_halted());
+    }
+}
+
+/// Re-delivered `Decided` relays append exactly once: the second and
+/// third copies land below the tail and fall through as no-ops, and a
+/// stale re-delivery after later appends cannot rewrite history.
+#[test]
+fn duplicated_decided_relays_append_once() {
+    let clock = VirtualClock::new();
+    let net = InMemoryNetwork::new(N, NetworkConfig::reliable(ms(1), ms(2)), clock.clone());
+    let mut node = DecisionService::new(N, chen(), net.endpoint(p(0)), clock.clone(), ms(50));
+    let peer = net.endpoint(p(1));
+    let members = (1u128 << N) - 1;
+    let relay = |index: u64, value: u64| {
+        encode(&WireMsg::Decided(DecidedMsg {
+            index,
+            view_id: 1,
+            view_members: members,
+            value,
+        }))
+    };
+    // Three copies of index 0, then two of index 1, then a stale echo
+    // of index 0 again — the weather's duplication plane in miniature.
+    for frame in [
+        relay(0, 7),
+        relay(0, 7),
+        relay(0, 7),
+        relay(1, 8),
+        relay(1, 8),
+        relay(0, 7),
+    ] {
+        peer.send(p(0), frame);
+        clock.advance(ms(2));
+        node.poll();
+    }
+    assert_eq!(node.log().len(), 2, "each index appended exactly once");
+    let decided: Vec<u64> = node.log().suffix(0).iter().map(|d| d.value).collect();
+    assert_eq!(decided, vec![7, 8]);
+    assert_eq!(node.malformed_frames(), 0);
+    assert!(!node.is_halted());
+}
+
+/// Re-delivered `SnapshotReply` frames install exactly once: the first
+/// copy consumes the armed `awaiting_snapshot` latch, so the duplicate
+/// (and any later forgery, however large its `upto`) is dropped without
+/// touching the log.
+#[test]
+fn duplicated_snapshot_replies_install_once() {
+    let clock = VirtualClock::new();
+    let net = InMemoryNetwork::new(N, NetworkConfig::reliable(ms(1), ms(2)), clock.clone());
+    let mut node = DecisionService::new(N, chen(), net.endpoint(p(0)), clock.clone(), ms(50));
+    let peer = net.endpoint(p(1));
+    // A compaction gap-signal (empty chunk starting above our tail)
+    // arms the snapshot negotiation…
+    peer.send(
+        p(0),
+        encode(&WireMsg::SyncReply(SyncReply {
+            start: 5,
+            entries: Vec::new(),
+        })),
+    );
+    clock.advance(ms(2));
+    node.poll();
+    // …then the reply arrives twice (duplication plane), followed by a
+    // bigger forgery (stale reordered reply from another epoch).
+    let reply = |upto: u64| {
+        encode(&WireMsg::SnapshotReply(SnapshotReply {
+            upto,
+            digest: 0xDEAD_BEEF,
+            view_id: 1,
+            view_members: (1u128 << N) - 1,
+            entries: Vec::new(),
+        }))
+    };
+    for frame in [reply(5), reply(5), reply(100)] {
+        peer.send(p(0), frame);
+        clock.advance(ms(2));
+        node.poll();
+    }
+    assert_eq!(
+        node.log().snapshots_installed(),
+        1,
+        "one armed request, one install"
+    );
+    assert_eq!(node.log().first_index(), 5, "the duplicate changed nothing");
+    assert_eq!(node.log().len(), 5);
+    assert!(!node.is_halted());
 }
