@@ -120,6 +120,16 @@ pub trait ConsensusCore {
 
     /// The decision, if this process has decided.
     fn decision(&self) -> Option<&Self::Val>;
+
+    /// Re-emits the in-flight messages this process is still waiting on
+    /// replies for — what a retransmission plane sends when the instance
+    /// stalls on message loss. Derived from current state rather than
+    /// replayed from a send log: a core playing several roles at once
+    /// (participant *and* coordinator of unresolved rounds) must revive
+    /// every stalled conversation, not just the most recent one.
+    /// Receipt must be idempotent. The default is quiescence (no
+    /// retransmission support).
+    fn retransmit(&self, _out: &mut Outbox<Self::Msg>) {}
 }
 
 /// Adapter embedding a [`ConsensusCore`] into the simulator: the decision

@@ -56,22 +56,32 @@ pub enum RotatingMsg<V> {
 }
 
 /// Per-round coordinator bookkeeping.
+///
+/// Quorums are counted over **distinct senders**: the retransmission
+/// plane of the decision service re-delivers phase messages at will, so
+/// a duplicated `Estimate`/`Ack`/`Nack` must never inflate a majority —
+/// receipt is idempotent by construction.
 #[derive(Clone, Debug, Default)]
 struct CoordRound<V> {
+    /// Processes whose estimate was already counted.
+    heard: ProcessSet,
     estimates: Vec<(u64, V)>,
     proposed: Option<V>,
-    acks: usize,
-    nacks: usize,
+    /// Processes that acked this round's proposal.
+    acks: ProcessSet,
+    /// Processes that nacked this round's proposal.
+    nacks: ProcessSet,
     resolved: bool,
 }
 
 impl<V> CoordRound<V> {
     fn empty() -> Self {
         Self {
+            heard: ProcessSet::empty(),
             estimates: Vec::new(),
             proposed: None,
-            acks: 0,
-            nacks: 0,
+            acks: ProcessSet::empty(),
+            nacks: ProcessSet::empty(),
             resolved: false,
         }
     }
@@ -126,9 +136,9 @@ impl<V: Clone + Eq + Ord> RotatingConsensus<V> {
             state.proposed = Some(v.clone());
             out.broadcast(RotatingMsg::Propose { r, v });
         }
-        if state.proposed.is_some() && state.acks + state.nacks >= majority {
+        if state.proposed.is_some() && state.acks.len() + state.nacks.len() >= majority {
             state.resolved = true;
-            if state.nacks == 0 {
+            if state.nacks.is_empty() {
                 let v = state.proposed.clone().expect("proposed above");
                 if self.decision.is_none() && !self.announced {
                     self.announced = true;
@@ -218,21 +228,29 @@ impl<V: Clone + Eq + Ord> ConsensusCore for RotatingConsensus<V> {
                 }
                 return None;
             }
-            Some((_, RotatingMsg::Estimate { r, ts, v })) if self.coordinator(*r) == self.me => {
+            Some((from, RotatingMsg::Estimate { r, ts, v })) if self.coordinator(*r) == self.me => {
                 let state = self.coord.entry(*r).or_insert_with(CoordRound::empty);
-                state.estimates.push((*ts, v.clone()));
+                if state.heard.insert(from) {
+                    state.estimates.push((*ts, v.clone()));
+                }
                 self.coordinate(*r, out);
             }
             Some((_, RotatingMsg::Propose { r, v })) => {
                 let (r, v) = (*r, v.clone());
                 self.handle_proposal(r, v, out);
             }
-            Some((_, RotatingMsg::Ack { r })) if self.coordinator(*r) == self.me => {
-                self.coord.entry(*r).or_insert_with(CoordRound::empty).acks += 1;
+            Some((from, RotatingMsg::Ack { r })) if self.coordinator(*r) == self.me => {
+                let state = self.coord.entry(*r).or_insert_with(CoordRound::empty);
+                if !state.nacks.contains(from) {
+                    state.acks.insert(from);
+                }
                 self.coordinate(*r, out);
             }
-            Some((_, RotatingMsg::Nack { r })) if self.coordinator(*r) == self.me => {
-                self.coord.entry(*r).or_insert_with(CoordRound::empty).nacks += 1;
+            Some((from, RotatingMsg::Nack { r })) if self.coordinator(*r) == self.me => {
+                let state = self.coord.entry(*r).or_insert_with(CoordRound::empty);
+                if !state.acks.contains(from) {
+                    state.nacks.insert(from);
+                }
                 self.coordinate(*r, out);
             }
             _ => {}
@@ -258,6 +276,68 @@ impl<V: Clone + Eq + Ord> ConsensusCore for RotatingConsensus<V> {
 
     fn decision(&self) -> Option<&V> {
         self.decision.as_ref()
+    }
+
+    /// Re-emits every stalled conversation of this process:
+    ///
+    /// * **participant** — an estimate for **every visited round**, so
+    ///   any coordinator that missed one can still reach its phase-1
+    ///   quorum. Rounds advance one at a time, so this process entered —
+    ///   and owes an estimate to — every `r ≤ round`, and under the
+    ///   quasi-reliable channels the paper assumes each of those sends
+    ///   would eventually arrive. Re-sending only the current round is
+    ///   not enough: under loss, processes scatter across rounds with
+    ///   each stuck as the coordinator of its *own* current round
+    ///   (`r mod n = me`), whose retransmitted estimate is a filtered
+    ///   self-send — a fixed point that emits nothing. The visited-round
+    ///   sweep breaks it: the minimal round among undecided processes has
+    ///   been visited by everyone, so its coordinator's phase-1 quorum
+    ///   eventually fills and the whole group cascades forward.
+    /// * **coordinator** — every proposed-but-unresolved round's
+    ///   `Propose`, so participants that missed it can still ack and
+    ///   advance (the coordinator has already moved on as a participant,
+    ///   so no later step re-emits these on its own).
+    ///
+    /// Re-sent estimates carry the **current** `(ts, v)`, which may be
+    /// fresher than what the original round-`r` send carried. Safety is
+    /// preserved: the locking lemma only requires that an estimate
+    /// tagged `r` was produced while its sender's round was `≥ r` — so
+    /// that any sender that acked an all-ack round `d < r` had already
+    /// set `ts := d` — and a *later* state only raises `ts`, never
+    /// lowers it; any estimate with `ts ≥ d` carries the decided value.
+    /// Receipt stays idempotent: the coordinator counts the first
+    /// estimate per sender and drops duplicates.
+    fn retransmit(&self, out: &mut Outbox<RotatingMsg<V>>) {
+        if self.decision.is_some() || self.round > self.max_round {
+            return;
+        }
+        for r in 0..=self.round {
+            if r == self.round && !self.sent_estimate {
+                continue;
+            }
+            let c = self.coordinator(r);
+            if c == self.me {
+                // Our own coordinated rounds heard us via the self-loop
+                // when we first participated; nothing to re-send.
+                continue;
+            }
+            out.send(
+                c,
+                RotatingMsg::Estimate {
+                    r,
+                    ts: self.ts,
+                    v: self.estimate.clone(),
+                },
+            );
+        }
+        for (r, state) in &self.coord {
+            if let (Some(v), false) = (&state.proposed, state.resolved) {
+                out.broadcast(RotatingMsg::Propose {
+                    r: *r,
+                    v: v.clone(),
+                });
+            }
+        }
     }
 }
 
@@ -323,6 +403,61 @@ mod tests {
             None
         );
         assert!(out2.drain().is_empty());
+    }
+
+    /// The retransmission plane re-delivers phase messages at will:
+    /// duplicated `Estimate`s and `Ack`s from the same sender must not
+    /// inflate the coordinator's quorum counts.
+    #[test]
+    fn duplicated_phase_messages_never_inflate_a_quorum() {
+        // p0 coordinates round 0 of a 5-process group (majority 3).
+        let mut c: RotatingConsensus<u64> = RotatingConsensus::new(p(0), 5, 1);
+        let est = |v: u64| RotatingMsg::Estimate { r: 0, ts: 0, v };
+        // Two distinct estimates plus three duplicates: still below the
+        // majority of three distinct senders — no proposal may go out.
+        for from in [p(1), p(2), p(1), p(2), p(1)] {
+            let mut out = Outbox::new(p(0), 5);
+            c.step(Some((from, &est(7))), ProcessSet::empty(), &mut out);
+            assert!(
+                out.drain()
+                    .iter()
+                    .all(|(_, m)| !matches!(m, RotatingMsg::Propose { .. })),
+                "duplicate estimates must not reach a majority"
+            );
+        }
+        // A third distinct estimate completes the quorum.
+        let mut out = Outbox::new(p(0), 5);
+        c.step(Some((p(3), &est(7))), ProcessSet::empty(), &mut out);
+        assert!(out
+            .drain()
+            .iter()
+            .any(|(_, m)| matches!(m, RotatingMsg::Propose { r: 0, .. })));
+        // Two distinct acks plus duplicates: below the majority — the
+        // coordinator must not decide.
+        for from in [p(1), p(2), p(1), p(1), p(2)] {
+            let mut out = Outbox::new(p(0), 5);
+            c.step(
+                Some((from, &RotatingMsg::Ack { r: 0 })),
+                ProcessSet::empty(),
+                &mut out,
+            );
+            assert!(
+                out.drain()
+                    .iter()
+                    .all(|(_, m)| !matches!(m, RotatingMsg::Decide(_))),
+                "duplicate acks must not complete a quorum"
+            );
+        }
+        let mut out = Outbox::new(p(0), 5);
+        c.step(
+            Some((p(3), &RotatingMsg::Ack { r: 0 })),
+            ProcessSet::empty(),
+            &mut out,
+        );
+        assert!(out
+            .drain()
+            .iter()
+            .any(|(_, m)| matches!(m, RotatingMsg::Decide(7))));
     }
 
     #[test]

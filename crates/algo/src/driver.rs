@@ -174,6 +174,35 @@ impl<C: ConsensusCore> SlotDriver<C> {
             .is_some_and(|s| matches!(s, SlotState::Open(_)))
     }
 
+    /// The currently open (undecided) slots, ascending.
+    #[must_use]
+    pub fn open_slots(&self) -> &[u64] {
+        &self.open_slots
+    }
+
+    /// The peer-addressed retransmissions of `slot`'s stalled
+    /// conversations, derived from the core's current state
+    /// ([`ConsensusCore::retransmit`]) — what a retransmission plane
+    /// sends when the slot's timer fires. Self-addressed re-emissions
+    /// are dropped: local delivery is synchronous and lossless, so the
+    /// local copy was already consumed. Empty for slots that are not
+    /// open.
+    #[must_use]
+    pub fn retransmit(&self, slot: u64) -> Vec<SlotSend<C::Msg>> {
+        let Some(SlotState::Open(core)) = self.index_of(slot).and_then(|ix| self.slots.get(ix))
+        else {
+            return Vec::new();
+        };
+        let mut out = Outbox::new(self.me, self.n);
+        core.retransmit(&mut out);
+        let me = self.me;
+        out.drain()
+            .into_iter()
+            .filter(|(to, _)| *to != me)
+            .map(|(to, msg)| (to, slot, msg))
+            .collect()
+    }
+
     /// The decision of `slot`, if it has one (locally decided or
     /// externally resolved) and the slot has not been retired below the
     /// base.
@@ -453,6 +482,77 @@ mod tests {
         // Lowering the base is a no-op.
         d.advance_base(0);
         assert_eq!(d.base(), 1_000_000_000);
+    }
+
+    /// The retransmission contract: an open slot can re-derive its
+    /// stalled peer-addressed frames from core state at any time, and
+    /// deciding (or resolving) the slot silences it.
+    #[test]
+    fn open_slots_rederive_their_stalled_sends_until_retired() {
+        let mut d: Driver = SlotDriver::new(p(1), 3);
+        assert!(d.open_slots().is_empty());
+        assert!(d.retransmit(0).is_empty(), "unopened slots are silent");
+        let (sends, _) = d.open(0, 5, ProcessSet::empty());
+        assert_eq!(d.open_slots(), &[0]);
+        // The round-0 estimate went to coordinator p0 — a peer — so a
+        // stalled instance re-sends it, as often as asked.
+        let peer_sends: Vec<_> = sends.iter().filter(|(to, _, _)| *to != p(1)).collect();
+        assert!(!peer_sends.is_empty());
+        for _ in 0..2 {
+            let retx = d.retransmit(0);
+            assert_eq!(retx.len(), peer_sends.len());
+            assert!(retx.iter().all(|(to, slot, _)| *to == p(0) && *slot == 0));
+        }
+        // A quiet step changes nothing.
+        let (_, _) = d.tick(ProcessSet::empty());
+        assert!(!d.retransmit(0).is_empty());
+        // Resolution silences the slot with the core.
+        d.resolve(0, 9);
+        assert!(d.retransmit(0).is_empty());
+        assert!(d.open_slots().is_empty());
+    }
+
+    /// The wedge the send-once service actually hit: a coordinator whose
+    /// `Propose` broadcast was lost re-broadcasts it from state — its
+    /// *later* participant-role emission (the next round's estimate) must
+    /// not shadow the unresolved proposal.
+    #[test]
+    fn a_stalled_coordinator_rebroadcasts_its_unresolved_proposal() {
+        let n = 4;
+        let mut c: Driver = SlotDriver::new(p(0), n);
+        // p0 coordinates round 0: its own estimate plus two peers' reach
+        // the majority of three and trigger the proposal.
+        let (sends, none) = c.open(0, 7, ProcessSet::empty());
+        assert!(none.is_none());
+        let mut selfloop: std::collections::VecDeque<_> = sends.into();
+        for from in [p(1), p(2)] {
+            let est = crate::consensus::RotatingMsg::Estimate { r: 0, ts: 0, v: 7 };
+            let (more, _) = c.on_message(0, from, &est, ProcessSet::empty());
+            selfloop.extend(more);
+        }
+        // Deliver the self-addressed traffic (the service loops it back
+        // synchronously): p0 acks its own proposal and moves to round 1.
+        while let Some((to, slot, msg)) = selfloop.pop_front() {
+            if to != p(0) {
+                continue;
+            }
+            let (more, _) = c.on_message(slot, to, &msg, ProcessSet::empty());
+            selfloop.extend(more);
+        }
+        // The self-delivered proposal moved p0 on to round 1 as a
+        // participant. Pretend every peer copy of `Propose(0)` was lost:
+        // the retransmission must still carry it (alongside the round-1
+        // estimate), or the group wedges forever.
+        let retx = c.retransmit(0);
+        let proposes: Vec<_> = retx
+            .iter()
+            .filter(|(_, _, m)| matches!(m, crate::consensus::RotatingMsg::Propose { r: 0, .. }))
+            .collect();
+        assert_eq!(
+            proposes.len(),
+            n - 1,
+            "the unresolved Propose(0) goes back out to every peer: {retx:?}"
+        );
     }
 
     #[test]

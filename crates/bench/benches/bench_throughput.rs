@@ -3,8 +3,10 @@
 //! codec round-trip, service slot advance.
 //!
 //! This is the tracked family behind the allocation-free hot-path work:
-//! `BENCH_baseline.json` holds the pre-optimization numbers and
-//! `BENCH_pr6.json` the post-optimization ones, captured with
+//! `BENCH_baseline.json` holds the pre-optimization numbers,
+//! `BENCH_pr6.json` the post-optimization ones, and `BENCH_pr10.json`
+//! the post-retransmission-plane re-capture (the no-retry fast path
+//! must stay free), captured with
 //! `RFD_BENCH_JSON=<path> cargo bench -p rfd-bench --bench bench_throughput`.
 //!
 //! **Size semantics.** `ProcessSet` is a `u128` bitset, so fleets cap at

@@ -48,7 +48,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("no experiment matched; known ids: E1..E15");
+        eprintln!("no experiment matched; known ids: E1..E16");
         std::process::exit(2);
     }
 }

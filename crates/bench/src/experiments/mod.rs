@@ -1,4 +1,4 @@
-//! The experiment suite: one module per derived experiment E1–E15.
+//! The experiment suite: one module per derived experiment E1–E16.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; each
 //! experiment here regenerates one of its theorems, constructions or
@@ -12,6 +12,7 @@ pub mod e12_reconverge;
 pub mod e13_service;
 pub mod e14_rejoin;
 pub mod e15_weather;
+pub mod e16_soak;
 pub mod e1_totality;
 pub mod e2_reduction;
 pub mod e3_trb;
@@ -52,6 +53,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E13", e13_service::run_experiment),
         ("E14", e14_rejoin::run_experiment),
         ("E15", e15_weather::run_experiment),
+        ("E16", e16_soak::run_experiment),
     ]
 }
 

@@ -215,6 +215,30 @@ where
         &self.transport
     }
 
+    /// The estimator-derived **trust horizon**: the latest deadline any
+    /// monitored view member's arrival estimator currently holds — the
+    /// instant by which every trusted peer will either have produced a
+    /// fresh heartbeat or have become a suspect (and hence been
+    /// excluded). `None` until the first heartbeat arrives.
+    ///
+    /// The decision service derives its retransmission timeout from this
+    /// horizon: waiting past it guarantees that a slot stalled on a
+    /// *crashed* peer is resolved by exclusion-driven round advancement
+    /// first, so retransmission only ever fires against message loss.
+    #[must_use]
+    pub fn trust_horizon(&self) -> Option<Nanos> {
+        let mut horizon: Option<Nanos> = None;
+        for peer in self.view.members {
+            if peer == self.transport.me() {
+                continue;
+            }
+            if let Some(d) = self.detector.monitor(peer).and_then(E::deadline) {
+                horizon = Some(horizon.map_or(d, |h| h.max(d)));
+            }
+        }
+        horizon
+    }
+
     /// Total order on views used by heal-merge adoption: primary key the
     /// monotone id, tiebreaker the member bitmap. Concurrent merge
     /// proposals from two healed sides can carry the same id; comparing

@@ -639,6 +639,17 @@ pub struct MembershipChurnReport {
     /// schedule, so a report can attest which fault vocabulary the
     /// fleet was actually exposed to.
     pub weather_directives: u64,
+    /// Frames re-sent by the service layer's retransmission plane
+    /// across the fleet. Zero on a calm network — retransmission is
+    /// pure insurance against loss. Filled by the service runner
+    /// (node-level counters summed); a bare [`MembershipWatcher`]
+    /// reports zero.
+    pub retransmits_sent: u64,
+    /// Received frames the service layer dropped as duplicates
+    /// (idempotent receipt of retransmitted or raced frames), summed
+    /// across the fleet. Filled by the service runner; a bare
+    /// [`MembershipWatcher`] reports zero.
+    pub duplicate_frames_dropped: u64,
 }
 
 /// An incremental observer of a membership fleet under churn: feed it
@@ -860,6 +871,8 @@ impl MembershipWatcher {
             sync_bytes_sent: self.sync_bytes_sent,
             rejoin_latencies: self.rejoin_latencies.clone(),
             weather_directives: self.weather_directives,
+            retransmits_sent: 0,
+            duplicate_frames_dropped: 0,
         }
     }
 }

@@ -36,6 +36,33 @@ const FUTURE_WINDOW: u64 = 1024;
 /// state transfer, not by joining far-future rounds.
 const SLOT_HORIZON: u64 = 1024;
 
+/// Retransmission-timeout floor, in heartbeat periods. Calm-network
+/// decisions complete within a couple of one-way delays — far under two
+/// periods — so no retransmission timer ever fires on a calm run.
+const RETX_FLOOR_PERIODS: u64 = 2;
+
+/// Retransmission-timeout ceiling, in heartbeat periods, clamping the
+/// estimator-derived timeout.
+const RETX_CAP_PERIODS: u64 = 8;
+
+/// Backoff ceiling, in heartbeat periods: the retransmission interval
+/// doubles per silent firing but never exceeds this, so a slot stalled
+/// on a long partition keeps probing at a bounded, non-zero rate
+/// (bounded *interval*, unbounded *attempts* — liveness under any loss
+/// rate needs retries to never give up).
+const RETX_BACKOFF_CAP_PERIODS: u64 = 16;
+
+/// One exponential-backoff retry timer of the retransmission plane.
+#[derive(Clone, Copy, Debug)]
+struct RetryTimer {
+    /// Next firing instant.
+    next: Nanos,
+    /// Current backoff interval (doubles per firing, capped).
+    interval: Nanos,
+    /// Firings so far — rotates probe targets across the view.
+    attempts: u32,
+}
+
 /// A typed event produced by one [`DecisionService::poll`].
 #[derive(Clone, Debug)]
 pub enum ServiceOutput {
@@ -177,6 +204,42 @@ pub struct DecisionService<E, T, C> {
     awaiting_snapshot: bool,
     /// Snapshot summaries this node served to rejoiners.
     snapshots_served: u64,
+    /// Per-open-slot consensus retransmission timers: armed when a slot
+    /// emits to peers, reset by fresh emission (progress), dropped with
+    /// the slot on decision. See the "Retransmission plane" section of
+    /// ARCHITECTURE.md for the timer derivation.
+    retx: BTreeMap<u64, RetryTimer>,
+    /// Reusable scratch: slots whose timers fired this poll.
+    retx_due: Vec<u64>,
+    /// Reusable scratch: slots that emitted fresh peer traffic this
+    /// poll (their timers reset instead of firing).
+    retx_touched: Vec<u64>,
+    /// Per-peer earliest next laggard-push instant — continuously
+    /// pushed back while the peer's acked length keeps up with ours
+    /// **or keeps growing**, so a push fires only after a peer stays
+    /// behind and stalled for a full timeout (the pull paths — sync
+    /// fanout, tail probes, snapshot negotiation — get to finish the
+    /// job on their own first; the push is the fallback of last
+    /// resort, not a parallel transfer).
+    push_at: Vec<Nanos>,
+    /// Per-peer laggard-push backoff interval.
+    push_interval: Vec<Nanos>,
+    /// Per-peer acked length observed when the push fuse was last
+    /// (re)armed — growth past it counts as progress.
+    push_acked: Vec<u64>,
+    /// Retry timer for an outstanding snapshot negotiation (armed by
+    /// [`DecisionService::maybe_request_snapshot`], cleared when the
+    /// rejoin completes through any channel).
+    snapshot_retry: Option<RetryTimer>,
+    /// Frames re-sent by the retransmission plane: consensus re-sends,
+    /// tail probes, laggard pushes and snapshot re-requests.
+    retransmits_sent: u64,
+    /// Received frames dropped as duplicates: consensus frames for
+    /// already-decided slots, re-relayed decisions, re-gossiped
+    /// already-decided commands. Nonzero under retransmission (or plain
+    /// in-flight races) — receipt is idempotent, so these change no
+    /// protocol state.
+    duplicate_frames_dropped: u64,
     last_view: View,
     next_gossip: Nanos,
     /// Reusable receive buffer for [`Transport::recv_batch`].
@@ -221,6 +284,15 @@ where
             snapshot_requested_at: None,
             awaiting_snapshot: false,
             snapshots_served: 0,
+            retx: BTreeMap::new(),
+            retx_due: Vec::new(),
+            retx_touched: Vec::new(),
+            push_at: vec![Nanos::ZERO; n],
+            push_interval: vec![Nanos::ZERO; n],
+            push_acked: vec![0; n],
+            snapshot_retry: None,
+            retransmits_sent: 0,
+            duplicate_frames_dropped: 0,
             next_gossip: Nanos::ZERO,
             rx_buf: Vec::new(),
             consensus_in: Vec::new(),
@@ -262,6 +334,24 @@ where
     #[must_use]
     pub fn snapshots_served(&self) -> u64 {
         self.snapshots_served
+    }
+
+    /// Frames re-sent by the retransmission plane: stalled-slot
+    /// consensus re-sends, tail probes, laggard pushes and snapshot
+    /// re-requests. Stays **zero on a calm network** — every timer's
+    /// floor exceeds calm decision latency, so the plane is pure
+    /// insurance against loss.
+    #[must_use]
+    pub fn retransmits_sent(&self) -> u64 {
+        self.retransmits_sent
+    }
+
+    /// Received frames dropped as duplicates (idempotent receipt):
+    /// consensus frames for already-decided slots, re-relayed
+    /// decisions, re-gossiped already-decided commands.
+    #[must_use]
+    pub fn duplicate_frames_dropped(&self) -> u64 {
+        self.duplicate_frames_dropped
     }
 
     /// This node's identity.
@@ -350,6 +440,12 @@ where
                 // window above its log; anything further is dropped and
                 // counted like an undecodable frame.
                 if from.index() < self.n && cf.slot < self.log.len().saturating_add(SLOT_HORIZON) {
+                    if cf.slot < self.log.len() || self.driver.decision(cf.slot).is_some() {
+                        // The slot is already decided here: a stale or
+                        // retransmitted frame. The driver drops it; the
+                        // counter records the (harmless) duplicate.
+                        self.duplicate_frames_dropped += 1;
+                    }
                     consensus_in.push((cf.slot, from, cf.msg.clone()));
                 } else if from.index() < self.n {
                     self.malformed_frames += 1;
@@ -484,6 +580,7 @@ where
         for (slot, value) in decided {
             self.commit(slot, value, &mut events);
         }
+        self.run_retransmission(now);
         if now >= self.next_gossip {
             self.next_gossip = now.saturating_add(self.period);
             // GOSSIP_BATCH is small and fixed: snapshot the commands
@@ -496,9 +593,245 @@ where
             for value in batch.into_iter().flatten() {
                 self.broadcast(&WireMsg::Command(Command { value }));
             }
+            self.push_to_laggards(now, &mut events);
             self.maybe_compact();
         }
         events
+    }
+
+    /// The estimator-derived retransmission timeout (RTO): one
+    /// heartbeat period past the membership's trust horizon, clamped to
+    /// `[RETX_FLOOR_PERIODS, RETX_CAP_PERIODS]` periods.
+    ///
+    /// Waiting past the trust horizon guarantees a slot stalled on a
+    /// *crashed* peer is (typically) resolved first by exclusion-driven
+    /// round advancement — retransmission targets message *loss*, the
+    /// one failure the emulated-`P` membership cannot see.
+    fn retransmit_after(&self, now: Nanos) -> Nanos {
+        let period = self.period.as_nanos();
+        let floor = Nanos::from_nanos(period.saturating_mul(RETX_FLOOR_PERIODS));
+        let cap = Nanos::from_nanos(period.saturating_mul(RETX_CAP_PERIODS));
+        let derived = self
+            .membership
+            .trust_horizon()
+            .map_or(floor, |h| h.saturating_sub(now).saturating_add(self.period));
+        derived.clamp(floor, cap)
+    }
+
+    /// The backoff ceiling for every retry timer.
+    fn backoff_cap(&self) -> Nanos {
+        Nanos::from_nanos(
+            self.period
+                .as_nanos()
+                .saturating_mul(RETX_BACKOFF_CAP_PERIODS),
+        )
+    }
+
+    /// The `attempts`-th current-view member other than this node
+    /// (ascending order, wrapping) — rotates probe targets so one
+    /// unlucky peer cannot absorb every retry.
+    fn rotated_member(&self, attempts: u32) -> Option<ProcessId> {
+        let me = self.me();
+        let members = self.membership.view().members;
+        let count = members.len() - usize::from(members.contains(me));
+        if count == 0 {
+            return None;
+        }
+        members
+            .iter()
+            .filter(|p| *p != me)
+            .nth(attempts as usize % count)
+    }
+
+    /// The consensus half of the retransmission plane, run once per
+    /// poll. Slots that emitted fresh peer traffic this poll reset
+    /// their timers (progress needs no retry); slots silent past their
+    /// deadline re-send their stalled conversations, re-derived from
+    /// core state ([`rfd_algo::driver::SlotDriver::retransmit`]: an
+    /// estimate for every visited round plus every unresolved
+    /// coordinated proposal) — idempotent on receipt — plus, for the
+    /// tail slot, a
+    /// [`SyncRequest`] probe to one rotated member, covering the case
+    /// where every peer already decided and retired the slot (plain
+    /// re-sends would be dropped).
+    /// Intervals back off exponentially up to the cap; attempts never
+    /// stop — liveness under arbitrary loss needs unbounded retries.
+    ///
+    /// The no-retry fast path (no open slots, or all making progress)
+    /// touches only the reusable scratch vectors: zero allocations.
+    fn run_retransmission(&mut self, now: Nanos) {
+        // Drop timers of retired slots.
+        let driver = &self.driver;
+        self.retx.retain(|slot, _| driver.is_open(*slot));
+        let rto = self.retransmit_after(now);
+        let cap = self.backoff_cap();
+        // Arm timers for newly opened slots.
+        for &slot in self.driver.open_slots() {
+            self.retx.entry(slot).or_insert(RetryTimer {
+                next: now.saturating_add(rto),
+                interval: rto,
+                attempts: 0,
+            });
+        }
+        // Fresh emission this poll = progress: reset timer and backoff.
+        let mut touched = std::mem::take(&mut self.retx_touched);
+        for slot in touched.drain(..) {
+            if self.driver.is_open(slot) {
+                self.retx.insert(
+                    slot,
+                    RetryTimer {
+                        next: now.saturating_add(rto),
+                        interval: rto,
+                        attempts: 0,
+                    },
+                );
+            }
+        }
+        self.retx_touched = touched;
+        // Fire due timers.
+        let mut due = std::mem::take(&mut self.retx_due);
+        due.clear();
+        due.extend(
+            self.retx
+                .iter()
+                .filter(|(_, t)| now >= t.next)
+                .map(|(slot, _)| *slot),
+        );
+        for &slot in &due {
+            let mut resent = 0u64;
+            for (to, slot, msg) in self.driver.retransmit(slot) {
+                self.send_raw(
+                    to,
+                    encode(&WireMsg::Consensus(ConsensusFrame { slot, msg })),
+                );
+                resent += 1;
+            }
+            let attempts = self.retx.get(&slot).map_or(0, |t| t.attempts);
+            if slot == self.log.len() {
+                // Tail probe: if the group decided this slot without us
+                // hearing, one peer's suffix reply revives us.
+                if let Some(target) = self.rotated_member(attempts) {
+                    self.send_raw(
+                        target,
+                        encode(&WireMsg::SyncRequest(SyncRequest {
+                            from_index: self.log.len(),
+                        })),
+                    );
+                    resent += 1;
+                }
+            }
+            self.retransmits_sent += resent;
+            if let Some(t) = self.retx.get_mut(&slot) {
+                t.interval = Nanos::from_nanos(t.interval.as_nanos().saturating_mul(2)).min(cap);
+                t.next = now.saturating_add(t.interval);
+                t.attempts = t.attempts.saturating_add(1);
+            }
+        }
+        self.retx_due = due;
+        self.retry_snapshot(now, rto, cap);
+    }
+
+    /// The sender-side half of acknowledged delivery: every gossip
+    /// period, serve the missing suffix to any view member whose acked
+    /// length has stayed behind ours — **and stopped growing** — for a
+    /// full RTO. A node that missed the final `Decided` relay of a
+    /// burst has no pull signal of its own — the push is what keeps its
+    /// lag (and hence the compaction stable index) from freezing. A
+    /// peer that is behind but visibly catching up (a rejoiner mid
+    /// state-transfer) is left to the pull paths: pushing in parallel
+    /// would only duplicate the suffix on the wire. Per-peer
+    /// exponential backoff while the peer stays stalled; the fuse
+    /// re-arms on any progress.
+    fn push_to_laggards(&mut self, now: Nanos, events: &mut Vec<ServiceOutput>) {
+        let rto = self.retransmit_after(now);
+        let cap = self.backoff_cap();
+        let me = self.me();
+        let members = self.membership.view().members;
+        for member in members {
+            let ix = member.index();
+            if member == me || ix >= self.n {
+                continue;
+            }
+            let acked = self.peer_acked.get(ix).copied().unwrap_or(0);
+            let fuse_acked = self.push_acked.get(ix).copied().unwrap_or(0);
+            let due = self.push_at.get(ix).is_some_and(|&at| now >= at);
+            if acked >= self.log.len() || acked > fuse_acked {
+                // Caught up, or moving on its own: re-arm the fuse.
+                if let Some(at) = self.push_at.get_mut(ix) {
+                    *at = now.saturating_add(rto);
+                }
+                if let Some(interval) = self.push_interval.get_mut(ix) {
+                    *interval = rto;
+                }
+                if let Some(watermark) = self.push_acked.get_mut(ix) {
+                    *watermark = acked;
+                }
+            } else if due {
+                self.retransmits_sent += 1;
+                self.on_sync_request(member, acked, events);
+                let interval = self.push_interval.get(ix).copied().unwrap_or(rto);
+                let doubled = Nanos::from_nanos(interval.as_nanos().saturating_mul(2))
+                    .min(cap)
+                    .max(rto);
+                if let Some(interval) = self.push_interval.get_mut(ix) {
+                    *interval = doubled;
+                }
+                if let Some(at) = self.push_at.get_mut(ix) {
+                    *at = now.saturating_add(doubled);
+                }
+            }
+        }
+    }
+
+    /// Retry of an unanswered snapshot negotiation: while a snapshot
+    /// request is outstanding and peers' acked lengths show we are
+    /// genuinely behind, re-send the request to a rotated member — a
+    /// single lost `SnapshotRequest`/`SnapshotReply` can no longer
+    /// strand a rejoiner behind the once-per-tail-position throttle.
+    fn retry_snapshot(&mut self, now: Nanos, rto: Nanos, cap: Nanos) {
+        if !self.awaiting_snapshot {
+            self.snapshot_retry = None;
+            return;
+        }
+        let Some(timer) = self.snapshot_retry else {
+            // Legacy arm (outstanding request from before the timer
+            // existed): start the clock now.
+            self.snapshot_retry = Some(RetryTimer {
+                next: now.saturating_add(rto),
+                interval: rto,
+                attempts: 0,
+            });
+            return;
+        };
+        if now < timer.next {
+            return;
+        }
+        let me = self.me();
+        let behind = self.membership.view().members.iter().any(|p| {
+            p != me && self.peer_acked.get(p.index()).copied().unwrap_or(0) > self.log.len()
+        });
+        if !behind {
+            // Caught up through other channels — stand down.
+            self.awaiting_snapshot = false;
+            self.snapshot_retry = None;
+            return;
+        }
+        if let Some(target) = self.rotated_member(timer.attempts) {
+            self.snapshot_requested_at = Some(self.log.len());
+            self.send_raw(
+                target,
+                encode(&WireMsg::SnapshotRequest(SnapshotRequest {
+                    from_index: self.log.len(),
+                })),
+            );
+            self.retransmits_sent += 1;
+        }
+        let interval = Nanos::from_nanos(timer.interval.as_nanos().saturating_mul(2)).min(cap);
+        self.snapshot_retry = Some(RetryTimer {
+            next: now.saturating_add(interval),
+            interval,
+            attempts: timer.attempts.saturating_add(1),
+        });
     }
 
     /// Trims the log behind the all-replica stable index, keeping the
@@ -529,7 +862,9 @@ where
     /// Routes consensus sends: peers get encoded frames, self-addressed
     /// messages loop straight back into the driver (cores rely on
     /// self-delivery; looping locally keeps that deterministic on any
-    /// transport).
+    /// transport). Slots that emit to a peer are marked *touched*: fresh
+    /// emission is progress, so their retransmission timers reset
+    /// instead of firing.
     fn flush_consensus(
         &mut self,
         mut sends: Vec<SlotSend<RotatingMsg<u64>>>,
@@ -537,18 +872,24 @@ where
         decided: &mut Vec<(u64, u64)>,
     ) {
         let me = self.me();
+        let mut touched = std::mem::take(&mut self.retx_touched);
+        touched.clear();
         while let Some((to, slot, msg)) = sends.pop() {
             if to == me {
                 let (more, d) = self.driver.on_message(slot, me, &msg, suspects);
                 sends.extend(more);
                 decided.extend(d.map(|v| (slot, v)));
             } else {
+                if !touched.contains(&slot) {
+                    touched.push(slot);
+                }
                 self.send_raw(
                     to,
                     encode(&WireMsg::Consensus(ConsensusFrame { slot, msg })),
                 );
             }
         }
+        self.retx_touched = touched;
     }
 
     /// Applies a consensus decision for `slot`.
@@ -590,7 +931,11 @@ where
             members: d.view_members,
         };
         match d.index.cmp(&self.log.len()) {
-            std::cmp::Ordering::Less => {}
+            std::cmp::Ordering::Less => {
+                // Already appended: a re-relayed (or retransmitted)
+                // decision — idempotent, counted.
+                self.duplicate_frames_dropped += 1;
+            }
             std::cmp::Ordering::Equal => {
                 self.apply_at_tail(d.value, stamp, events);
                 self.commit_ready(events);
@@ -726,6 +1071,20 @@ where
                     );
                 }
                 self.commit_ready(events);
+            } else {
+                // A suffix we already hold — a pusher whose acked
+                // watermark for us is stale. Count the duplicate and
+                // correct the watermark: the reply-from-our-tail
+                // request serves nothing when the pusher is no longer
+                // ahead, so it acts as a pure ack that stands the
+                // pusher's fuse down.
+                self.duplicate_frames_dropped += 1;
+                self.send_raw(
+                    from,
+                    encode(&WireMsg::SyncRequest(SyncRequest {
+                        from_index: self.log.len(),
+                    })),
+                );
             }
             return;
         }
@@ -736,11 +1095,34 @@ where
         for d in self.log.suffix(rewritten_from).to_vec() {
             self.note_committed(d.index, d.value);
         }
+        if outcome.adopted > 0 && self.awaiting_snapshot {
+            // Entries are flowing through the plain sync path after
+            // all: the outstanding snapshot negotiation is moot (a late
+            // reply that no longer extends the log would be rejected
+            // anyway). Stand the retry down.
+            self.awaiting_snapshot = false;
+            self.snapshot_retry = None;
+        }
         events.push(ServiceOutput::Transferred {
             adopted: outcome.adopted,
             lost: outcome.lost,
         });
         self.commit_ready(events);
+        // Acknowledged delivery, receiver half: a short chunk is the
+        // tail of the responder's stream, so confirm our new length
+        // with a reply-from-our-tail request. If we are caught up it
+        // serves nothing — a pure ack that keeps the responder's
+        // watermark fresh and its laggard-push fuse armed-but-quiet; if
+        // a middle chunk was lost it re-pulls the remainder. Full-width
+        // chunks skip the confirm (more of the stream is in flight).
+        if entries.len() < MAX_SYNC_ENTRIES {
+            self.send_raw(
+                from,
+                encode(&WireMsg::SyncRequest(SyncRequest {
+                    from_index: self.log.len(),
+                })),
+            );
+        }
     }
 
     /// Sends one [`SnapshotRequest`] to `from`, at most once per tail
@@ -755,6 +1137,15 @@ where
         }
         self.snapshot_requested_at = Some(self.log.len());
         self.awaiting_snapshot = true;
+        // Arm the retry timer: a lost request (or lost reply) re-fires
+        // toward a rotated member instead of stranding the rejoin.
+        let now = self.clock.now();
+        let rto = self.retransmit_after(now);
+        self.snapshot_retry = Some(RetryTimer {
+            next: now.saturating_add(rto),
+            interval: rto,
+            attempts: 0,
+        });
         self.send_raw(
             from,
             encode(&WireMsg::SnapshotRequest(SnapshotRequest {
@@ -829,6 +1220,7 @@ where
             return;
         };
         self.awaiting_snapshot = false;
+        self.snapshot_retry = None;
         self.snapshot_requested_at = None;
         self.gap_synced_at = None;
         // The log jumped past every local in-flight slot: retire the
@@ -862,7 +1254,12 @@ where
     }
 
     fn learn_command(&mut self, value: u64) {
-        if !self.decided_values.contains(&value) {
+        if self.decided_values.contains(&value) {
+            // Request-id dedup: a re-gossiped command that already
+            // decided must never re-enter the pool — a retry can never
+            // double-decide a command.
+            self.duplicate_frames_dropped += 1;
+        } else {
             self.pool.insert(value);
         }
     }

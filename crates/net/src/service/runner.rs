@@ -583,6 +583,19 @@ where
     /// The report as of now (complete once [`ServiceRunner::is_done`]).
     #[must_use]
     pub fn report(&self) -> ServiceReport {
+        let mut membership = self.watcher.report();
+        // The retransmission-plane counters live on the nodes, not the
+        // watcher: sum them into the fleet report here.
+        membership.retransmits_sent = self
+            .nodes
+            .iter()
+            .map(DecisionService::retransmits_sent)
+            .sum();
+        membership.duplicate_frames_dropped = self
+            .nodes
+            .iter()
+            .map(DecisionService::duplicate_frames_dropped)
+            .sum();
         ServiceReport {
             logs: self
                 .nodes
@@ -596,7 +609,7 @@ where
                 .collect(),
             halted: self.nodes.iter().map(DecisionService::is_halted).collect(),
             up: self.up.clone(),
-            membership: self.watcher.report(),
+            membership,
             decisions: self.decisions.clone(),
         }
     }

@@ -359,31 +359,71 @@ fn calm_weather_qos_timelines_match_the_bare_faulty_path_bitwise() {
 /// executions — but both must still decide the full workload with
 /// agreement: batching must not cost liveness under a lossy network.
 ///
-/// 5% is the regime the protocol actually tolerates: consensus frames
-/// are send-once, and the membership-emulated `P` never suspects a
-/// live process, so enough conspiring losses can wedge an instance for
-/// good. That wedge is mode-independent (at 10%, seed 3 stalls after
-/// slot 0 in *both* modes, bit-identically) — the property under test
-/// is that coalescing doesn't make a surviving regime worse.
+/// The retransmission plane makes every loss regime below the
+/// detector's false-suspicion threshold survivable: stalled consensus
+/// instances re-send their in-flight rounds on an estimator-derived
+/// timeout, so no pattern of conspiring losses can wedge an instance
+/// for good. Seed 3 — which used to stall after slot 0 at 10% loss in
+/// both modes — now decides everything at 5%, 10% and 20%. The one
+/// knob that must respect the regime is the *detector's* timeout: at
+/// 20% loss a 400 ms deadline over 100 ms heartbeats falsely suspects
+/// a live peer (four conspiring heartbeat losses, p = 0.2⁴ per
+/// window), and merge-less exclusion of two nodes leaves the group
+/// below the majority of the original four — so the 20% cell runs the
+/// loss-appropriate 800 ms deadline (p = 0.2⁸).
 #[test]
 fn batching_preserves_liveness_under_loss() {
     let cell = &cells()[0];
-    for seed in [3u64, 17] {
-        let mut scenario = workload(cell, seed);
-        scenario.online.loss = 0.05;
-        let batched = run_service(
-            FixedTimeout::new(ms(400)),
-            &scenario.clone().with_batching(true),
-        );
-        let singleton = run_service(FixedTimeout::new(ms(400)), &scenario.with_batching(false));
-        for (name, report) in [("batched", &batched), ("singleton", &singleton)] {
-            assert!(report.agreement_holds(), "[{name}/seed {seed}] logs fork");
-            assert_eq!(
-                report.decided_values().len(),
-                6,
-                "[{name}/seed {seed}] not every command decided"
+    for (loss, timeout) in [(0.05, 400), (0.10, 400), (0.20, 800)] {
+        for seed in [3u64, 17] {
+            let mut scenario = workload(cell, seed);
+            scenario.online.loss = loss;
+            let batched = run_service(
+                FixedTimeout::new(ms(timeout)),
+                &scenario.clone().with_batching(true),
             );
+            let singleton = run_service(
+                FixedTimeout::new(ms(timeout)),
+                &scenario.with_batching(false),
+            );
+            for (name, report) in [("batched", &batched), ("singleton", &singleton)] {
+                assert!(
+                    report.agreement_holds(),
+                    "[{name}/loss {loss}/seed {seed}] logs fork"
+                );
+                assert_eq!(
+                    report.decided_values().len(),
+                    6,
+                    "[{name}/loss {loss}/seed {seed}] not every command decided"
+                );
+                assert!(
+                    report.membership.retransmits_sent > 0,
+                    "[{name}/loss {loss}/seed {seed}] loss without retransmission"
+                );
+            }
+            assert_eq!(batched.decided_values(), singleton.decided_values());
         }
-        assert_eq!(batched.decided_values(), singleton.decided_values());
+    }
+}
+
+/// The retransmission plane is *quiescent* on a calm network: a
+/// lossless run executes zero retransmissions and drops zero duplicate
+/// frames — retry timers arm, but fresh per-poll progress keeps
+/// resetting them, so the calm fast path sends not one extra datagram.
+#[test]
+fn calm_runs_execute_zero_retransmissions() {
+    let cell = &cells()[0]; // steady: no loss, no faults
+    for batching in [true, false] {
+        let scenario = workload(cell, 7).with_batching(batching);
+        let report = run_service(FixedTimeout::new(ms(400)), &scenario);
+        assert!(report.agreement_holds(), "[{}] logs fork", cell.name);
+        assert_eq!(
+            report.membership.retransmits_sent, 0,
+            "[batching {batching}] calm run retransmitted"
+        );
+        // `duplicate_frames_dropped` is *not* zero here: reliable-
+        // broadcast `Decide` relays are intentionally redundant, and
+        // every post-commit copy lands on the idempotence layer. The
+        // calm claim is only that no *retry* traffic exists.
     }
 }

@@ -25,7 +25,7 @@
 use proptest::prelude::*;
 use rfd_core::{ProcessId, ProcessSet};
 use rfd_net::clock::{ClockSkew, Nanos, Pacer, VirtualClock};
-use rfd_net::codec::{encode, DecidedMsg, Heartbeat, SyncReply, WireMsg};
+use rfd_net::codec::{encode, DecidedMsg, Heartbeat, SyncReply, WireMsg, MAX_SYNC_ENTRIES};
 use rfd_net::estimator::{ArrivalEstimator, ChenEstimator};
 use rfd_net::membership::MembershipNode;
 use rfd_net::online::{Fault, FaultSchedule, MembershipWatcher, OnlineScenario};
@@ -138,6 +138,20 @@ where
         report.membership.decisions_lost, 0,
         "state transfer discarded decided entries"
     );
+    // No double-decide: command values identify requests, so a value
+    // appearing at two log indices means a retry (re-gossip or
+    // retransmission) re-entered the pipeline past the dedup layer.
+    for (node, log) in report.logs.iter().enumerate() {
+        let mut values: Vec<u64> = log.iter().map(|d| d.value).collect();
+        values.sort_unstable();
+        let before = values.len();
+        values.dedup();
+        assert_eq!(
+            before,
+            values.len(),
+            "node {node} decided some command at two indices: {log:?}"
+        );
+    }
     // No acknowledged decision is ever lost: every final log that
     // retains an acked index still holds the acked value, and each
     // acked index is either retained somewhere or compacted — folded
@@ -202,6 +216,24 @@ proptest! {
         crash in prop::option::of((1usize..4, 3_000u64..15_000, 2_000u64..6_000)),
     ) {
         let scenario = churn_scenario(seed, true, &cuts, crash)
+            .with_compaction(CompactionPolicy::retain_last(retain));
+        assert_safety(&scenario);
+    }
+
+    /// The compaction contract without heal-merge reconciliation:
+    /// excluded nodes halt instead of rejoining, so the stable index is
+    /// driven purely by the surviving view's acks — compaction must
+    /// never outrun an acked decision (every acked index stays retained
+    /// on some live log or digest-covered behind a base), and the
+    /// halted logs must still never fork from the survivors'.
+    #[test]
+    fn merge_less_compaction_preserves_agreement_and_acked_decisions(
+        seed in 0u64..1024,
+        retain in 1u64..6,
+        cuts in prop::collection::vec((2_000u64..7_000, 2_000u64..6_000, 1u8..15), 1..3),
+        crash in prop::option::of((1usize..4, 3_000u64..15_000, 2_000u64..6_000)),
+    ) {
+        let scenario = churn_scenario(seed, false, &cuts, crash)
             .with_compaction(CompactionPolicy::retain_last(retain));
         assert_safety(&scenario);
     }
@@ -359,6 +391,49 @@ proptest! {
         prop_assert_eq!(a.membership.view_changes, b.membership.view_changes);
         prop_assert_eq!(a.membership.weather_directives, b.membership.weather_directives);
     }
+
+    /// Retry safety: random weather compositions with uniform datagram
+    /// loss stacked on top, so the retransmission plane actually fires
+    /// (duplicated consensus frames, re-pushed suffixes, re-gossiped
+    /// commands). Retransmissions must behave as delayed duplicates:
+    /// no fork at any index, no command decided twice
+    /// ([`check_safety`]'s dedup check), no acked decision lost.
+    #[test]
+    fn retransmissions_under_weather_and_loss_never_fork_or_double_decide(
+        seed in 0u64..1024,
+        loss_pct in 0u64..=20,
+        spec in weather_spec(),
+    ) {
+        let mut scenario = weather_scenario(&spec, seed);
+        scenario.online.loss = loss_pct as f64 / 100.0;
+        check_safety(weather_service_runner(chen(), scenario));
+    }
+
+    /// And the lossy runs stay a pure function of (spec, loss, seed):
+    /// whether and when each retry fires is part of the deterministic
+    /// schedule, so the whole report replays bit-identically.
+    #[test]
+    fn lossy_weather_runs_reproduce_per_seed(
+        seed in 0u64..64,
+        loss_pct in 1u64..=20,
+        spec in weather_spec(),
+    ) {
+        let mut scenario = weather_scenario(&spec, seed);
+        scenario.online.loss = loss_pct as f64 / 100.0;
+        let a = run_weather_service(chen(), &scenario);
+        let b = run_weather_service(chen(), &scenario);
+        prop_assert_eq!(a.logs, b.logs);
+        prop_assert_eq!(a.bases, b.bases);
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(
+            a.membership.retransmits_sent,
+            b.membership.retransmits_sent
+        );
+        prop_assert_eq!(
+            a.membership.duplicate_frames_dropped,
+            b.membership.duplicate_frames_dropped
+        );
+    }
 }
 
 /// A heal with traffic on both sides: the majority decides during the
@@ -467,6 +542,84 @@ fn rejoiner_far_older_than_the_retained_tail_converges() {
         !report.membership.rejoin_latencies.is_empty(),
         "the heal must resolve into a measured rejoin"
     );
+}
+
+/// Same outage family as [`rejoin_scenario`] but with a workload deep
+/// enough (~57 decisions) that the compacted base passes the rejoiner
+/// even when the retained tail is wider than one sync datagram.
+fn deep_rejoin_scenario(retain: u64) -> ServiceScenario {
+    let mut scenario = ServiceScenario {
+        online: OnlineScenario {
+            n: 4,
+            period: ms(50),
+            duration: ms(30_000),
+            seed: 11,
+            heal_merge: true,
+            schedule: FaultSchedule::new()
+                .at(ms(2_000), Fault::Partition(ProcessSet::singleton(p(3))))
+                .at(ms(19_000), Fault::Heal),
+            ..OnlineScenario::default()
+        },
+        ..ServiceScenario::default()
+    }
+    .with_compaction(CompactionPolicy::retain_last(retain));
+    let mut at = 1_000;
+    let mut value = 500;
+    while at <= 17_800 {
+        scenario = scenario.command(ms(at), p((value as usize) % 3), value);
+        at += 300;
+        value += 1;
+    }
+    scenario
+}
+
+/// A retained tail wider than one sync datagram (`MAX_SYNC_ENTRIES` =
+/// 32) must still hand off completely: the snapshot reply carries the
+/// digest summary plus only the *first* 32-entry chunk, and the
+/// rejoiner's follow-up suffix request pulls the remainder. The healed
+/// log must match the majority's entry-exactly — values *and* view
+/// stamps — not merely value-wise.
+#[test]
+fn snapshot_handoff_chunks_a_retained_tail_wider_than_one_datagram() {
+    let report = run_service(chen(), &deep_rejoin_scenario(40));
+    assert!(report.agreement_holds());
+    assert!(report.live_logs_converged(), "{:?}", report.logs);
+    assert_eq!(report.membership.decisions_lost, 0);
+    assert!(
+        report.membership.snapshots_sent > 0,
+        "the rejoiner fell past the retained tail, so a snapshot must move: {:?}",
+        report.membership
+    );
+    assert!(
+        report.bases.iter().any(|&b| b > 0),
+        "retain-last-40 must actually compact ~57 decisions: {:?}",
+        report.bases
+    );
+    // The cell only proves chunking if some final retained tail is
+    // genuinely wider than one datagram.
+    assert!(
+        report.logs.iter().any(|log| log.len() > MAX_SYNC_ENTRIES),
+        "retained tails never exceeded one sync chunk: {:?}",
+        report.logs.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    // Entry-exact convergence across the fleet: every retained decision
+    // matches the reference replica's full record at the same absolute
+    // index (value, view id, view membership), so the snapshot + chunked
+    // suffix handoff reconstructed the tail verbatim.
+    let reference = &report.logs[0];
+    for log in &report.logs {
+        for d in log {
+            let witness = reference
+                .iter()
+                .find(|w| w.index == d.index)
+                .unwrap_or_else(|| panic!("index {} missing from the reference log", d.index));
+            assert_eq!(
+                witness, d,
+                "handoff rewrote the record at index {}",
+                d.index
+            );
+        }
+    }
 }
 
 // ---- out-of-range ProcessId regressions (the PR 2 panic family) ------
